@@ -1,0 +1,12 @@
+// Figure 11 of the paper: strong scaling of the Cholesky factorization
+// on the thermal proxy, symPACK vs the PaStiX-like right-looking baseline,
+// 1-64 nodes of the modeled Perlmutter-like cluster.
+//
+// Options: --nodes 1,4,8,16,32,64  --ppn 4,8  --scale 1.0  --numeric
+//          --no-validate
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  return sympack::bench::run_figure_main(argc, argv, "Figure 11", "thermal",
+                                         false);
+}

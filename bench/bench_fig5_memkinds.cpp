@@ -1,0 +1,109 @@
+// Figure 5 of the paper: RMA get flood bandwidth from remote host memory
+// into local GPU memory, comparing
+//   - upcxx::copy with *native* memory kinds (GPUDirect RDMA zero-copy),
+//   - upcxx::copy with the *reference* implementation (transfers staged
+//     through an intermediate host bounce buffer), and
+//   - MPI_Get with CUDA-enabled MPI,
+// across payload sizes 16 B .. 4 MiB, following the AD/AE protocol
+// (windows of 64 gets per synchronization, 40 windows per size).
+//
+// Options: --windows 40 --window-size 64
+#include <cstdio>
+#include <vector>
+
+#include "pgas/runtime.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace sympack;
+
+// Flood bandwidth: `window` non-blocking gets issued back-to-back, then
+// one synchronization; repeated `repeats` times. The PGAS runtime
+// returns per-transfer completion times; the flood finishes when the
+// last one lands.
+double flood_bandwidth(pgas::Runtime& rt, std::size_t payload, int windows,
+                       int window_size) {
+  auto& active = rt.rank(0);   // issues gets into its local GPU memory
+  auto& passive = rt.rank(1);  // remote host memory (different node)
+  auto src = passive.allocate_host(payload);
+  auto dst = active.allocate_device(payload, /*nothrow=*/false);
+
+  rt.reset_clocks();
+  const double start = active.now();
+  double last_done = start;
+  for (int w = 0; w < windows; ++w) {
+    for (int i = 0; i < window_size; ++i) {
+      last_done = std::max(
+          last_done,
+          active.rget(src, dst.addr, payload, pgas::MemKind::kDevice));
+    }
+    // Window synchronization (MPI_Win_flush / future::wait).
+    active.merge_clock(last_done);
+  }
+  const double elapsed = active.now() - start;
+  const double bytes =
+      static_cast<double>(payload) * windows * window_size;
+  active.deallocate(dst);
+  passive.deallocate(src);
+  return bytes / elapsed;
+}
+
+pgas::Runtime::Config two_nodes(pgas::MemKindsImpl impl) {
+  pgas::Runtime::Config cfg;
+  cfg.nranks = 2;
+  cfg.ranks_per_node = 1;  // one process per node, as in the AD/AE
+  cfg.gpus_per_node = 1;
+  cfg.device_memory_bytes = 64ull << 20;
+  cfg.model.memkinds = impl;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Options opts(argc, argv);
+  const int windows = static_cast<int>(opts.get_int("windows", 40));
+  const int window_size = static_cast<int>(opts.get_int("window-size", 64));
+
+  std::printf("== Figure 5: RMA get flood bandwidth, remote host -> local "
+              "GPU memory ==\n");
+  std::printf("   window: %d gets/sync, %d windows per size\n", window_size,
+              windows);
+
+  pgas::Runtime native_rt(two_nodes(pgas::MemKindsImpl::kNative));
+  pgas::Runtime reference_rt(two_nodes(pgas::MemKindsImpl::kReference));
+  // MPI comparator: the same GDR-accelerated wire path with the
+  // MPI-calibrated per-message latency.
+  auto mpi_cfg = two_nodes(pgas::MemKindsImpl::kNative);
+  mpi_cfg.model.net_latency_s = mpi_cfg.model.mpi_latency_s;
+  pgas::Runtime mpi_rt(mpi_cfg);
+
+  support::AsciiTable table({"payload", "native MiB/s", "reference MiB/s",
+                             "MPI MiB/s", "native/ref", "native/MPI"});
+  const double mib = 1024.0 * 1024.0;
+  double ratio_8k = 0.0, ratio_big = 0.0;
+  for (std::size_t payload = 16; payload <= (4u << 20); payload *= 2) {
+    const double native =
+        flood_bandwidth(native_rt, payload, windows, window_size);
+    const double reference =
+        flood_bandwidth(reference_rt, payload, windows, window_size);
+    const double mpi = flood_bandwidth(mpi_rt, payload, windows, window_size);
+    if (payload == (8u << 10)) ratio_8k = native / reference;
+    if (payload >= (1u << 20)) ratio_big = native / reference;
+    table.add_row({support::AsciiTable::fmt_bytes(payload),
+                   support::AsciiTable::fmt(native / mib, 1),
+                   support::AsciiTable::fmt(reference / mib, 1),
+                   support::AsciiTable::fmt(mpi / mib, 1),
+                   support::AsciiTable::fmt(native / reference, 2),
+                   support::AsciiTable::fmt(native / mpi, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("wire speed (plot reference): %.0f GB/s\n",
+              native_rt.model().wire_speed_Bps / 1e9);
+  std::printf("paper: native/reference ranges 5.9x (8 KiB) to 2.3x (>1 MiB); "
+              "measured here: %.1fx and %.1fx. native within 20%% of MPI.\n",
+              ratio_8k, ratio_big);
+  return 0;
+}

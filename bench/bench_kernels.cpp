@@ -1,0 +1,147 @@
+// Kernel microbenchmarks (google-benchmark): throughput of the
+// hand-written GEMM/SYRK/TRSM/POTRF kernels across the block shapes the
+// supernodal factorization produces, plus the CPU-vs-GPU cost-model
+// crossover that motivates the paper's offload thresholds.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "gpu/device.hpp"
+#include "support/random.hpp"
+
+namespace {
+
+using namespace sympack;
+
+std::vector<double> random_matrix(int rows, int cols, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<double> m(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : m) v = rng.next_in(-1.0, 1.0);
+  return m;
+}
+
+void BM_GemmNT(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a = random_matrix(n, n, 1);
+  auto b = random_matrix(n, n, 2);
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  for (auto _ : state) {
+    blas::gemm(blas::Trans::kNo, blas::Trans::kYes, n, n, n, 1.0, a.data(), n,
+               b.data(), n, 0.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(blas::gemm_flops(n, n, n)) * state.iterations() /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNT)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTallSkinny(benchmark::State& state) {
+  // The fan-out update shape: tall source block times short pivot block.
+  const int m = static_cast<int>(state.range(0));
+  const int k = 32;  // supernode width
+  const int n = 24;  // pivot block rows
+  auto a = random_matrix(m, k, 3);
+  auto b = random_matrix(n, k, 4);
+  std::vector<double> c(static_cast<std::size_t>(m) * n, 0.0);
+  for (auto _ : state) {
+    blas::gemm(blas::Trans::kNo, blas::Trans::kYes, m, n, k, 1.0, a.data(), m,
+               b.data(), n, 0.0, c.data(), m);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(blas::gemm_flops(m, n, k)) * state.iterations() /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmTallSkinny)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Syrk(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int k = 48;
+  auto a = random_matrix(n, k, 5);
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+  for (auto _ : state) {
+    blas::syrk(blas::UpLo::kLower, blas::Trans::kNo, n, k, -1.0, a.data(), n,
+               1.0, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(blas::syrk_flops(n, k)) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Syrk)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TrsmRightLowerTrans(benchmark::State& state) {
+  // The panel-factorization TRSM: B := B * L^{-T}.
+  const int m = static_cast<int>(state.range(0));
+  const int n = 64;
+  auto l = random_matrix(n, n, 6);
+  for (int i = 0; i < n; ++i) l[i + static_cast<std::size_t>(i) * n] = 4.0;
+  auto b = random_matrix(m, n, 7);
+  for (auto _ : state) {
+    auto work = b;
+    blas::trsm(blas::Side::kRight, blas::UpLo::kLower, blas::Trans::kYes,
+               blas::Diag::kNonUnit, m, n, 1.0, l.data(), n, work.data(), m);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(blas::trsm_flops(blas::Side::kRight, m, n)) *
+          state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TrsmRightLowerTrans)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Potrf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto base = random_matrix(n, n, 8);
+  // SPD-ify.
+  for (int i = 0; i < n; ++i) {
+    base[i + static_cast<std::size_t>(i) * n] = n + 2.0;
+  }
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < j; ++i) {
+      base[i + static_cast<std::size_t>(j) * n] =
+          base[j + static_cast<std::size_t>(i) * n];
+    }
+  }
+  for (auto _ : state) {
+    auto work = base;
+    const int info = blas::potrf(blas::UpLo::kLower, n, work.data(), n);
+    if (info != 0) state.SkipWithError("potrf failed");
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      static_cast<double>(blas::potrf_flops(n)) * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Potrf)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GpuModelCrossover(benchmark::State& state) {
+  // Not a compute benchmark: evaluates the cost model to locate the
+  // block size where GPU execution (incl. launch + staging) overtakes
+  // the CPU — the analytic version of the paper's threshold tuning.
+  const pgas::MachineModel model;
+  for (auto _ : state) {
+    int crossover = 0;
+    for (int n = 8; n <= 2048; n += 8) {
+      const double flops = static_cast<double>(blas::gemm_flops(n, n, n));
+      const double cpu = gpu::cpu_kernel_time(model, gpu::Op::kGemm, flops);
+      const double dev = model.gpu_launch_s +
+                         gpu::gpu_kernel_time(model, gpu::Op::kGemm, flops) +
+                         3.0 * model.hd_copy_time(sizeof(double) * n * n);
+      if (dev < cpu) {
+        crossover = n;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(crossover);
+  }
+}
+BENCHMARK(BM_GpuModelCrossover);
+
+}  // namespace
+
+BENCHMARK_MAIN();

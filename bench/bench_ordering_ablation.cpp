@@ -1,0 +1,62 @@
+// Ablation C: fill-reducing ordering quality across the proxy suite —
+// factor nonzeros, factorization flops, and simulated factor time for
+// natural vs RCM vs AMD vs nested dissection (the paper uses Scotch's
+// nested dissection for all experiments).
+//
+// Options: --scale 0.3 --nodes 4 --ppn 4
+#include <cstdio>
+
+#include "common.hpp"
+#include "ordering/ordering.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/permute.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sympack;
+  const support::Options opts(argc, argv);
+  const double scale = opts.get_double("scale", 0.3);
+  const int nodes = static_cast<int>(opts.get_int("nodes", 4));
+  const int ppn = static_cast<int>(opts.get_int("ppn", 4));
+
+  std::printf("== Ablation: fill-reducing orderings (%d nodes x %d ppn, "
+              "scale %.2f) ==\n",
+              nodes, ppn, scale);
+  support::AsciiTable table({"matrix", "ordering", "factor nnz", "flops",
+                             "factor sim (s)"});
+
+  const char* matrices[] = {"flan", "bones", "thermal"};
+  const ordering::Method methods[] = {
+      ordering::Method::kNatural, ordering::Method::kRcm,
+      ordering::Method::kAmd, ordering::Method::kNestedDissection};
+
+  for (const char* mat : matrices) {
+    sparse::CscMatrix raw;
+    if (std::string(mat) == "flan") raw = sparse::flan_proxy(scale);
+    if (std::string(mat) == "bones") raw = sparse::bones_proxy(scale);
+    if (std::string(mat) == "thermal") raw = sparse::thermal_proxy(scale);
+    for (const auto method : methods) {
+      pgas::Runtime::Config cfg;
+      cfg.nranks = nodes * ppn;
+      cfg.ranks_per_node = ppn;
+      pgas::Runtime rt(cfg);
+      core::SolverOptions sopts;
+      sopts.numeric = false;
+      sopts.ordering = method;
+      core::SymPackSolver solver(rt, sopts);
+      solver.symbolic_factorize(raw);
+      solver.factorize();
+      const auto& r = solver.report();
+      table.add_row({mat, ordering::method_name(method),
+                     support::AsciiTable::fmt_int(r.factor_nnz),
+                     support::AsciiTable::fmt(r.factor_flops, 0),
+                     support::AsciiTable::fmt(r.factor_sim_s, 4)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("expected shape: nested dissection (Scotch's algorithm) and "
+              "AMD cut fill and flops dramatically vs natural; ND wins on "
+              "the large 3D problems.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Future-work bench (paper §6): "it will be interesting to see how
+// symPACK performs on smaller problem sizes, as well as on problems with
+// varying sparsity levels". Sweeps (a) problem size on the 3D proxy and
+// (b) sparsity (extra-edge density) on the irregular thermal generator,
+// reporting both solvers' simulated factor times at a fixed node count.
+//
+// Options: --nodes 8 --ppn 4
+#include <cstdio>
+
+#include "baseline/rightlooking.hpp"
+#include "common.hpp"
+#include "ordering/ordering.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/permute.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace sympack;
+
+struct Times {
+  double sympack;
+  double pastix;
+};
+
+Times run_pair(const sparse::CscMatrix& raw, int nodes, int ppn) {
+  const auto perm = ordering::compute_ordering(
+      raw, ordering::Method::kNestedDissection);
+  const auto a = sparse::permute_symmetric(raw, perm);
+  Times t{};
+  {
+    pgas::Runtime::Config cfg;
+    cfg.nranks = nodes * ppn;
+    cfg.ranks_per_node = ppn;
+    pgas::Runtime rt(cfg);
+    core::SolverOptions opts;
+    opts.numeric = false;
+    opts.ordering = ordering::Method::kNatural;
+    core::SymPackSolver solver(rt, opts);
+    solver.symbolic_factorize(a);
+    solver.factorize();
+    t.sympack = solver.report().factor_sim_s;
+  }
+  {
+    pgas::Runtime::Config cfg;
+    cfg.nranks = nodes * std::min(ppn, 4);
+    cfg.ranks_per_node = std::min(ppn, 4);
+    pgas::Runtime rt(cfg);
+    baseline::BaselineOptions opts;
+    opts.numeric = false;
+    opts.ordering = ordering::Method::kNatural;
+    baseline::RightLookingSolver solver(rt, opts);
+    solver.symbolic_factorize(a);
+    solver.factorize();
+    t.pastix = solver.report().factor_sim_s;
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Options opts(argc, argv);
+  const int nodes = static_cast<int>(opts.get_int("nodes", 8));
+  const int ppn = static_cast<int>(opts.get_int("ppn", 4));
+
+  std::printf("== Future work (paper §6): problem-size and sparsity "
+              "sensitivity (%d nodes x %d ppn) ==\n",
+              nodes, ppn);
+
+  std::printf("\n-- (a) problem size: 3D 27-pt stencil --\n");
+  support::AsciiTable size_table(
+      {"grid", "n", "symPACK (s)", "PaStiX-like (s)", "speedup"});
+  for (const sparse::idx_t dim : {8, 12, 16, 22, 30}) {
+    const auto raw = sparse::grid3d_laplacian(
+        dim, dim, dim, sparse::Stencil3D::kTwentySevenPoint);
+    const auto t = run_pair(raw, nodes, ppn);
+    size_table.add_row({std::to_string(dim) + "^3",
+                        support::AsciiTable::fmt_int(raw.n()),
+                        support::AsciiTable::fmt(t.sympack, 4),
+                        support::AsciiTable::fmt(t.pastix, 4),
+                        support::AsciiTable::fmt(t.pastix / t.sympack, 2)});
+  }
+  std::printf("%s", size_table.to_string().c_str());
+
+  std::printf("\n-- (b) sparsity: irregular thermal generator, varying "
+              "extra-edge density --\n");
+  support::AsciiTable density_table({"extra edges/vertex", "nnz/n",
+                                     "symPACK (s)", "PaStiX-like (s)",
+                                     "speedup"});
+  for (const double density : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+    const auto raw = sparse::thermal_irregular(180, 180, density, 0x5eed);
+    const auto t = run_pair(raw, nodes, ppn);
+    density_table.add_row(
+        {support::AsciiTable::fmt(density, 2),
+         support::AsciiTable::fmt(
+             static_cast<double>(raw.nnz_stored()) /
+                 static_cast<double>(raw.n()),
+             2),
+         support::AsciiTable::fmt(t.sympack, 4),
+         support::AsciiTable::fmt(t.pastix, 4),
+         support::AsciiTable::fmt(t.pastix / t.sympack, 2)});
+  }
+  std::printf("%s", density_table.to_string().c_str());
+  std::printf("expected shape: symPACK's advantage shrinks on small "
+              "problems (fixed overheads dominate) and holds across "
+              "sparsity levels.\n");
+  return 0;
+}

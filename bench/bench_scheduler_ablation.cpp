@@ -1,0 +1,49 @@
+// Ablation D: RTQ scheduling policies. The paper processes "whichever
+// task is at the top of the queue" and defers evaluating scheduling
+// policies to future work (§3.4, §6); this bench runs that evaluation:
+// FIFO vs LIFO vs lowest-supernode-first priority vs critical-path
+// (deepest-supernode-first), at several node counts.
+//
+// Options: --matrix flan --scale 1.0 --nodes 1,4,16 --ppn 4
+#include <cstdio>
+
+#include "common.hpp"
+#include "support/options.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sympack;
+  const support::Options opts(argc, argv);
+  const auto info = bench::make_matrix(opts.get_string("matrix", "flan"),
+                                       opts.get_double("scale", 1.0));
+  const auto nodes_list = opts.get_int_list("nodes", {1, 4, 16});
+  const int ppn = static_cast<int>(opts.get_int("ppn", 4));
+
+  std::printf("== Ablation: RTQ scheduling policies (%s) ==\n",
+              info.name.c_str());
+  support::AsciiTable table({"nodes", "fifo (s)", "lifo (s)",
+                             "priority (s)", "critical-path (s)"});
+  for (const auto nodes : nodes_list) {
+    std::vector<std::string> row = {std::to_string(nodes)};
+    for (const auto policy :
+         {core::Policy::kFifo, core::Policy::kLifo, core::Policy::kPriority,
+          core::Policy::kCriticalPath}) {
+      pgas::Runtime::Config cfg;
+      cfg.nranks = static_cast<int>(nodes) * ppn;
+      cfg.ranks_per_node = ppn;
+      pgas::Runtime rt(cfg);
+      core::SolverOptions sopts;
+      sopts.numeric = false;
+      sopts.ordering = ordering::Method::kNatural;  // pre-permuted
+      sopts.policy = policy;
+      core::SymPackSolver solver(rt, sopts);
+      solver.symbolic_factorize(info.matrix);
+      solver.factorize();
+      row.push_back(support::AsciiTable::fmt(
+          solver.report().factor_sim_s, 4));
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

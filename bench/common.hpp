@@ -1,0 +1,69 @@
+// Shared harness for the paper-reproduction benchmarks (Figures 6-12,
+// Table 1): proxy-matrix construction, the strong-scaling sweep protocol
+// from the AD/AE appendix (per node count, try several processes-per-node
+// and report the best), and figure-style output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "sparse/csc.hpp"
+#include "support/options.hpp"
+
+namespace sympack::bench {
+
+struct MatrixInfo {
+  std::string name;          // proxy name
+  std::string paper_name;    // SuiteSparse matrix it stands in for
+  std::string description;
+  sparse::CscMatrix matrix;  // already permuted by nested dissection
+};
+
+/// Build one of the three proxies (flan | bones | thermal), apply the
+/// nested-dissection ordering once (Scotch's role in the paper), and
+/// return the permuted matrix. `scale` shrinks the problem.
+MatrixInfo make_matrix(const std::string& name, double scale);
+
+struct ScalingPoint {
+  int nodes = 0;
+  // Best simulated times over the processes-per-node candidates.
+  double sympack_factor_s = 0.0;
+  double sympack_solve_s = 0.0;
+  double pastix_factor_s = 0.0;
+  double pastix_solve_s = 0.0;
+  int sympack_best_ppn = 0;
+  int pastix_best_ppn = 0;
+};
+
+struct SweepConfig {
+  std::vector<std::int64_t> nodes = {1, 4, 8, 16, 32, 64};
+  std::vector<std::int64_t> ppn_candidates = {4, 8};
+  bool numeric = false;  // protocol-only for the sweeps
+};
+
+SweepConfig sweep_config_from_options(const support::Options& opts);
+
+/// Run the full strong-scaling sweep of a matrix with both solvers,
+/// reproducing the AD/AE protocol (best result over processes-per-node
+/// for every node count).
+std::vector<ScalingPoint> run_scaling(const MatrixInfo& info,
+                                      const SweepConfig& config);
+
+/// Print one figure: a series per solver, `factor` or `solve` phase.
+void print_figure(const std::string& figure, const std::string& title,
+                  const std::vector<ScalingPoint>& points, bool solve_phase);
+
+/// Numeric-mode validation at reduced scale: factor + solve + residual.
+/// Prints the residual and returns it.
+double validate_small(const std::string& matrix_name, double scale);
+
+/// Complete driver for one scaling figure (Figures 7-12): parse CLI
+/// options (--nodes, --ppn, --scale, --numeric, --no-validate), build the
+/// proxy, run the sweep, print the series. Returns a process exit code.
+int run_figure_main(int argc, const char* const* argv,
+                    const std::string& figure, const std::string& matrix_name,
+                    bool solve_phase);
+
+}  // namespace sympack::bench

@@ -1,0 +1,80 @@
+// Smallest-eigenvalue computation by shift-invert power iteration: the
+// paper's motivating use case of applications that need *multiple
+// factorizations in succession* (Sakurai-Sugiura eigensolvers, PEXSI —
+// paper §5.3). Each shift sigma requires factoring A - sigma*I and
+// running inverse iterations with the factor.
+//
+//   ./shift_invert_eigen [--n 48] [--ranks 8] [--shifts 3] [--iters 25]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "sparse/densevec.hpp"
+#include "sparse/generators.hpp"
+#include "support/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sympack;
+  const support::Options opts(argc, argv);
+  const auto n = opts.get_int("n", 48);
+  const int ranks = static_cast<int>(opts.get_int("ranks", 8));
+  const int nshifts = static_cast<int>(opts.get_int("shifts", 3));
+  const int iters = static_cast<int>(opts.get_int("iters", 25));
+
+  auto a = sparse::grid2d_laplacian(n, n);
+  std::printf("2D Laplacian eigenproblem: n=%lld\n",
+              static_cast<long long>(a.n()));
+
+  pgas::Runtime::Config cfg;
+  cfg.nranks = ranks;
+  cfg.ranks_per_node = 4;
+  pgas::Runtime rt(cfg);
+  core::SymPackSolver solver(rt, core::SolverOptions{});
+
+  // The symbolic phase is shared across shifts: A - sigma*I has A's
+  // sparsity for every sigma, so only the numeric phase repeats — the
+  // access pattern symPACK's repeated-factorization speed benefits.
+  solver.symbolic_factorize(a);
+
+  // The smallest Laplacian eigenvalue of the shifted 5-point operator:
+  // lambda_min = shift + 4 - 4*cos(pi/(n+1)) approximately; we recover it
+  // numerically per shift via inverse iteration.
+  double total_factor_sim = 0.0;
+  double shift_applied = 0.0;
+  for (int s = 0; s < nshifts; ++s) {
+    const double sigma = -0.002 * s;  // march the shift toward the spectrum
+    a.shift_diagonal(sigma - shift_applied);  // A <- A0 + sigma I
+    shift_applied = sigma;
+    solver.factorize();
+    total_factor_sim += solver.report().factor_sim_s;
+
+    // Inverse power iteration on (A + sigma I)^{-1}.
+    std::vector<double> v(a.n(), 1.0);
+    double scale = sparse::norm2(v);
+    for (auto& x : v) x /= scale;
+    double lambda = 0.0;
+    for (int it = 0; it < iters; ++it) {
+      auto w = solver.solve(v);
+      // Rayleigh quotient of the *shifted* operator.
+      std::vector<double> aw(a.n());
+      a.symv(w.data(), aw.data());
+      lambda = sparse::dot(w, aw) / sparse::dot(w, w);
+      const double nw = sparse::norm2(w);
+      for (std::size_t i = 0; i < w.size(); ++i) v[i] = w[i] / nw;
+    }
+    std::printf("shift %+8.5f: smallest eigenvalue of shifted operator = "
+                "%.8f (factor %.4f s simulated)\n",
+                sigma, lambda, solver.report().factor_sim_s);
+  }
+  std::printf("%d factorizations with one symbolic analysis; total "
+              "simulated factor time %.4f s\n",
+              nshifts, total_factor_sim);
+
+  // Sanity: the generator builds a Neumann-style Laplacian (zero row
+  // sums) plus a 0.01 diagonal shift, so its smallest eigenvalue is
+  // exactly 0.01 with the constant eigenvector.
+  const double expect = 0.01 + shift_applied;
+  std::printf("analytic lambda_min at final shift: %.8f\n", expect);
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "baseline/simple_cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "ordering/etree.hpp"
+
+namespace sympack::baseline {
+
+void SparseFactor::forward(std::vector<double>& b) const {
+  for (idx_t j = 0; j < n; ++j) {
+    // Diagonal entry is first in each sorted column.
+    b[j] /= values[colptr[j]];
+    const double xj = b[j];
+    for (idx_t p = colptr[j] + 1; p < colptr[j + 1]; ++p) {
+      b[rowind[p]] -= values[p] * xj;
+    }
+  }
+}
+
+void SparseFactor::backward(std::vector<double>& b) const {
+  for (idx_t j = n - 1; j >= 0; --j) {
+    double acc = b[j];
+    for (idx_t p = colptr[j] + 1; p < colptr[j + 1]; ++p) {
+      acc -= values[p] * b[rowind[p]];
+    }
+    b[j] = acc / values[colptr[j]];
+  }
+}
+
+SparseFactor simple_cholesky(const sparse::CscMatrix& a) {
+  const idx_t n = a.n();
+  const auto parent = ordering::elimination_tree(a);
+  const auto counts = ordering::column_counts(a, parent);
+
+  SparseFactor l;
+  l.n = n;
+  l.colptr.resize(n + 1);
+  l.colptr[0] = 0;
+  for (idx_t j = 0; j < n; ++j) l.colptr[j + 1] = l.colptr[j] + counts[j];
+  l.rowind.resize(l.colptr[n]);
+  l.values.assign(l.colptr[n], 0.0);
+
+  // Row lists of the strictly-lower part of A: for each row i, the
+  // (column, value) pairs with column < i. This is the transposed view
+  // the up-looking sweep consumes.
+  std::vector<idx_t> rptr(n + 1, 0);
+  for (idx_t j = 0; j < n; ++j) {
+    for (idx_t p = a.colptr()[j]; p < a.colptr()[j + 1]; ++p) {
+      const idx_t i = a.rowind()[p];
+      if (i != j) ++rptr[i + 1];
+    }
+  }
+  for (idx_t i = 0; i < n; ++i) rptr[i + 1] += rptr[i];
+  std::vector<idx_t> rcol(rptr[n]);
+  std::vector<double> rval(rptr[n]);
+  {
+    std::vector<idx_t> cursor(rptr.begin(), rptr.end() - 1);
+    for (idx_t j = 0; j < n; ++j) {
+      for (idx_t p = a.colptr()[j]; p < a.colptr()[j + 1]; ++p) {
+        const idx_t i = a.rowind()[p];
+        if (i == j) continue;
+        rcol[cursor[i]] = j;
+        rval[cursor[i]] = a.values()[p];
+        ++cursor[i];
+      }
+    }
+  }
+
+  // Up-looking sweep: compute row i of L against the already-computed
+  // columns 0..i-1, then the diagonal.
+  std::vector<idx_t> col_fill(l.colptr.begin(), l.colptr.end() - 1);
+  std::vector<double> x(n, 0.0);
+  std::vector<idx_t> pattern;
+  std::vector<idx_t> mark(n, -1);
+  std::vector<double> diag(n, 0.0);
+
+  for (idx_t i = 0; i < n; ++i) {
+    pattern.clear();
+    mark[i] = i;
+    double aii = a.values()[a.colptr()[i]];  // diagonal stored first
+
+    for (idx_t p = rptr[i]; p < rptr[i + 1]; ++p) {
+      const idx_t k = rcol[p];
+      x[k] = rval[p];
+      for (idx_t t = k; t != -1 && t < i && mark[t] != i; t = parent[t]) {
+        mark[t] = i;
+        pattern.push_back(t);
+      }
+    }
+    std::sort(pattern.begin(), pattern.end());
+
+    double d = aii;
+    for (idx_t k : pattern) {
+      const double lik = x[k] / diag[k];
+      x[k] = 0.0;
+      // Propagate to later columns of row i via column k of L (the
+      // entries appended so far all have row < i plus our own below).
+      for (idx_t p = l.colptr[k] + 1; p < col_fill[k]; ++p) {
+        x[l.rowind[p]] -= l.values[p] * lik;
+      }
+      d -= lik * lik;
+      l.rowind[col_fill[k]] = i;
+      l.values[col_fill[k]] = lik;
+      ++col_fill[k];
+    }
+    if (!(d > 0.0)) {
+      throw std::runtime_error(
+          "simple_cholesky: matrix is not positive definite at column " +
+          std::to_string(i));
+    }
+    diag[i] = std::sqrt(d);
+    l.rowind[l.colptr[i]] = i;
+    l.values[l.colptr[i]] = diag[i];
+    col_fill[i] = l.colptr[i] + 1;
+  }
+  return l;
+}
+
+std::vector<double> simple_solve(const sparse::CscMatrix& a,
+                                 const std::vector<double>& b) {
+  const auto l = simple_cholesky(a);
+  std::vector<double> x = b;
+  l.forward(x);
+  l.backward(x);
+  return x;
+}
+
+}  // namespace sympack::baseline

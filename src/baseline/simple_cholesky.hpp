@@ -1,0 +1,36 @@
+// Serial sparse Cholesky (up-looking, CSparse style): the correctness
+// oracle for the distributed solvers and a convenient sequential
+// reference for the examples.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace sympack::baseline {
+
+using sparse::idx_t;
+
+/// Sparse lower-triangular factor in CSC form.
+struct SparseFactor {
+  idx_t n = 0;
+  std::vector<idx_t> colptr;
+  std::vector<idx_t> rowind;
+  std::vector<double> values;
+
+  /// Solve L y = b in place.
+  void forward(std::vector<double>& b) const;
+  /// Solve L^T x = y in place.
+  void backward(std::vector<double>& b) const;
+};
+
+/// Up-looking sparse Cholesky of A (lower CSC). Throws std::runtime_error
+/// if A is not positive definite. No fill-reducing ordering is applied;
+/// permute beforehand if desired.
+SparseFactor simple_cholesky(const sparse::CscMatrix& a);
+
+/// Convenience: factor + solve A x = b.
+std::vector<double> simple_solve(const sparse::CscMatrix& a,
+                                 const std::vector<double>& b);
+
+}  // namespace sympack::baseline

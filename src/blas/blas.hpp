@@ -1,0 +1,66 @@
+// Dense linear-algebra kernels implemented from scratch.
+//
+// The paper's solver performs all block computation through four routines:
+// POTRF (diagonal factorization), TRSM (panel factorization), SYRK
+// (symmetric update) and GEMM (general update) — see symPACK paper §3.2.
+// This module provides those kernels (plus the Level-2 routines needed by
+// the triangular solves) for column-major double-precision matrices, with
+// BLAS-compatible semantics.
+//
+// All matrices are column-major with an explicit leading dimension.
+#pragma once
+
+#include <cstdint>
+
+namespace sympack::blas {
+
+enum class Trans { kNo, kYes };
+enum class Side { kLeft, kRight };
+enum class UpLo { kLower, kUpper };
+enum class Diag { kNonUnit, kUnit };
+
+/// C = alpha * op(A) * op(B) + beta * C, with op(X) = X or X^T.
+/// C is m-by-n, op(A) is m-by-k, op(B) is k-by-n.
+void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, double alpha,
+          const double* a, int lda, const double* b, int ldb, double beta,
+          double* c, int ldc);
+
+/// Symmetric rank-k update. trans == kNo:  C = alpha*A*A^T + beta*C with
+/// A n-by-k; trans == kYes: C = alpha*A^T*A + beta*C with A k-by-n.
+/// Only the `uplo` triangle of C is referenced and updated.
+void syrk(UpLo uplo, Trans trans, int n, int k, double alpha, const double* a,
+          int lda, double beta, double* c, int ldc);
+
+/// Triangular solve with multiple right-hand sides:
+/// side == kLeft:  op(A) * X = alpha * B;  side == kRight: X * op(A) = alpha*B.
+/// B (m-by-n) is overwritten with X. A is triangular per `uplo`/`diag`.
+void trsm(Side side, UpLo uplo, Trans trans_a, Diag diag, int m, int n,
+          double alpha, const double* a, int lda, double* b, int ldb);
+
+/// Cholesky factorization of the `uplo` triangle of A (n-by-n), in place.
+/// Returns 0 on success, or j (1-based) if the leading minor of order j is
+/// not positive definite.
+int potrf(UpLo uplo, int n, double* a, int lda);
+
+/// y = alpha * op(A) * x + beta * y. A is m-by-n.
+void gemv(Trans trans, int m, int n, double alpha, const double* a, int lda,
+          const double* x, int incx, double beta, double* y, int incy);
+
+/// Solve op(A) * x = b in place (x overwrites b). A triangular n-by-n.
+void trsv(UpLo uplo, Trans trans, Diag diag, int n, const double* a, int lda,
+          double* x, int incx);
+
+/// Frobenius norm of an m-by-n matrix.
+double frobenius_norm(int m, int n, const double* a, int lda);
+
+/// max |a_ij| of an m-by-n matrix.
+double max_abs(int m, int n, const double* a, int lda);
+
+/// Flop counts for the four solver kernels (used by the performance model
+/// and the Report). These follow the standard LAPACK conventions.
+std::int64_t gemm_flops(int m, int n, int k);
+std::int64_t syrk_flops(int n, int k);
+std::int64_t trsm_flops(Side side, int m, int n);
+std::int64_t potrf_flops(int n);
+
+}  // namespace sympack::blas

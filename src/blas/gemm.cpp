@@ -1,0 +1,136 @@
+#include "blas/blas.hpp"
+
+#include <cassert>
+
+namespace sympack::blas {
+namespace {
+
+// Scale the m-by-n matrix C by beta (handles beta == 0 without reading C,
+// so uninitialized output buffers are legal, as in reference BLAS).
+void scale_c(int m, int n, double beta, double* c, int ldc) {
+  if (beta == 1.0) return;
+  for (int j = 0; j < n; ++j) {
+    double* col = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    if (beta == 0.0) {
+      for (int i = 0; i < m; ++i) col[i] = 0.0;
+    } else {
+      for (int i = 0; i < m; ++i) col[i] *= beta;
+    }
+  }
+}
+
+// C += alpha * A * B. Unit-stride saxpy formulation: for each column j of C
+// and each l, C(:,j) += (alpha * B(l,j)) * A(:,l).
+void gemm_nn(int m, int n, int k, double alpha, const double* a, int lda,
+             const double* b, int ldb, double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    const double* bj = b + static_cast<std::ptrdiff_t>(j) * ldb;
+    int l = 0;
+    // Unroll by 4 over the reduction dimension to expose ILP.
+    for (; l + 3 < k; l += 4) {
+      const double w0 = alpha * bj[l + 0];
+      const double w1 = alpha * bj[l + 1];
+      const double w2 = alpha * bj[l + 2];
+      const double w3 = alpha * bj[l + 3];
+      const double* a0 = a + static_cast<std::ptrdiff_t>(l + 0) * lda;
+      const double* a1 = a + static_cast<std::ptrdiff_t>(l + 1) * lda;
+      const double* a2 = a + static_cast<std::ptrdiff_t>(l + 2) * lda;
+      const double* a3 = a + static_cast<std::ptrdiff_t>(l + 3) * lda;
+      for (int i = 0; i < m; ++i) {
+        cj[i] += w0 * a0[i] + w1 * a1[i] + w2 * a2[i] + w3 * a3[i];
+      }
+    }
+    for (; l < k; ++l) {
+      const double w = alpha * bj[l];
+      const double* al = a + static_cast<std::ptrdiff_t>(l) * lda;
+      for (int i = 0; i < m; ++i) cj[i] += w * al[i];
+    }
+  }
+}
+
+// C += alpha * A * B^T. op(B)(l,j) = B(j,l), so columns of op(B) are rows
+// of B; same saxpy structure with strided access into B.
+void gemm_nt(int m, int n, int k, double alpha, const double* a, int lda,
+             const double* b, int ldb, double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    int l = 0;
+    for (; l + 3 < k; l += 4) {
+      const double w0 = alpha * b[j + static_cast<std::ptrdiff_t>(l + 0) * ldb];
+      const double w1 = alpha * b[j + static_cast<std::ptrdiff_t>(l + 1) * ldb];
+      const double w2 = alpha * b[j + static_cast<std::ptrdiff_t>(l + 2) * ldb];
+      const double w3 = alpha * b[j + static_cast<std::ptrdiff_t>(l + 3) * ldb];
+      const double* a0 = a + static_cast<std::ptrdiff_t>(l + 0) * lda;
+      const double* a1 = a + static_cast<std::ptrdiff_t>(l + 1) * lda;
+      const double* a2 = a + static_cast<std::ptrdiff_t>(l + 2) * lda;
+      const double* a3 = a + static_cast<std::ptrdiff_t>(l + 3) * lda;
+      for (int i = 0; i < m; ++i) {
+        cj[i] += w0 * a0[i] + w1 * a1[i] + w2 * a2[i] + w3 * a3[i];
+      }
+    }
+    for (; l < k; ++l) {
+      const double w = alpha * b[j + static_cast<std::ptrdiff_t>(l) * ldb];
+      const double* al = a + static_cast<std::ptrdiff_t>(l) * lda;
+      for (int i = 0; i < m; ++i) cj[i] += w * al[i];
+    }
+  }
+}
+
+// C += alpha * A^T * B. Dot-product formulation: C(i,j) += A(:,i) . B(:,j).
+void gemm_tn(int m, int n, int k, double alpha, const double* a, int lda,
+             const double* b, int ldb, double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    const double* bj = b + static_cast<std::ptrdiff_t>(j) * ldb;
+    for (int i = 0; i < m; ++i) {
+      const double* ai = a + static_cast<std::ptrdiff_t>(i) * lda;
+      double acc = 0.0;
+      for (int l = 0; l < k; ++l) acc += ai[l] * bj[l];
+      cj[i] += alpha * acc;
+    }
+  }
+}
+
+// C += alpha * A^T * B^T: C(i,j) += sum_l A(l,i) * B(j,l).
+void gemm_tt(int m, int n, int k, double alpha, const double* a, int lda,
+             const double* b, int ldb, double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    for (int i = 0; i < m; ++i) {
+      const double* ai = a + static_cast<std::ptrdiff_t>(i) * lda;
+      double acc = 0.0;
+      for (int l = 0; l < k; ++l) {
+        acc += ai[l] * b[j + static_cast<std::ptrdiff_t>(l) * ldb];
+      }
+      cj[i] += alpha * acc;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, double alpha,
+          const double* a, int lda, const double* b, int ldb, double beta,
+          double* c, int ldc) {
+  assert(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  scale_c(m, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0) return;
+
+  if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
+    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (trans_a == Trans::kNo && trans_b == Trans::kYes) {
+    gemm_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (trans_a == Trans::kYes && trans_b == Trans::kNo) {
+    gemm_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else {
+    gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  }
+}
+
+std::int64_t gemm_flops(int m, int n, int k) {
+  return 2ll * m * n * k;
+}
+
+}  // namespace sympack::blas

@@ -1,0 +1,78 @@
+#include "blas/blas.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+namespace sympack::blas {
+
+void gemv(Trans trans, int m, int n, double alpha, const double* a, int lda,
+          const double* x, int incx, double beta, double* y, int incy) {
+  assert(m >= 0 && n >= 0);
+  const int ylen = (trans == Trans::kNo) ? m : n;
+  if (beta != 1.0) {
+    for (int i = 0; i < ylen; ++i) {
+      y[static_cast<std::ptrdiff_t>(i) * incy] =
+          beta == 0.0 ? 0.0 : beta * y[static_cast<std::ptrdiff_t>(i) * incy];
+    }
+  }
+  if (alpha == 0.0) return;
+
+  if (trans == Trans::kNo) {
+    // y += alpha * A * x — saxpy over columns.
+    for (int j = 0; j < n; ++j) {
+      const double w = alpha * x[static_cast<std::ptrdiff_t>(j) * incx];
+      if (w == 0.0) continue;
+      const double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+      for (int i = 0; i < m; ++i) {
+        y[static_cast<std::ptrdiff_t>(i) * incy] += w * aj[i];
+      }
+    }
+  } else {
+    // y += alpha * A^T * x — dot over columns.
+    for (int j = 0; j < n; ++j) {
+      const double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+      double acc = 0.0;
+      for (int i = 0; i < m; ++i) {
+        acc += aj[i] * x[static_cast<std::ptrdiff_t>(i) * incx];
+      }
+      y[static_cast<std::ptrdiff_t>(j) * incy] += alpha * acc;
+    }
+  }
+}
+
+void trsv(UpLo uplo, Trans trans, Diag diag, int n, const double* a, int lda,
+          double* x, int incx) {
+  assert(n >= 0);
+  if (n == 0) return;
+  // Delegate to trsm with a single right-hand side when the stride is 1;
+  // otherwise use an explicit loop.
+  if (incx == 1) {
+    trsm(Side::kLeft, uplo, trans, diag, n, 1, 1.0, a, lda, x, n);
+    return;
+  }
+  const bool unit = diag == Diag::kUnit;
+  const bool forward = (uplo == UpLo::kLower) == (trans == Trans::kNo);
+  auto xi = [&](int i) -> double& {
+    return x[static_cast<std::ptrdiff_t>(i) * incx];
+  };
+  auto aij = [&](int i, int j) {
+    return (trans == Trans::kNo)
+               ? a[i + static_cast<std::ptrdiff_t>(j) * lda]
+               : a[j + static_cast<std::ptrdiff_t>(i) * lda];
+  };
+  if (forward) {
+    for (int i = 0; i < n; ++i) {
+      double acc = xi(i);
+      for (int l = 0; l < i; ++l) acc -= aij(i, l) * xi(l);
+      xi(i) = unit ? acc : acc / aij(i, i);
+    }
+  } else {
+    for (int i = n - 1; i >= 0; --i) {
+      double acc = xi(i);
+      for (int l = i + 1; l < n; ++l) acc -= aij(i, l) * xi(l);
+      xi(i) = unit ? acc : acc / aij(i, i);
+    }
+  }
+}
+
+}  // namespace sympack::blas

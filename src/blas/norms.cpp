@@ -1,0 +1,27 @@
+#include "blas/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace sympack::blas {
+
+double frobenius_norm(int m, int n, const double* a, int lda) {
+  double sum = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+    for (int i = 0; i < m; ++i) sum += aj[i] * aj[i];
+  }
+  return std::sqrt(sum);
+}
+
+double max_abs(int m, int n, const double* a, int lda) {
+  double best = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+    for (int i = 0; i < m; ++i) best = std::max(best, std::fabs(aj[i]));
+  }
+  return best;
+}
+
+}  // namespace sympack::blas

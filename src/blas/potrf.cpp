@@ -1,0 +1,95 @@
+#include "blas/blas.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+namespace sympack::blas {
+namespace {
+
+constexpr int kPanel = 64;  // blocking factor for the recursive update
+
+// Unblocked lower Cholesky of the leading n-by-n block. Returns 0 or the
+// 1-based index of the first non-positive pivot.
+int potrf_lower_unblocked(int n, double* a, int lda, int pivot_offset) {
+  for (int j = 0; j < n; ++j) {
+    double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+    // a(j,j) -= sum_{l<j} a(j,l)^2
+    double d = aj[j];
+    for (int l = 0; l < j; ++l) {
+      const double v = a[j + static_cast<std::ptrdiff_t>(l) * lda];
+      d -= v * v;
+    }
+    if (!(d > 0.0)) return pivot_offset + j + 1;  // catches NaN too
+    d = std::sqrt(d);
+    aj[j] = d;
+    // a(i,j) = (a(i,j) - sum_{l<j} a(i,l) a(j,l)) / d for i > j
+    for (int l = 0; l < j; ++l) {
+      const double* al = a + static_cast<std::ptrdiff_t>(l) * lda;
+      const double w = al[j];
+      if (w == 0.0) continue;
+      for (int i = j + 1; i < n; ++i) aj[i] -= w * al[i];
+    }
+    const double inv = 1.0 / d;
+    for (int i = j + 1; i < n; ++i) aj[i] *= inv;
+  }
+  return 0;
+}
+
+int potrf_lower(int n, double* a, int lda) {
+  for (int k = 0; k < n; k += kPanel) {
+    const int nb = std::min(kPanel, n - k);
+    double* akk = a + k + static_cast<std::ptrdiff_t>(k) * lda;
+    const int info = potrf_lower_unblocked(nb, akk, lda, k);
+    if (info != 0) return info;
+    const int rest = n - k - nb;
+    if (rest > 0) {
+      double* aik = a + (k + nb) + static_cast<std::ptrdiff_t>(k) * lda;
+      // A21 = A21 * L11^{-T}
+      trsm(Side::kRight, UpLo::kLower, Trans::kYes, Diag::kNonUnit, rest, nb,
+           1.0, akk, lda, aik, lda);
+      // A22 -= A21 * A21^T (lower triangle)
+      double* a22 =
+          a + (k + nb) + static_cast<std::ptrdiff_t>(k + nb) * lda;
+      syrk(UpLo::kLower, Trans::kNo, rest, nb, -1.0, aik, lda, 1.0, a22, lda);
+    }
+  }
+  return 0;
+}
+
+// Upper variant implemented by the textbook j-loop; used rarely (tests).
+int potrf_upper(int n, double* a, int lda) {
+  for (int j = 0; j < n; ++j) {
+    double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+    double d = aj[j];
+    for (int l = 0; l < j; ++l) d -= aj[l] * aj[l];
+    if (!(d > 0.0)) return j + 1;
+    d = std::sqrt(d);
+    aj[j] = d;
+    const double inv = 1.0 / d;
+    for (int i = j + 1; i < n; ++i) {
+      double* ai = a + static_cast<std::ptrdiff_t>(i) * lda;
+      double acc = ai[j];
+      for (int l = 0; l < j; ++l) acc -= aj[l] * ai[l];
+      ai[j] = acc * inv;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int potrf(UpLo uplo, int n, double* a, int lda) {
+  assert(n >= 0);
+  if (n == 0) return 0;
+  return uplo == UpLo::kLower ? potrf_lower(n, a, lda)
+                              : potrf_upper(n, a, lda);
+}
+
+std::int64_t potrf_flops(int n) {
+  const std::int64_t nn = n;
+  return nn * nn * nn / 3 + nn * nn / 2;
+}
+
+}  // namespace sympack::blas

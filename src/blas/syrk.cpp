@@ -1,0 +1,67 @@
+#include "blas/blas.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+namespace sympack::blas {
+namespace {
+
+void scale_triangle(UpLo uplo, int n, double beta, double* c, int ldc) {
+  if (beta == 1.0) return;
+  for (int j = 0; j < n; ++j) {
+    double* col = c + static_cast<std::ptrdiff_t>(j) * ldc;
+    const int lo = (uplo == UpLo::kLower) ? j : 0;
+    const int hi = (uplo == UpLo::kLower) ? n : j + 1;
+    if (beta == 0.0) {
+      for (int i = lo; i < hi; ++i) col[i] = 0.0;
+    } else {
+      for (int i = lo; i < hi; ++i) col[i] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+void syrk(UpLo uplo, Trans trans, int n, int k, double alpha, const double* a,
+          int lda, double beta, double* c, int ldc) {
+  assert(n >= 0 && k >= 0);
+  if (n == 0) return;
+  scale_triangle(uplo, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0) return;
+
+  if (trans == Trans::kNo) {
+    // C(uplo) += alpha * A * A^T, A is n-by-k. Saxpy formulation over the
+    // referenced triangle only.
+    for (int j = 0; j < n; ++j) {
+      double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+      const int lo = (uplo == UpLo::kLower) ? j : 0;
+      const int hi = (uplo == UpLo::kLower) ? n : j + 1;
+      for (int l = 0; l < k; ++l) {
+        const double* al = a + static_cast<std::ptrdiff_t>(l) * lda;
+        const double w = alpha * al[j];
+        if (w == 0.0) continue;
+        for (int i = lo; i < hi; ++i) cj[i] += w * al[i];
+      }
+    }
+  } else {
+    // C(uplo) += alpha * A^T * A, A is k-by-n. Dot-product formulation.
+    for (int j = 0; j < n; ++j) {
+      double* cj = c + static_cast<std::ptrdiff_t>(j) * ldc;
+      const double* aj = a + static_cast<std::ptrdiff_t>(j) * lda;
+      const int lo = (uplo == UpLo::kLower) ? j : 0;
+      const int hi = (uplo == UpLo::kLower) ? n : j + 1;
+      for (int i = lo; i < hi; ++i) {
+        const double* ai = a + static_cast<std::ptrdiff_t>(i) * lda;
+        double acc = 0.0;
+        for (int l = 0; l < k; ++l) acc += ai[l] * aj[l];
+        cj[i] += alpha * acc;
+      }
+    }
+  }
+}
+
+std::int64_t syrk_flops(int n, int k) {
+  return static_cast<std::int64_t>(n) * (n + 1) * k;
+}
+
+}  // namespace sympack::blas

@@ -1,0 +1,137 @@
+#include "blas/blas.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+namespace sympack::blas {
+namespace {
+
+inline const double* col(const double* a, int j, int lda) {
+  return a + static_cast<std::ptrdiff_t>(j) * lda;
+}
+inline double* col(double* a, int j, int lda) {
+  return a + static_cast<std::ptrdiff_t>(j) * lda;
+}
+
+void scale_b(int m, int n, double alpha, double* b, int ldb) {
+  if (alpha == 1.0) return;
+  for (int j = 0; j < n; ++j) {
+    double* bj = col(b, j, ldb);
+    for (int i = 0; i < m; ++i) bj[i] *= alpha;
+  }
+}
+
+// Solve op(A) X = B (left side) for each column of B independently.
+void trsm_left(UpLo uplo, Trans trans, Diag diag, int m, int n,
+               const double* a, int lda, double* b, int ldb) {
+  const bool unit = diag == Diag::kUnit;
+  const bool forward = (uplo == UpLo::kLower) == (trans == Trans::kNo);
+  for (int j = 0; j < n; ++j) {
+    double* x = col(b, j, ldb);
+    if (trans == Trans::kNo) {
+      // Saxpy substitution: eliminate variable l, then subtract its
+      // contribution from the remaining entries using column l of A.
+      if (forward) {
+        for (int l = 0; l < m; ++l) {
+          const double* al = col(a, l, lda);
+          if (!unit) x[l] /= al[l];
+          const double xl = x[l];
+          for (int i = l + 1; i < m; ++i) x[i] -= xl * al[i];
+        }
+      } else {
+        for (int l = m - 1; l >= 0; --l) {
+          const double* al = col(a, l, lda);
+          if (!unit) x[l] /= al[l];
+          const double xl = x[l];
+          for (int i = 0; i < l; ++i) x[i] -= xl * al[i];
+        }
+      }
+    } else {
+      // Dot-product substitution against column l of A (op(A)(l,i)=A(i,l)).
+      if (forward) {
+        // A is upper: op(A)=A^T is lower; traverse l ascending.
+        for (int l = 0; l < m; ++l) {
+          const double* al = col(a, l, lda);
+          double acc = x[l];
+          for (int i = 0; i < l; ++i) acc -= al[i] * x[i];
+          x[l] = unit ? acc : acc / al[l];
+        }
+      } else {
+        // A is lower: op(A)=A^T is upper; traverse l descending.
+        for (int l = m - 1; l >= 0; --l) {
+          const double* al = col(a, l, lda);
+          double acc = x[l];
+          for (int i = l + 1; i < m; ++i) acc -= al[i] * x[i];
+          x[l] = unit ? acc : acc / al[l];
+        }
+      }
+    }
+  }
+}
+
+// Solve X op(A) = B (right side). Columns of X are resolved in dependency
+// order; each resolved column is scaled then used to update the others.
+void trsm_right(UpLo uplo, Trans trans, Diag diag, int m, int n,
+                const double* a, int lda, double* b, int ldb) {
+  const bool unit = diag == Diag::kUnit;
+  // Column j of X depends on columns "before" it in this traversal order:
+  //   lower/no-trans and upper/trans: descending; otherwise ascending.
+  const bool ascending = (uplo == UpLo::kLower) == (trans == Trans::kYes);
+
+  auto coeff = [&](int l, int j) {
+    // Coefficient multiplying X(:,l) in the equation for B(:,j):
+    // op(A)(l,j) — A(l,j) if no-trans else A(j,l).
+    return (trans == Trans::kNo) ? col(a, j, lda)[l] : col(a, l, lda)[j];
+  };
+
+  auto solve_column = [&](int j) {
+    double* xj = col(b, j, ldb);
+    if (!unit) {
+      const double d = col(a, j, lda)[j];
+      for (int i = 0; i < m; ++i) xj[i] /= d;
+    }
+  };
+  auto eliminate = [&](int l, int j) {
+    // B(:,j) -= X(:,l) * op(A)(l,j)
+    const double w = coeff(l, j);
+    if (w == 0.0) return;
+    const double* xl = col(b, l, ldb);
+    double* bj = col(b, j, ldb);
+    for (int i = 0; i < m; ++i) bj[i] -= w * xl[i];
+  };
+
+  if (ascending) {
+    for (int j = 0; j < n; ++j) {
+      solve_column(j);
+      for (int t = j + 1; t < n; ++t) eliminate(j, t);
+    }
+  } else {
+    for (int j = n - 1; j >= 0; --j) {
+      solve_column(j);
+      for (int t = 0; t < j; ++t) eliminate(j, t);
+    }
+  }
+}
+
+}  // namespace
+
+void trsm(Side side, UpLo uplo, Trans trans_a, Diag diag, int m, int n,
+          double alpha, const double* a, int lda, double* b, int ldb) {
+  assert(m >= 0 && n >= 0);
+  if (m == 0 || n == 0) return;
+  scale_b(m, n, alpha, b, ldb);
+  if (side == Side::kLeft) {
+    trsm_left(uplo, trans_a, diag, m, n, a, lda, b, ldb);
+  } else {
+    trsm_right(uplo, trans_a, diag, m, n, a, lda, b, ldb);
+  }
+}
+
+std::int64_t trsm_flops(Side side, int m, int n) {
+  // One triangular solve costs k^2 flops per vector of length k applied to
+  // the other dimension.
+  if (side == Side::kLeft) return static_cast<std::int64_t>(n) * m * m;
+  return static_cast<std::int64_t>(m) * n * n;
+}
+
+}  // namespace sympack::blas

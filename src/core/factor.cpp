@@ -1,0 +1,453 @@
+#include "core/factor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace sympack::core {
+
+FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
+                           const symbolic::TaskGraph& tg, BlockStore& store,
+                           Offload& offload, const SolverOptions& opts,
+                           Tracer* tracer)
+    : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
+      opts_(opts), tracer_(tracer) {
+  per_rank_.resize(rt.nranks());
+  // Supernodal elimination-tree depths for the critical-path policy.
+  // The parent of a supernode holds its first below-row; parents have
+  // larger indices, so a descending sweep resolves all depths.
+  const idx_t ns = sym.num_snodes();
+  snode_depth_.assign(ns, 0);
+  for (idx_t k = ns - 1; k >= 0; --k) {
+    const auto& below = sym.snode(k).below;
+    if (!below.empty()) {
+      snode_depth_[k] = snode_depth_[sym.snode_of(below.front())] + 1;
+    }
+  }
+  const idx_t nb = store.num_blocks();
+  remaining_.resize(nb);
+  ready_.assign(nb, 0.0);
+  for (idx_t k = 0; k < sym.num_snodes(); ++k) {
+    const idx_t nslots = 1 + static_cast<idx_t>(sym.snode(k).blocks.size());
+    for (BlockSlot slot = 0; slot < nslots; ++slot) {
+      const idx_t bid = store.block_id(k, slot);
+      // F tasks additionally wait for the panel's diagonal factor.
+      remaining_[bid] = static_cast<int>(tg.update_count(k, slot)) +
+                        (slot == 0 ? 0 : 1);
+      // Seed the RTQ: diagonal blocks with no incoming updates.
+      if (slot == 0 && remaining_[bid] == 0) {
+        push_ready(per_rank_[store.owner(bid)],
+                   Task{TaskType::kDiag, k, 0, 0, 0, 0.0});
+      }
+    }
+  }
+}
+
+void FactorEngine::run() {
+  rt_->drive([this](pgas::Rank& rank) { return step(rank); });
+}
+
+pgas::Step FactorEngine::step(pgas::Rank& rank) {
+  PerRank& pr = per_rank_[rank.id()];
+  int worked = rank.progress();
+
+  if (!pr.signals.empty()) {
+    std::vector<Signal> sigs;
+    sigs.swap(pr.signals);
+    for (const Signal& sig : sigs) handle_signal(rank, sig);
+    worked += static_cast<int>(sigs.size());
+  }
+
+  if (!pr.rtq.empty()) {
+    const Task task = pop_ready(pr);
+    execute(rank, task);
+    ++worked;
+  }
+
+  if (worked > 0) return pgas::Step::kWorked;
+
+  const int me = rank.id();
+  const bool done = pr.done_factor == tg_->owned_factor_tasks(me) &&
+                    pr.done_update == tg_->owned_update_tasks(me) &&
+                    pr.rtq.empty() && pr.signals.empty() &&
+                    !rank.has_pending_rpcs();
+  return done ? pgas::Step::kDone : pgas::Step::kIdle;
+}
+
+int FactorEngine::local_uses(int rank, idx_t k, BlockSlot slot) const {
+  const auto& sn = sym_->snode(k);
+  const auto& map = tg_->mapping();
+  const idx_t nb = static_cast<idx_t>(sn.blocks.size());
+  int uses = 0;
+  if (slot == 0) {
+    for (idx_t fs = 1; fs <= nb; ++fs) {
+      if (map(sn.blocks[fs - 1].target, k) == rank) ++uses;
+    }
+    return uses;
+  }
+  const idx_t si = slot;
+  const idx_t s = sn.blocks[si - 1].target;
+  for (idx_t ti = 1; ti <= si; ++ti) {
+    if (map(s, sn.blocks[ti - 1].target) == rank) ++uses;
+  }
+  for (idx_t si2 = si + 1; si2 <= nb; ++si2) {
+    if (map(sn.blocks[si2 - 1].target, s) == rank) ++uses;
+  }
+  return uses;
+}
+
+void FactorEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
+  const int me = rank.id();
+  const int uses = local_uses(me, sig.k, sig.slot);
+  if (uses == 0) return;  // defensive; senders target consumers only
+
+  const idx_t bid = store_->block_id(sig.k, sig.slot);
+  const std::size_t bytes = store_->bytes(bid);
+  const auto elems =
+      static_cast<std::int64_t>(store_->nrows(bid)) * store_->ncols(bid);
+
+  RemoteFactor rf;
+  rf.remaining_uses = uses;
+  bool on_device = offload_->device_resident(elems);
+  double ready;
+  if (store_->numeric()) {
+    const double* data = nullptr;
+    if (on_device) {
+      // "GPU block": fetch straight into device memory, skipping the
+      // host staging hop (paper §4.2). Falls back to a host buffer when
+      // the device segment is full.
+      rf.device = rank.allocate_device(bytes, /*nothrow=*/true);
+      if (rf.device.is_null()) on_device = false;
+    }
+    if (on_device) {
+      ready = rank.rget(store_->gptr(bid), rf.device.addr, bytes,
+                        pgas::MemKind::kDevice);
+      data = rf.device.local<double>();
+    } else {
+      rf.host.resize(static_cast<std::size_t>(elems));
+      ready = rank.rget(store_->gptr(bid),
+                        reinterpret_cast<std::byte*>(rf.host.data()), bytes,
+                        pgas::MemKind::kHost);
+      data = rf.host.data();
+    }
+    rf.ref = FactorRef{data, ready, on_device, bid};
+  } else {
+    // Protocol-only mode: no buffers move, but the transfer is charged
+    // and counted identically.
+    ready = rank.transfer_completion(
+        bytes, store_->owner(bid), pgas::MemKind::kHost,
+        on_device ? pgas::MemKind::kDevice : pgas::MemKind::kHost);
+    rank.advance(rt_->model().rma_issue_s);
+    ++rank.stats().gets;
+    rank.stats().bytes_from_host += bytes;
+    if (on_device) rank.stats().bytes_to_device += bytes;
+    rf.ref = FactorRef{nullptr, ready, on_device, bid};
+  }
+
+  auto [it, inserted] =
+      per_rank_[me].cache.emplace(bid, std::move(rf));
+  (void)inserted;
+  deliver(rank, sig.k, sig.slot, it->second.ref);
+}
+
+void FactorEngine::deliver(pgas::Rank& rank, idx_t k, BlockSlot slot,
+                           const FactorRef& ref) {
+  const int me = rank.id();
+  PerRank& pr = per_rank_[me];
+  const auto& sn = sym_->snode(k);
+  const auto& map = tg_->mapping();
+  const idx_t nb = static_cast<idx_t>(sn.blocks.size());
+
+  if (slot == 0) {
+    // Diagonal factor L_{k,k}: enables the panel's F tasks owned here.
+    pr.diag_ref[k] = ref;
+    for (idx_t fs = 1; fs <= nb; ++fs) {
+      if (map(sn.blocks[fs - 1].target, k) != me) continue;
+      const idx_t bid = store_->block_id(k, fs);
+      ready_[bid] = std::max(ready_[bid], ref.ready);
+      if (--remaining_[bid] == 0) {
+        push_ready(pr, Task{TaskType::kFactor, k, fs, 0, 0, ready_[bid]});
+      }
+    }
+    return;
+  }
+
+  const idx_t si = slot;
+  const idx_t s = sn.blocks[si - 1].target;
+  // As the source operand of U_{s,k,t}, t <= s (includes the SYRK task
+  // at ti == si, which has a single operand).
+  for (idx_t ti = 1; ti <= si; ++ti) {
+    if (map(s, sn.blocks[ti - 1].target) == me) {
+      satisfy_update(rank, k, si, ti, ref, /*as_source=*/true);
+    }
+  }
+  // As the pivot operand of U_{s',k,s}, s' > s (strictly, so the SYRK
+  // task is not double-counted).
+  for (idx_t si2 = si + 1; si2 <= nb; ++si2) {
+    if (map(sn.blocks[si2 - 1].target, s) == me) {
+      satisfy_update(rank, k, si2, si, ref, /*as_source=*/false);
+    }
+  }
+}
+
+void FactorEngine::satisfy_update(pgas::Rank& rank, idx_t j, idx_t si,
+                                  idx_t ti, const FactorRef& ref,
+                                  bool as_source) {
+  PerRank& pr = per_rank_[rank.id()];
+  const std::uint64_t key = ukey(j, si, ti);
+  auto [it, inserted] = pr.pending_updates.try_emplace(key);
+  UpdateState& st = it->second;
+  if (inserted) st.remaining = (si == ti) ? 1 : 2;
+  if (as_source) {
+    st.src = ref;
+    if (si == ti) st.piv = ref;  // SYRK: one block plays both roles
+  } else {
+    st.piv = ref;
+  }
+  if (--st.remaining == 0) {
+    const double ready = std::max(st.src.ready, st.piv.ready);
+    push_ready(pr, Task{TaskType::kUpdate, j, 0, si, ti, ready});
+  }
+}
+
+void FactorEngine::publish(pgas::Rank& rank, idx_t k, BlockSlot slot) {
+  ++per_rank_[rank.id()].done_factor;
+  // Local consumers are satisfied directly (no message, data in place).
+  if (local_uses(rank.id(), k, slot) > 0) {
+    const idx_t bid = store_->block_id(k, slot);
+    deliver(rank, k, slot,
+            FactorRef{store_->data(bid), rank.now(), false, -1});
+  }
+  // Remote consumers get a signal RPC (Fig. 4 step 1); they will pull
+  // the block with a one-sided get when they next poll.
+  for (int r : tg_->recipients(k, slot)) {
+    rank.rpc(r, [this, k, slot](pgas::Rank& target) {
+      per_rank_[target.id()].signals.push_back(Signal{k, slot});
+    });
+  }
+}
+
+void FactorEngine::execute(pgas::Rank& rank, const Task& task) {
+  rank.merge_clock(task.ready);
+  const double begin = rank.now();
+  switch (task.type) {
+    case TaskType::kDiag: execute_diag(rank, task); break;
+    case TaskType::kFactor: execute_factor(rank, task); break;
+    case TaskType::kUpdate: execute_update(rank, task); break;
+  }
+  if (tracer_ != nullptr) {
+    char name[48];
+    switch (task.type) {
+      case TaskType::kDiag:
+        std::snprintf(name, sizeof name, "D %lld",
+                      static_cast<long long>(task.k));
+        break;
+      case TaskType::kFactor:
+        std::snprintf(name, sizeof name, "F %lld:%lld",
+                      static_cast<long long>(task.k),
+                      static_cast<long long>(task.slot));
+        break;
+      case TaskType::kUpdate:
+        std::snprintf(name, sizeof name, "U %lld:%lld:%lld",
+                      static_cast<long long>(task.k),
+                      static_cast<long long>(task.si),
+                      static_cast<long long>(task.ti));
+        break;
+    }
+    tracer_->record(rank.id(), name, begin, rank.now());
+  }
+}
+
+void FactorEngine::execute_diag(pgas::Rank& rank, const Task& task) {
+  const auto& sn = sym_->snode(task.k);
+  const int w = static_cast<int>(sn.width());
+  const idx_t bid = store_->block_id(task.k, 0);
+  const int info = offload_->run_potrf(rank, w, store_->data(bid), w);
+  if (info != 0) {
+    throw std::runtime_error(
+        "sympack: matrix is not positive definite (pivot failure at "
+        "column " +
+        std::to_string(sn.first + info - 1) + ")");
+  }
+  publish(rank, task.k, 0);
+}
+
+void FactorEngine::execute_factor(pgas::Rank& rank, const Task& task) {
+  PerRank& pr = per_rank_[rank.id()];
+  const auto& sn = sym_->snode(task.k);
+  const int w = static_cast<int>(sn.width());
+  const idx_t bid = store_->block_id(task.k, task.slot);
+  const int m = static_cast<int>(store_->nrows(bid));
+
+  const auto diag_it = pr.diag_ref.find(task.k);
+  if (diag_it == pr.diag_ref.end()) {
+    throw std::logic_error("FactorEngine: F task ran before its diagonal");
+  }
+  const FactorRef diag = diag_it->second;  // copy: publish may rehash
+  offload_->run_trsm(rank, m, w, diag.data, w, store_->data(bid), m,
+                     diag.on_device);
+  publish(rank, task.k, task.slot);
+  // Each F task accounts for one use of the (possibly remote, possibly
+  // device-resident) diagonal factor; the cache entry is freed with the
+  // last one.
+  release_ref(rank, diag);
+}
+
+void FactorEngine::execute_update(pgas::Rank& rank, const Task& task) {
+  PerRank& pr = per_rank_[rank.id()];
+  const idx_t j = task.k;
+  const auto& sn = sym_->snode(j);
+  const int w = static_cast<int>(sn.width());
+
+  const auto it = pr.pending_updates.find(ukey(j, task.si, task.ti));
+  if (it == pr.pending_updates.end()) {
+    throw std::logic_error("FactorEngine: update task without state");
+  }
+  const UpdateState st = it->second;
+  pr.pending_updates.erase(it);
+
+  const auto& sblk = sn.blocks[task.si - 1];
+  const auto& tblk = sn.blocks[task.ti - 1];
+  const idx_t s = sblk.target;
+  const idx_t t = tblk.target;
+  const int m = static_cast<int>(sblk.nrows);
+  const int np = static_cast<int>(tblk.nrows);
+  const auto& tgt_sn = sym_->snode(t);
+  const bool numeric = store_->numeric();
+
+  if (s == t) {
+    // SYRK: update the diagonal block of supernode t.
+    const idx_t tbid = store_->block_id(t, 0);
+    if (numeric) {
+      std::vector<double> scratch(static_cast<std::size_t>(m) * m, 0.0);
+      offload_->run_syrk(rank, m, w, st.src.data, m, scratch.data(), m,
+                         st.src.on_device);
+      // Scatter-add (scratch holds -L L^T on its lower triangle).
+      double* target = store_->data(tbid);
+      const idx_t ld = store_->nrows(tbid);
+      for (int c = 0; c < m; ++c) {
+        const idx_t gc = sn.below[sblk.row_off + c] - tgt_sn.first;
+        for (int r = c; r < m; ++r) {
+          const idx_t gr = sn.below[sblk.row_off + r] - tgt_sn.first;
+          target[gr + gc * ld] += scratch[r + static_cast<std::size_t>(c) * m];
+        }
+      }
+    } else {
+      offload_->run_syrk(rank, m, w, nullptr, m, nullptr, m,
+                         st.src.on_device);
+    }
+    offload_->charge_scatter(rank,
+                             sizeof(double) * static_cast<std::size_t>(m) * m);
+    complete_target_update(rank, t, 0);
+  } else {
+    // GEMM: update block B_{s,t} of supernode t.
+    const idx_t tslot = sym_->find_block(t, s) + 1;
+    const idx_t tbid = store_->block_id(t, tslot);
+    if (numeric) {
+      std::vector<double> scratch(static_cast<std::size_t>(m) * np);
+      offload_->run_gemm(rank, m, np, w, st.src.data, m, st.piv.data, np,
+                         scratch.data(), m, st.src.on_device,
+                         st.piv.on_device);
+      double* target = store_->data(tbid);
+      const idx_t ld = store_->nrows(tbid);
+      for (int c = 0; c < np; ++c) {
+        const idx_t gc = sn.below[tblk.row_off + c] - tgt_sn.first;
+        for (int r = 0; r < m; ++r) {
+          const idx_t gr =
+              store_->row_offset_in_block(t, tslot, sn.below[sblk.row_off + r]);
+          target[gr + gc * ld] -= scratch[r + static_cast<std::size_t>(c) * m];
+        }
+      }
+    } else {
+      offload_->run_gemm(rank, m, np, w, nullptr, m, nullptr, np, nullptr, m,
+                         st.src.on_device, st.piv.on_device);
+    }
+    offload_->charge_scatter(
+        rank, sizeof(double) * static_cast<std::size_t>(m) * np);
+    complete_target_update(rank, t, tslot);
+  }
+
+  ++pr.done_update;
+  release_ref(rank, st.src);
+  if (task.si != task.ti) release_ref(rank, st.piv);
+}
+
+void FactorEngine::complete_target_update(pgas::Rank& rank, idx_t t,
+                                          BlockSlot slot) {
+  const idx_t bid = store_->block_id(t, slot);
+  ready_[bid] = std::max(ready_[bid], rank.now());
+  if (--remaining_[bid] == 0) {
+    push_ready(per_rank_[rank.id()],
+               Task{slot == 0 ? TaskType::kDiag : TaskType::kFactor, t, slot,
+                    0, 0, ready_[bid]});
+  }
+}
+
+void FactorEngine::release_ref(pgas::Rank& rank, const FactorRef& ref) {
+  if (ref.cache_bid < 0) return;
+  PerRank& pr = per_rank_[rank.id()];
+  const auto it = pr.cache.find(ref.cache_bid);
+  if (it == pr.cache.end()) return;
+  if (--it->second.remaining_uses == 0) {
+    if (!it->second.device.is_null()) rank.deallocate(it->second.device);
+    pr.cache.erase(it);
+  }
+}
+
+idx_t FactorEngine::task_depth(const Task& task) const {
+  if (task.type != TaskType::kUpdate) return snode_depth_[task.k];
+  const auto& sn = sym_->snode(task.k);
+  return snode_depth_[sn.blocks[task.ti - 1].target];
+}
+
+void FactorEngine::push_ready(PerRank& pr, Task task) {
+  pr.rtq.push_back(task);
+}
+
+FactorEngine::Task FactorEngine::pop_ready(PerRank& pr) {
+  switch (opts_.policy) {
+    case Policy::kFifo: {
+      const Task t = pr.rtq.front();
+      pr.rtq.pop_front();
+      return t;
+    }
+    case Policy::kLifo: {
+      const Task t = pr.rtq.back();
+      pr.rtq.pop_back();
+      return t;
+    }
+    case Policy::kPriority: {
+      // Lowest supernode first: drains the bottom of the elimination
+      // tree, which feeds the critical path.
+      auto best = pr.rtq.begin();
+      for (auto it = pr.rtq.begin(); it != pr.rtq.end(); ++it) {
+        if (it->k < best->k) best = it;
+      }
+      const Task t = *best;
+      pr.rtq.erase(best);
+      return t;
+    }
+    case Policy::kCriticalPath: {
+      // Deepest target supernode first: the task whose result feeds the
+      // longest remaining elimination-tree chain.
+      auto best = pr.rtq.begin();
+      idx_t best_depth = task_depth(*best);
+      for (auto it = std::next(pr.rtq.begin()); it != pr.rtq.end(); ++it) {
+        const idx_t d = task_depth(*it);
+        if (d > best_depth) {
+          best = it;
+          best_depth = d;
+        }
+      }
+      const Task t = *best;
+      pr.rtq.erase(best);
+      return t;
+    }
+  }
+  const Task t = pr.rtq.front();
+  pr.rtq.pop_front();
+  return t;
+}
+
+}  // namespace sympack::core

@@ -1,0 +1,138 @@
+// The fan-out numeric factorization engine (paper §3.2-§3.4, Figures 3-4).
+//
+// Every rank runs the same loop (one call = one "step"):
+//   1. progress(): execute incoming signal RPCs, which append to the
+//      local notification list (Fig. 4 steps 1/3/4);
+//   2. poll: for each notification, issue a one-sided rget of the factor
+//      block (into host memory, or directly into device memory for "GPU
+//      blocks") and decrement the dependency counters of the local tasks
+//      waiting on it (steps 5/6);
+//   3. pick one task from the ready-task queue (RTQ) per the scheduling
+//      policy and execute it.
+// Task completion publishes the produced factor block: dependent local
+// tasks are satisfied immediately and remote consumer ranks receive a
+// signal RPC. A rank is done when all of its statically assigned tasks
+// (its LTQ) have executed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_store.hpp"
+#include "core/offload.hpp"
+#include "core/options.hpp"
+#include "core/trace.hpp"
+#include "pgas/runtime.hpp"
+#include "symbolic/taskgraph.hpp"
+
+namespace sympack::core {
+
+class FactorEngine {
+ public:
+  FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
+               const symbolic::TaskGraph& tg, BlockStore& store,
+               Offload& offload, const SolverOptions& opts,
+               Tracer* tracer = nullptr);
+
+  /// Run the factorization to completion. Throws std::runtime_error if a
+  /// diagonal pivot fails (matrix not positive definite).
+  void run();
+
+ private:
+  // --- task representation -------------------------------------------
+  enum class TaskType : std::uint8_t { kDiag, kFactor, kUpdate };
+  struct Task {
+    TaskType type;
+    idx_t k = -1;        // supernode (D/F) or source panel j (U)
+    BlockSlot slot = 0;  // block slot (F); unused for D
+    idx_t si = 0, ti = 0;  // U: source/pivot block slots (>=1) in panel k
+    double ready = 0.0;    // earliest simulated start
+  };
+
+  /// Reference to factor-block data available at this rank (either a
+  /// pointer into local block storage or into a fetched remote copy).
+  struct FactorRef {
+    const double* data = nullptr;  // null in protocol-only mode
+    double ready = 0.0;
+    bool on_device = false;
+    idx_t cache_bid = -1;  // block id of the cache entry, -1 if local
+  };
+
+  struct RemoteFactor {
+    std::vector<double> host;  // host copy (when not device resident)
+    pgas::GlobalPtr device;    // device copy (when resident)
+    FactorRef ref;
+    int remaining_uses = 0;
+  };
+
+  struct UpdateState {
+    int remaining = 0;
+    FactorRef src;  // L_{s,j}
+    FactorRef piv;  // L_{t,j} (same as src for SYRK tasks)
+  };
+
+  struct Signal {
+    idx_t k;
+    BlockSlot slot;
+  };
+
+  struct PerRank {
+    std::deque<Task> rtq;
+    std::vector<Signal> signals;
+    std::unordered_map<std::uint64_t, UpdateState> pending_updates;
+    std::unordered_map<idx_t, RemoteFactor> cache;     // key: block id
+    std::unordered_map<idx_t, FactorRef> diag_ref;     // key: supernode
+    idx_t done_factor = 0;
+    idx_t done_update = 0;
+  };
+
+  static std::uint64_t ukey(idx_t j, idx_t si, idx_t ti) {
+    return (static_cast<std::uint64_t>(j) << 42) |
+           (static_cast<std::uint64_t>(si) << 21) |
+           static_cast<std::uint64_t>(ti);
+  }
+
+  pgas::Step step(pgas::Rank& rank);
+  void handle_signal(pgas::Rank& rank, const Signal& sig);
+  /// Count the U/F tasks at `rank` that consume factor block (k, slot).
+  int local_uses(int rank, idx_t k, BlockSlot slot) const;
+  /// Make factor block (k, slot) available at `rank` via `ref`.
+  void deliver(pgas::Rank& rank, idx_t k, BlockSlot slot,
+               const FactorRef& ref);
+  void satisfy_update(pgas::Rank& rank, idx_t j, idx_t si, idx_t ti,
+                      const FactorRef& ref, bool as_source);
+  void publish(pgas::Rank& rank, idx_t k, BlockSlot slot);
+  void execute(pgas::Rank& rank, const Task& task);
+  void execute_diag(pgas::Rank& rank, const Task& task);
+  void execute_factor(pgas::Rank& rank, const Task& task);
+  void execute_update(pgas::Rank& rank, const Task& task);
+  void complete_target_update(pgas::Rank& rank, idx_t t, BlockSlot slot);
+  void release_ref(pgas::Rank& rank, const FactorRef& ref);
+  void push_ready(PerRank& pr, Task task);
+  Task pop_ready(PerRank& pr);
+
+  pgas::Runtime* rt_;
+  const symbolic::Symbolic* sym_;
+  const symbolic::TaskGraph* tg_;
+  BlockStore* store_;
+  Offload* offload_;
+  SolverOptions opts_;
+  Tracer* tracer_ = nullptr;
+
+  /// Scheduling priority of a ready task (kCriticalPath policy): the
+  /// elimination-tree depth of the supernode the task feeds.
+  [[nodiscard]] idx_t task_depth(const Task& task) const;
+
+  std::vector<PerRank> per_rank_;
+  // Per-block dependency state; each entry is touched only by the block's
+  // owner rank (safe in threaded mode).
+  std::vector<int> remaining_;
+  std::vector<double> ready_;
+  // Supernode depth in the supernodal elimination tree (root = 0).
+  std::vector<idx_t> snode_depth_;
+};
+
+}  // namespace sympack::core

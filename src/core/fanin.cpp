@@ -1,0 +1,444 @@
+#include "core/fanin.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace sympack::core {
+
+FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
+                         const symbolic::TaskGraph& tg, BlockStore& store,
+                         Offload& offload, const SolverOptions& opts)
+    : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
+      opts_(opts) {
+  per_rank_.resize(rt.nranks());
+  owned_u_.assign(rt.nranks(), 0);
+  const idx_t nb = store.num_blocks();
+  remaining_.assign(nb, 0);
+  ready_.assign(nb, 0.0);
+  bid_snode_.resize(nb);
+
+  const auto& map = tg.mapping();
+  std::vector<std::unordered_set<int>> producers(nb);
+  for (idx_t k = 0; k < sym.num_snodes(); ++k) {
+    const idx_t nslots = 1 + static_cast<idx_t>(sym.snode(k).blocks.size());
+    for (BlockSlot slot = 0; slot < nslots; ++slot) {
+      bid_snode_[store.block_id(k, slot)] = k;
+    }
+  }
+  // Sweep the update tasks: producer = owner of the source block.
+  for (idx_t j = 0; j < sym.num_snodes(); ++j) {
+    const auto& sn = sym.snode(j);
+    const idx_t nbk = static_cast<idx_t>(sn.blocks.size());
+    for (idx_t ti = 0; ti < nbk; ++ti) {
+      const idx_t t = sn.blocks[ti].target;
+      for (idx_t si = ti; si < nbk; ++si) {
+        const idx_t s = sn.blocks[si].target;
+        const int producer = map(s, j);
+        BlockSlot slot = 0;
+        if (s != t) slot = sym.find_block(t, s) + 1;
+        const idx_t bid = store.block_id(t, slot);
+        producers[bid].insert(producer);
+        ++per_rank_[producer].aggs[bid].pending;
+        ++owned_u_[producer];
+      }
+    }
+  }
+  for (idx_t k = 0; k < sym.num_snodes(); ++k) {
+    const idx_t nslots = 1 + static_cast<idx_t>(sym.snode(k).blocks.size());
+    for (BlockSlot slot = 0; slot < nslots; ++slot) {
+      const idx_t bid = store.block_id(k, slot);
+      remaining_[bid] = static_cast<int>(producers[bid].size()) +
+                        (slot == 0 ? 0 : 1);
+      if (slot == 0 && remaining_[bid] == 0) {
+        per_rank_[store.owner(bid)].rtq.push_back(
+            Task{TaskType::kDiag, k, 0, 0, 0, 0.0});
+      }
+    }
+  }
+}
+
+void FanInEngine::run() {
+  rt_->drive([this](pgas::Rank& rank) { return step(rank); });
+  // Sent aggregate buffers are consumed by their receivers before their
+  // ranks report done; free them now.
+  for (int r = 0; r < rt_->nranks(); ++r) {
+    for (auto& g : per_rank_[r].out_buffers) rt_->rank(r).deallocate(g);
+    per_rank_[r].out_buffers.clear();
+  }
+}
+
+pgas::Step FanInEngine::step(pgas::Rank& rank) {
+  PerRank& pr = per_rank_[rank.id()];
+  int worked = rank.progress();
+  if (!pr.signals.empty()) {
+    std::vector<Signal> sigs;
+    sigs.swap(pr.signals);
+    for (const Signal& sig : sigs) handle_signal(rank, sig);
+    worked += static_cast<int>(sigs.size());
+  }
+  if (!pr.rtq.empty()) {
+    const Task task = pr.rtq.front();
+    pr.rtq.pop_front();
+    execute(rank, task);
+    ++worked;
+  }
+  if (worked > 0) return pgas::Step::kWorked;
+  const int me = rank.id();
+  const bool done = pr.done_factor == tg_->owned_factor_tasks(me) &&
+                    pr.done_update == owned_u_[me] && pr.rtq.empty() &&
+                    pr.signals.empty() && !rank.has_pending_rpcs();
+  return done ? pgas::Step::kDone : pgas::Step::kIdle;
+}
+
+std::pair<idx_t, BlockSlot> FanInEngine::locate(idx_t bid) const {
+  const idx_t k = bid_snode_[bid];
+  return {k, bid - store_->block_id(k, 0)};
+}
+
+void FanInEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
+  const int me = rank.id();
+  PerRank& pr = per_rank_[me];
+  if (sig.type == Signal::Type::kAggregate) {
+    // Pull the aggregate vector and fold it into the target block.
+    const std::size_t bytes = store_->bytes(sig.bid);
+    // The sender is the only rank with a pending aggregate for this
+    // block that is not us; its identity travels with k (reused field).
+    const int sender = static_cast<int>(sig.k);
+    const double t = rank.transfer_completion(
+        bytes, sender, pgas::MemKind::kHost, pgas::MemKind::kHost);
+    rank.advance(rt_->model().rma_issue_s);
+    ++rank.stats().gets;
+    rank.stats().bytes_from_host += bytes;
+    rank.merge_clock(std::max(sig.sent, rank.now()));
+    apply_aggregate(rank, sig.bid, sig.data, t);
+    return;
+  }
+
+  // kPivot: a factor block of panel sig.k arrived for local U (or F) use.
+  int uses = 0;
+  const auto& sn = sym_->snode(sig.k);
+  const auto& map = tg_->mapping();
+  const idx_t nbk = static_cast<idx_t>(sn.blocks.size());
+  if (sig.slot == 0) {
+    for (idx_t fs = 1; fs <= nbk; ++fs) {
+      if (map(sn.blocks[fs - 1].target, sig.k) == me) ++uses;
+    }
+  } else {
+    for (idx_t si2 = sig.slot + 1; si2 <= nbk; ++si2) {
+      if (map(sn.blocks[si2 - 1].target, sig.k) == me) ++uses;
+    }
+  }
+  if (uses == 0) return;
+
+  const idx_t bid = store_->block_id(sig.k, sig.slot);
+  const std::size_t bytes = store_->bytes(bid);
+  RemotePivot rp;
+  rp.remaining_uses = uses;
+  double ready;
+  if (store_->numeric()) {
+    rp.host.resize(bytes / sizeof(double));
+    ready = rank.rget(store_->gptr(bid),
+                      reinterpret_cast<std::byte*>(rp.host.data()), bytes,
+                      pgas::MemKind::kHost);
+    rp.ref = PivotRef{rp.host.data(), ready, bid};
+  } else {
+    ready = rank.transfer_completion(bytes, store_->owner(bid),
+                                     pgas::MemKind::kHost,
+                                     pgas::MemKind::kHost);
+    rank.advance(rt_->model().rma_issue_s);
+    ++rank.stats().gets;
+    rank.stats().bytes_from_host += bytes;
+    rp.ref = PivotRef{nullptr, ready, bid};
+  }
+  auto [it, inserted] = pr.cache.emplace(bid, std::move(rp));
+  (void)inserted;
+  deliver_pivot(rank, sig.k, sig.slot, it->second.ref);
+}
+
+void FanInEngine::deliver_pivot(pgas::Rank& rank, idx_t k, BlockSlot slot,
+                                const PivotRef& ref) {
+  const int me = rank.id();
+  PerRank& pr = per_rank_[me];
+  const auto& sn = sym_->snode(k);
+  const auto& map = tg_->mapping();
+  const idx_t nbk = static_cast<idx_t>(sn.blocks.size());
+
+  if (slot == 0) {
+    // Diagonal factor: enables local F tasks of panel k (counted in the
+    // target block's `remaining_`, exactly as in the fan-out engine).
+    pr.diag_ref[k] = ref;
+    for (idx_t fs = 1; fs <= nbk; ++fs) {
+      if (map(sn.blocks[fs - 1].target, k) != me) continue;
+      const idx_t bid = store_->block_id(k, fs);
+      ready_[bid] = std::max(ready_[bid], ref.ready);
+      if (--remaining_[bid] == 0) {
+        pr.rtq.push_back(Task{TaskType::kFactor, k, fs, 0, 0, ready_[bid]});
+      }
+    }
+    return;
+  }
+
+  // Off-diagonal factor block (s, k): pivot operand of U(k, si2, slot)
+  // for all si2 > slot owned here.
+  for (idx_t si2 = slot + 1; si2 <= nbk; ++si2) {
+    if (map(sn.blocks[si2 - 1].target, k) == me) {
+      satisfy_update(rank, k, si2, slot, ref, /*as_source=*/false);
+    }
+  }
+}
+
+void FanInEngine::satisfy_update(pgas::Rank& rank, idx_t j, idx_t si,
+                                 idx_t ti, const PivotRef& ref,
+                                 bool as_source) {
+  PerRank& pr = per_rank_[rank.id()];
+  const std::uint64_t key = ukey(j, si, ti);
+  auto [it, inserted] = pr.pending_updates.try_emplace(key);
+  UpdateState& st = it->second;
+  if (inserted) st.remaining = (si == ti) ? 1 : 2;
+  if (as_source) {
+    st.src = ref;
+    if (si == ti) st.piv = ref;
+  } else {
+    st.piv = ref;
+  }
+  if (--st.remaining == 0) {
+    pr.rtq.push_back(Task{TaskType::kUpdate, j, 0, si, ti,
+                          std::max(st.src.ready, st.piv.ready)});
+  }
+}
+
+void FanInEngine::publish_factor(pgas::Rank& rank, idx_t k, BlockSlot slot) {
+  const int me = rank.id();
+  ++per_rank_[me].done_factor;
+  const auto& sn = sym_->snode(k);
+  const auto& map = tg_->mapping();
+  const idx_t nbk = static_cast<idx_t>(sn.blocks.size());
+  const idx_t bid = store_->block_id(k, slot);
+
+  if (slot == 0) {
+    // Diagonal: local F blocks directly, remote F owners via signal.
+    std::vector<int> recipients;
+    bool local = false;
+    for (idx_t fs = 1; fs <= nbk; ++fs) {
+      const int o = map(sn.blocks[fs - 1].target, k);
+      if (o == me) {
+        local = true;
+      } else {
+        recipients.push_back(o);
+      }
+    }
+    if (local) {
+      deliver_pivot(rank, k, 0,
+                    PivotRef{store_->data(bid), rank.now(), -1});
+    }
+    std::sort(recipients.begin(), recipients.end());
+    recipients.erase(std::unique(recipients.begin(), recipients.end()),
+                     recipients.end());
+    for (int r : recipients) {
+      if (r == me) continue;
+      rank.rpc(r, [this, k](pgas::Rank& target) {
+        per_rank_[target.id()].signals.push_back(
+            Signal{Signal::Type::kPivot, k, 0, -1, nullptr, 0.0});
+      });
+    }
+    return;
+  }
+
+  // Off-diagonal block (s, k), completed by this rank's F task.
+  // 1. It is the *source* operand of every U(k, slot, ti<=slot) — all of
+  //    which run here (fan-in!).
+  const PivotRef local_ref{store_->data(bid), rank.now(), -1};
+  for (idx_t ti = 1; ti <= slot; ++ti) {
+    satisfy_update(rank, k, slot, ti, local_ref, /*as_source=*/true);
+  }
+  // 2. It is the *pivot* operand of U(k, si2, slot) for si2 > slot, which
+  //    run on the owners of the other blocks of panel k.
+  std::vector<int> recipients;
+  bool local_pivot = false;
+  for (idx_t si2 = slot + 1; si2 <= nbk; ++si2) {
+    const int o = map(sn.blocks[si2 - 1].target, k);
+    if (o == me) {
+      local_pivot = true;
+    } else {
+      recipients.push_back(o);
+    }
+  }
+  if (local_pivot) deliver_pivot(rank, k, slot, local_ref);
+  std::sort(recipients.begin(), recipients.end());
+  recipients.erase(std::unique(recipients.begin(), recipients.end()),
+                   recipients.end());
+  for (int r : recipients) {
+    rank.rpc(r, [this, k, slot](pgas::Rank& target) {
+      per_rank_[target.id()].signals.push_back(
+          Signal{Signal::Type::kPivot, k, slot, -1, nullptr, 0.0});
+    });
+  }
+}
+
+void FanInEngine::execute(pgas::Rank& rank, const Task& task) {
+  rank.merge_clock(task.ready);
+  switch (task.type) {
+    case TaskType::kDiag: {
+      const auto& sn = sym_->snode(task.k);
+      const int w = static_cast<int>(sn.width());
+      const idx_t bid = store_->block_id(task.k, 0);
+      const int info = offload_->run_potrf(rank, w, store_->data(bid), w);
+      if (info != 0) {
+        throw std::runtime_error(
+            "sympack(fan-in): matrix is not positive definite (column " +
+            std::to_string(sn.first + info - 1) + ")");
+      }
+      publish_factor(rank, task.k, 0);
+      break;
+    }
+    case TaskType::kFactor: {
+      PerRank& pr = per_rank_[rank.id()];
+      const auto& sn = sym_->snode(task.k);
+      const int w = static_cast<int>(sn.width());
+      const idx_t bid = store_->block_id(task.k, task.slot);
+      const auto diag_it = pr.diag_ref.find(task.k);
+      if (diag_it == pr.diag_ref.end()) {
+        throw std::logic_error("FanInEngine: F before diagonal");
+      }
+      const PivotRef diag = diag_it->second;
+      offload_->run_trsm(rank, static_cast<int>(store_->nrows(bid)), w,
+                         diag.data, w, store_->data(bid),
+                         static_cast<int>(store_->nrows(bid)), false);
+      publish_factor(rank, task.k, task.slot);
+      release_pivot(rank, diag);
+      break;
+    }
+    case TaskType::kUpdate:
+      execute_update(rank, task);
+      break;
+  }
+}
+
+void FanInEngine::execute_update(pgas::Rank& rank, const Task& task) {
+  PerRank& pr = per_rank_[rank.id()];
+  const idx_t j = task.k;
+  const auto& sn = sym_->snode(j);
+  const int w = static_cast<int>(sn.width());
+  const auto it = pr.pending_updates.find(ukey(j, task.si, task.ti));
+  if (it == pr.pending_updates.end()) {
+    throw std::logic_error("FanInEngine: update without state");
+  }
+  const UpdateState st = it->second;
+  pr.pending_updates.erase(it);
+
+  const auto& sblk = sn.blocks[task.si - 1];
+  const auto& tblk = sn.blocks[task.ti - 1];
+  const idx_t s = sblk.target;
+  const idx_t t = tblk.target;
+  const int m = static_cast<int>(sblk.nrows);
+  const int np = static_cast<int>(tblk.nrows);
+  const auto& tgt_sn = sym_->snode(t);
+  const BlockSlot tslot = (s == t) ? 0 : sym_->find_block(t, s) + 1;
+  const idx_t tbid = store_->block_id(t, tslot);
+  const bool numeric = store_->numeric();
+
+  Aggregate& agg = pr.aggs.at(tbid);
+  if (numeric && agg.buf.empty()) {
+    agg.buf.assign(store_->bytes(tbid) / sizeof(double), 0.0);
+  }
+  const idx_t ld = store_->nrows(tbid);
+
+  if (s == t) {
+    if (numeric) {
+      std::vector<double> scratch(static_cast<std::size_t>(m) * m, 0.0);
+      offload_->run_syrk(rank, m, w, st.src.data, m, scratch.data(), m,
+                         false);
+      for (int c = 0; c < m; ++c) {
+        const idx_t gc = sn.below[sblk.row_off + c] - tgt_sn.first;
+        for (int r = c; r < m; ++r) {
+          const idx_t gr = sn.below[sblk.row_off + r] - tgt_sn.first;
+          agg.buf[gr + gc * ld] += scratch[r + static_cast<std::size_t>(c) * m];
+        }
+      }
+    } else {
+      offload_->run_syrk(rank, m, w, nullptr, m, nullptr, m, false);
+    }
+    offload_->charge_scatter(rank,
+                             sizeof(double) * static_cast<std::size_t>(m) * m);
+  } else {
+    if (numeric) {
+      std::vector<double> scratch(static_cast<std::size_t>(m) * np);
+      offload_->run_gemm(rank, m, np, w, st.src.data, m, st.piv.data, np,
+                         scratch.data(), m, false, false);
+      for (int c = 0; c < np; ++c) {
+        const idx_t gc = sn.below[tblk.row_off + c] - tgt_sn.first;
+        for (int r = 0; r < m; ++r) {
+          const idx_t gr = store_->row_offset_in_block(
+              t, tslot, sn.below[sblk.row_off + r]);
+          agg.buf[gr + gc * ld] -= scratch[r + static_cast<std::size_t>(c) * m];
+        }
+      }
+    } else {
+      offload_->run_gemm(rank, m, np, w, nullptr, m, nullptr, np, nullptr, m,
+                         false, false);
+    }
+    offload_->charge_scatter(
+        rank, sizeof(double) * static_cast<std::size_t>(m) * np);
+  }
+
+  ++pr.done_update;
+  if (task.si != task.ti) release_pivot(rank, st.piv);
+  if (--agg.pending == 0) flush_aggregate(rank, tbid);
+}
+
+void FanInEngine::flush_aggregate(pgas::Rank& rank, idx_t bid) {
+  const int me = rank.id();
+  PerRank& pr = per_rank_[me];
+  Aggregate& agg = pr.aggs.at(bid);
+  const int owner = store_->owner(bid);
+  if (owner == me) {
+    apply_aggregate(rank, bid, agg.buf.empty() ? nullptr : agg.buf.data(),
+                    rank.now());
+    return;
+  }
+  // Send the aggregate vector (one message carrying the whole block
+  // contribution, §2.3's second message type).
+  const double* payload = nullptr;
+  if (store_->numeric()) {
+    auto g = rank.allocate_host(store_->bytes(bid));
+    std::memcpy(g.addr, agg.buf.data(), store_->bytes(bid));
+    pr.out_buffers.push_back(g);
+    payload = g.local<double>();
+  }
+  const double sent = rank.now();
+  rank.rpc(owner, [this, bid, payload, sent, me](pgas::Rank& target) {
+    per_rank_[target.id()].signals.push_back(Signal{
+        Signal::Type::kAggregate, me, 0, bid, payload, sent});
+  });
+}
+
+void FanInEngine::apply_aggregate(pgas::Rank& rank, idx_t bid,
+                                  const double* buf, double ready) {
+  if (store_->numeric() && buf != nullptr) {
+    // The aggregate buffer holds the (negative) update sum to be added.
+    double* target = store_->data(bid);
+    const std::size_t elems = store_->bytes(bid) / sizeof(double);
+    for (std::size_t i = 0; i < elems; ++i) target[i] += buf[i];
+  }
+  offload_->charge_scatter(rank, store_->bytes(bid));
+  ready_[bid] = std::max(ready_[bid], std::max(ready, rank.now()));
+  if (--remaining_[bid] == 0) {
+    const auto [k, slot] = locate(bid);
+    per_rank_[rank.id()].rtq.push_back(
+        Task{slot == 0 ? TaskType::kDiag : TaskType::kFactor, k, slot, 0, 0,
+             ready_[bid]});
+  }
+}
+
+void FanInEngine::release_pivot(pgas::Rank& rank, const PivotRef& ref) {
+  if (ref.cache_bid < 0) return;
+  PerRank& pr = per_rank_[rank.id()];
+  const auto it = pr.cache.find(ref.cache_bid);
+  if (it == pr.cache.end()) return;
+  if (--it->second.remaining_uses == 0) pr.cache.erase(it);
+}
+
+}  // namespace sympack::core

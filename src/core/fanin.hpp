@@ -1,0 +1,124 @@
+// Fan-in numeric factorization (Ashcraft's taxonomy, paper §2.3).
+//
+// Where the fan-out engine executes U_{s,j,t} on the owner of the
+// *target* block B_{s,t} (requiring factor blocks to be broadcast), the
+// fan-in engine executes it on the owner of the *source* block L_{s,j}.
+// Contributions to a remote target block are accumulated locally into an
+// "aggregate vector" (one buffer per (producer rank, target block) pair)
+// and sent once, when the producer has folded in every update it owes
+// that block — the second message type of §2.3. Factor blocks now travel
+// only *down their own panel column* (each L_{s,j} is the pivot operand
+// of the U tasks owned by the other block owners of panel j).
+//
+// The numerics are identical to the fan-out engine; the communication
+// pattern is what changes. bench_variant_ablation quantifies the
+// trade-off that made the paper choose fan-out.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_store.hpp"
+#include "core/offload.hpp"
+#include "core/options.hpp"
+#include "pgas/runtime.hpp"
+#include "symbolic/taskgraph.hpp"
+
+namespace sympack::core {
+
+class FanInEngine {
+ public:
+  FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
+              const symbolic::TaskGraph& tg, BlockStore& store,
+              Offload& offload, const SolverOptions& opts);
+
+  void run();
+
+ private:
+  enum class TaskType : std::uint8_t { kDiag, kFactor, kUpdate };
+  struct Task {
+    TaskType type;
+    idx_t k = -1;          // supernode (D/F) or source panel j (U)
+    BlockSlot slot = 0;    // block slot (F)
+    idx_t si = 0, ti = 0;  // U: source/pivot slots in panel k
+    double ready = 0.0;
+  };
+  struct PivotRef {
+    const double* data = nullptr;
+    double ready = 0.0;
+    idx_t cache_bid = -1;
+  };
+  struct RemotePivot {
+    std::vector<double> host;
+    PivotRef ref;
+    int remaining_uses = 0;
+  };
+  struct UpdateState {
+    int remaining = 0;
+    PivotRef src;  // L_{s,j}: always local (same owner as the U task)
+    PivotRef piv;  // L_{t,j}: possibly fetched from the panel column
+  };
+  /// Aggregate vector for one target block at one producer rank.
+  struct Aggregate {
+    std::vector<double> buf;  // shape of the target block; empty in dry runs
+    int pending = 0;          // updates this rank still owes the block
+  };
+  struct Signal {
+    enum class Type : std::uint8_t { kPivot, kAggregate } type;
+    idx_t k = -1;        // pivot: panel; aggregate: unused
+    BlockSlot slot = 0;  // pivot: block slot in panel k
+    idx_t bid = -1;      // aggregate: target block id
+    const double* data = nullptr;  // aggregate payload (shared segment)
+    double sent = 0.0;             // aggregate simulated send time
+  };
+  struct PerRank {
+    std::deque<Task> rtq;
+    std::vector<Signal> signals;
+    std::unordered_map<std::uint64_t, UpdateState> pending_updates;
+    std::unordered_map<idx_t, RemotePivot> cache;   // key: pivot block id
+    std::unordered_map<idx_t, PivotRef> diag_ref;   // key: supernode
+    std::unordered_map<idx_t, Aggregate> aggs;      // key: target block id
+    std::vector<pgas::GlobalPtr> out_buffers;       // sent aggregates
+    idx_t done_factor = 0;
+    idx_t done_update = 0;
+  };
+
+  static std::uint64_t ukey(idx_t j, idx_t si, idx_t ti) {
+    return (static_cast<std::uint64_t>(j) << 42) |
+           (static_cast<std::uint64_t>(si) << 21) |
+           static_cast<std::uint64_t>(ti);
+  }
+
+  pgas::Step step(pgas::Rank& rank);
+  void handle_signal(pgas::Rank& rank, const Signal& sig);
+  void deliver_pivot(pgas::Rank& rank, idx_t k, BlockSlot slot,
+                     const PivotRef& ref);
+  void satisfy_update(pgas::Rank& rank, idx_t j, idx_t si, idx_t ti,
+                      const PivotRef& ref, bool as_source);
+  void publish_factor(pgas::Rank& rank, idx_t k, BlockSlot slot);
+  void execute(pgas::Rank& rank, const Task& task);
+  void execute_update(pgas::Rank& rank, const Task& task);
+  void flush_aggregate(pgas::Rank& rank, idx_t bid);
+  void apply_aggregate(pgas::Rank& rank, idx_t bid, const double* buf,
+                       double ready);
+  void release_pivot(pgas::Rank& rank, const PivotRef& ref);
+  /// Target supernode/slot of block id (reverse lookup).
+  std::pair<idx_t, BlockSlot> locate(idx_t bid) const;
+
+  pgas::Runtime* rt_;
+  const symbolic::Symbolic* sym_;
+  const symbolic::TaskGraph* tg_;
+  BlockStore* store_;
+  Offload* offload_;
+  SolverOptions opts_;
+
+  std::vector<PerRank> per_rank_;
+  std::vector<int> remaining_;   // per target block: aggregates (+ diag)
+  std::vector<double> ready_;
+  std::vector<idx_t> bid_snode_;  // block id -> supernode (for locate)
+  std::vector<idx_t> owned_u_;    // per rank: fan-in update-task count
+};
+
+}  // namespace sympack::core

@@ -1,0 +1,71 @@
+// User-facing solver options.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ordering/ordering.hpp"
+#include "symbolic/mapping.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace sympack::core {
+
+/// RTQ scheduling policy (paper §3.4 leaves this as future work and uses
+/// "whichever task is at the top of the queue"; we expose the knob for
+/// the scheduling ablation).
+///   kFifo / kLifo      queue order
+///   kPriority          lowest target supernode first
+///   kCriticalPath      deepest supernode first (tasks feeding the
+///                      longest elimination-tree chain run first)
+enum class Policy { kFifo, kLifo, kPriority, kCriticalPath };
+
+Policy parse_policy(const std::string& name);
+std::string policy_name(Policy p);
+
+/// What to do when a device allocation fails mid-factorization
+/// (paper §4.2 "fallback options").
+enum class GpuFallback { kCpu, kThrow };
+
+struct GpuOptions {
+  bool enabled = true;
+  /// Derive the four thresholds analytically from the machine model at
+  /// solver construction (gpu/autotune.hpp, the paper's §6 future-work
+  /// framework) instead of using the hand-tuned defaults below.
+  bool auto_tune = false;
+  /// Per-operation offload thresholds, in *elements* of the operation's
+  /// largest buffer. Defaults reflect a brute-force tuning pass like the
+  /// paper's (§4.2); each can be overridden by the user.
+  std::int64_t potrf_threshold = 96 * 96;
+  std::int64_t trsm_threshold = 128 * 128;
+  std::int64_t syrk_threshold = 128 * 128;
+  std::int64_t gemm_threshold = 96 * 96;
+  /// Factor blocks at least this large (elements) are marked "GPU
+  /// blocks" and fetched straight into device memory on the consumer
+  /// (the paper's direct remote-host-to-device copy optimization).
+  std::int64_t device_resident_threshold = 128 * 128;
+  GpuFallback fallback = GpuFallback::kCpu;
+};
+
+/// Which member of Ashcraft's algorithm taxonomy (paper §2.3) runs the
+/// numeric phase. The paper's symPACK is fan-out; the fan-in variant is
+/// provided for the algorithm-family ablation.
+enum class Variant { kFanOut, kFanIn };
+
+Variant parse_variant(const std::string& name);
+std::string variant_name(Variant v);
+
+struct SolverOptions {
+  ordering::Method ordering = ordering::Method::kNestedDissection;
+  Variant variant = Variant::kFanOut;
+  symbolic::SymbolicOptions symbolic{};
+  symbolic::Mapping::Kind mapping = symbolic::Mapping::Kind::k2dBlockCyclic;
+  Policy policy = Policy::kFifo;
+  GpuOptions gpu{};
+  /// When false, numeric kernels and data movement are skipped while the
+  /// full task/communication protocol and the simulated-time accounting
+  /// still run. Used by the large strong-scaling sweeps where only the
+  /// schedule matters; correctness runs use numeric = true.
+  bool numeric = true;
+};
+
+}  // namespace sympack::core

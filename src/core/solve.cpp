@@ -1,0 +1,400 @@
+#include "core/solve.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace sympack::core {
+
+SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
+                         const symbolic::TaskGraph& tg, BlockStore& store,
+                         Offload& offload, const SolverOptions& opts)
+    : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
+      opts_(opts) {
+  const idx_t ns = sym.num_snodes();
+  target_blocks_.resize(ns);
+  owned_diag_.assign(rt.nranks(), 0);
+  owned_contrib_fwd_.assign(rt.nranks(), 0);
+  owned_contrib_bwd_.assign(rt.nranks(), 0);
+  const auto& map = tg.mapping();
+  for (idx_t k = 0; k < ns; ++k) {
+    ++owned_diag_[map(k, k)];
+    const auto& sn = sym.snode(k);
+    for (BlockSlot slot = 1;
+         slot <= static_cast<idx_t>(sn.blocks.size()); ++slot) {
+      const idx_t s = sn.blocks[slot - 1].target;
+      target_blocks_[s].emplace_back(k, slot);
+      // Each block produces exactly one contribution in each sweep.
+      ++owned_contrib_fwd_[map(s, k)];
+      ++owned_contrib_bwd_[map(s, k)];
+    }
+  }
+  seg_.resize(ns);
+  remaining_.assign(ns, 0);
+  seg_ready_.assign(ns, 0.0);
+  per_rank_.resize(rt.nranks());
+}
+
+SolveEngine::~SolveEngine() { free_buffers(); }
+
+void SolveEngine::free_buffers() {
+  for (int r = 0; r < rt_->nranks(); ++r) {
+    for (auto& g : per_rank_[r].owned_buffers) {
+      rt_->rank(r).deallocate(g);
+    }
+    per_rank_[r].owned_buffers.clear();
+  }
+}
+
+std::vector<double> SolveEngine::solve(const std::vector<double>& b,
+                                       int nrhs) {
+  const idx_t n = sym_->n();
+  if (static_cast<idx_t>(b.size()) != n * nrhs) {
+    throw std::invalid_argument("SolveEngine::solve: rhs size mismatch");
+  }
+  nrhs_ = nrhs;
+
+  // Scatter b into per-supernode segments at the diagonal owners.
+  for (idx_t k = 0; k < sym_->num_snodes(); ++k) {
+    const auto& sn = sym_->snode(k);
+    const idx_t w = sn.width();
+    seg_[k].assign(static_cast<std::size_t>(w) * nrhs, 0.0);
+    if (store_->numeric()) {
+      for (int c = 0; c < nrhs; ++c) {
+        for (idx_t r = 0; r < w; ++r) {
+          seg_[k][r + static_cast<std::size_t>(c) * w] =
+              b[(sn.first + r) + static_cast<std::size_t>(c) * n];
+        }
+      }
+    }
+  }
+
+  run_phase(/*backward=*/false);
+  run_phase(/*backward=*/true);
+
+  // Gather the solution (x overwrote the segments in the backward sweep).
+  std::vector<double> x(static_cast<std::size_t>(n) * nrhs, 0.0);
+  if (store_->numeric()) {
+    for (idx_t k = 0; k < sym_->num_snodes(); ++k) {
+      const auto& sn = sym_->snode(k);
+      const idx_t w = sn.width();
+      for (int c = 0; c < nrhs; ++c) {
+        for (idx_t r = 0; r < w; ++r) {
+          x[(sn.first + r) + static_cast<std::size_t>(c) * n] =
+              seg_[k][r + static_cast<std::size_t>(c) * w];
+        }
+      }
+    }
+  }
+  free_buffers();
+  return x;
+}
+
+void SolveEngine::reset_phase(bool backward) {
+  const auto& map = tg_->mapping();
+  for (idx_t k = 0; k < sym_->num_snodes(); ++k) {
+    remaining_[k] =
+        backward
+            ? static_cast<int>(sym_->snode(k).blocks.size())
+            : static_cast<int>(target_blocks_[k].size());
+  }
+  for (auto& pr : per_rank_) {
+    pr.tasks.clear();
+    pr.msgs.clear();
+    pr.done_diag = 0;
+    pr.done_contrib = 0;
+  }
+  // Seed the sweep with supernodes that have no outstanding
+  // contributions (leaves forward, roots backward).
+  for (idx_t k = 0; k < sym_->num_snodes(); ++k) {
+    if (remaining_[k] == 0) {
+      per_rank_[map(k, k)].tasks.push_back(
+          Task{Task::Type::kDiag, k, 0, nullptr, seg_ready_[k]});
+    }
+  }
+}
+
+void SolveEngine::run_phase(bool backward) {
+  reset_phase(backward);
+  rt_->drive([this, backward](pgas::Rank& rank) {
+    return step(rank, backward);
+  });
+}
+
+pgas::Step SolveEngine::step(pgas::Rank& rank, bool backward) {
+  PerRank& pr = per_rank_[rank.id()];
+  int worked = rank.progress();
+  if (!pr.msgs.empty()) {
+    std::vector<Msg> msgs;
+    msgs.swap(pr.msgs);
+    for (const Msg& m : msgs) handle_msg(rank, m, backward);
+    worked += static_cast<int>(msgs.size());
+  }
+  if (!pr.tasks.empty()) {
+    const Task task = pr.tasks.front();
+    pr.tasks.pop_front();
+    rank.merge_clock(task.ready);
+    if (task.type == Task::Type::kDiag) {
+      execute_diag(rank, task.k, backward);
+    } else {
+      execute_contrib(rank, task, backward);
+    }
+    ++worked;
+  }
+  if (worked > 0) return pgas::Step::kWorked;
+
+  const int me = rank.id();
+  const idx_t owned_contrib =
+      backward ? owned_contrib_bwd_[me] : owned_contrib_fwd_[me];
+  const bool done = pr.done_diag == owned_diag_[me] &&
+                    pr.done_contrib == owned_contrib && pr.tasks.empty() &&
+                    pr.msgs.empty() && !rank.has_pending_rpcs();
+  return done ? pgas::Step::kDone : pgas::Step::kIdle;
+}
+
+void SolveEngine::execute_diag(pgas::Rank& rank, idx_t k, bool backward) {
+  const auto& sn = sym_->snode(k);
+  const int w = static_cast<int>(sn.width());
+  const idx_t dbid = store_->block_id(k, 0);
+  offload_->run_trsm_left(rank, backward, w, nrhs_, store_->data(dbid), w,
+                          store_->numeric() ? seg_[k].data() : nullptr, w);
+  seg_ready_[k] = rank.now();
+  ++per_rank_[rank.id()].done_diag;
+  publish_solution(rank, k, backward);
+}
+
+void SolveEngine::publish_solution(pgas::Rank& rank, idx_t k, bool backward) {
+  const int me = rank.id();
+  const auto& map = tg_->mapping();
+  const auto& sn = sym_->snode(k);
+  const std::size_t bytes =
+      sizeof(double) * static_cast<std::size_t>(sn.width()) * nrhs_;
+
+  // Consumers: forward, the owners of panel-k blocks (they multiply by
+  // y_k); backward, the owners of blocks *targeting* k (they need x_k).
+  std::vector<int> consumers;
+  if (!backward) {
+    for (BlockSlot slot = 1;
+         slot <= static_cast<idx_t>(sn.blocks.size()); ++slot) {
+      consumers.push_back(map(sn.blocks[slot - 1].target, k));
+    }
+  } else {
+    for (const auto& [panel, slot] : target_blocks_[k]) {
+      (void)slot;
+      consumers.push_back(map(k, panel));
+    }
+  }
+  std::sort(consumers.begin(), consumers.end());
+  consumers.erase(std::unique(consumers.begin(), consumers.end()),
+                  consumers.end());
+
+  // Local consumers: enqueue their contribution tasks directly.
+  auto enqueue_local = [&](int rank_id, const double* operand, double ready) {
+    PerRank& pr = per_rank_[rank_id];
+    if (!backward) {
+      for (BlockSlot slot = 1;
+           slot <= static_cast<idx_t>(sn.blocks.size()); ++slot) {
+        if (map(sn.blocks[slot - 1].target, k) == rank_id) {
+          pr.tasks.push_back(
+              Task{Task::Type::kContrib, k, slot, operand, ready});
+        }
+      }
+    } else {
+      for (const auto& [panel, slot] : target_blocks_[k]) {
+        if (map(k, panel) == rank_id) {
+          pr.tasks.push_back(
+              Task{Task::Type::kContrib, panel, slot, operand, ready});
+        }
+      }
+    }
+  };
+
+  // Publish the segment one-sidedly: remote consumers receive a signal
+  // and pull the segment with rget, exactly like factor blocks.
+  pgas::GlobalPtr src{};
+  if (store_->numeric()) {
+    src = rank.allocate_host(bytes);
+    std::memcpy(src.addr, seg_[k].data(), bytes);
+    per_rank_[me].owned_buffers.push_back(src);
+  }
+  for (int r : consumers) {
+    if (r == me) {
+      enqueue_local(me, store_->numeric() ? seg_[k].data() : nullptr,
+                    rank.now());
+    } else {
+      rank.rpc(r, [this, k, src, bytes](pgas::Rank& target) {
+        per_rank_[target.id()].msgs.push_back(
+            Msg{Msg::Type::kX, k, 0, 0, src, bytes});
+      });
+    }
+  }
+}
+
+void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
+                             bool backward) {
+  const int me = rank.id();
+  PerRank& pr = per_rank_[me];
+  if (msg.type == Msg::Type::kX) {
+    // Fetch the published segment, then enqueue the local contribution
+    // tasks that consume it.
+    const double* operand = nullptr;
+    double ready;
+    if (store_->numeric()) {
+      auto buf = rank.allocate_host(msg.bytes);
+      pr.owned_buffers.push_back(buf);
+      ready = rank.rget(msg.data, buf.addr, msg.bytes, pgas::MemKind::kHost);
+      operand = buf.local<double>();
+    } else {
+      ready = rank.transfer_completion(msg.bytes, tg_->mapping()(msg.k, msg.k),
+                                       pgas::MemKind::kHost,
+                                       pgas::MemKind::kHost);
+      rank.advance(rt_->model().rma_issue_s);
+      ++rank.stats().gets;
+      rank.stats().bytes_from_host += msg.bytes;
+    }
+    const idx_t k = msg.k;
+    const auto& sn = sym_->snode(k);
+    const auto& map = tg_->mapping();
+    if (!backward) {
+      for (BlockSlot slot = 1;
+           slot <= static_cast<idx_t>(sn.blocks.size()); ++slot) {
+        if (map(sn.blocks[slot - 1].target, k) == me) {
+          pr.tasks.push_back(
+              Task{Task::Type::kContrib, k, slot, operand, ready});
+        }
+      }
+    } else {
+      for (const auto& [panel, slot] : target_blocks_[k]) {
+        if (map(k, panel) == me) {
+          pr.tasks.push_back(
+              Task{Task::Type::kContrib, panel, slot, operand, ready});
+        }
+      }
+    }
+    return;
+  }
+
+  // kContrib: a partial sum arrives for a segment this rank owns.
+  const double* z = nullptr;
+  double ready;
+  std::vector<double> tmp;
+  if (store_->numeric()) {
+    tmp.resize(msg.bytes / sizeof(double));
+    ready = rank.rget(msg.data, reinterpret_cast<std::byte*>(tmp.data()),
+                      msg.bytes, pgas::MemKind::kHost);
+    z = tmp.data();
+  } else {
+    const auto& blk = sym_->snode(msg.panel).blocks[msg.slot - 1];
+    const int sender = tg_->mapping()(blk.target, msg.panel);
+    ready = rank.transfer_completion(msg.bytes, sender, pgas::MemKind::kHost,
+                                     pgas::MemKind::kHost);
+    rank.advance(rt_->model().rma_issue_s);
+    ++rank.stats().gets;
+    rank.stats().bytes_from_host += msg.bytes;
+  }
+  apply_contribution(rank, msg.panel, msg.slot, z, ready, backward);
+}
+
+void SolveEngine::execute_contrib(pgas::Rank& rank, const Task& task,
+                                  bool backward) {
+  const int me = rank.id();
+  PerRank& pr = per_rank_[me];
+  const idx_t panel = task.k;
+  const BlockSlot slot = task.slot;
+  const auto& sn = sym_->snode(panel);
+  const auto& blk = sn.blocks[slot - 1];
+  const idx_t s = blk.target;
+  const int w = static_cast<int>(sn.width());
+  const int m = static_cast<int>(blk.nrows);
+  const idx_t bid = store_->block_id(panel, slot);
+  const bool numeric = store_->numeric();
+
+  // Forward: z = B y_panel (m x nrhs). Backward: z = B^T x_s|rows
+  // (w x nrhs).
+  const int out_rows = backward ? w : m;
+  std::vector<double> z;
+  if (numeric) z.resize(static_cast<std::size_t>(out_rows) * nrhs_);
+  if (!backward) {
+    offload_->run_gemm_any(rank, blas::Trans::kNo, m, nrhs_, w, 1.0,
+                           store_->data(bid), m, task.operand, w, 0.0,
+                           numeric ? z.data() : nullptr, m);
+  } else {
+    // Extract the rows of x_s this block touches.
+    const auto& tgt = sym_->snode(s);
+    std::vector<double> xsub;
+    if (numeric) {
+      xsub.resize(static_cast<std::size_t>(m) * nrhs_);
+      for (int c = 0; c < nrhs_; ++c) {
+        for (int r = 0; r < m; ++r) {
+          const idx_t gr = sn.below[blk.row_off + r] - tgt.first;
+          xsub[r + static_cast<std::size_t>(c) * m] =
+              task.operand[gr + static_cast<std::size_t>(c) * tgt.width()];
+        }
+      }
+    }
+    offload_->run_gemm_any(rank, blas::Trans::kYes, w, nrhs_, m, 1.0,
+                           store_->data(bid), m,
+                           numeric ? xsub.data() : nullptr, m, 0.0,
+                           numeric ? z.data() : nullptr, w);
+  }
+  ++pr.done_contrib;
+
+  // Fan the partial sum in to the segment owner.
+  const idx_t dest = backward ? panel : s;
+  const int dest_owner = tg_->mapping()(dest, dest);
+  if (dest_owner == me) {
+    apply_contribution(rank, panel, slot, numeric ? z.data() : nullptr,
+                       rank.now(), backward);
+    return;
+  }
+  const std::size_t bytes =
+      sizeof(double) * static_cast<std::size_t>(out_rows) * nrhs_;
+  pgas::GlobalPtr buf{};
+  if (numeric) {
+    buf = rank.allocate_host(bytes);
+    std::memcpy(buf.addr, z.data(), bytes);
+    pr.owned_buffers.push_back(buf);
+  }
+  rank.rpc(dest_owner, [this, panel, slot, buf, bytes](pgas::Rank& target) {
+    per_rank_[target.id()].msgs.push_back(
+        Msg{Msg::Type::kContrib, 0, panel, slot, buf, bytes});
+  });
+}
+
+void SolveEngine::apply_contribution(pgas::Rank& rank, idx_t panel,
+                                     BlockSlot slot, const double* z,
+                                     double ready, bool backward) {
+  const auto& sn = sym_->snode(panel);
+  const auto& blk = sn.blocks[slot - 1];
+  const idx_t dest = backward ? panel : blk.target;
+  if (store_->numeric() && z != nullptr) {
+    auto& seg = seg_[dest];
+    if (!backward) {
+      const auto& tgt = sym_->snode(dest);
+      const int m = static_cast<int>(blk.nrows);
+      for (int c = 0; c < nrhs_; ++c) {
+        for (int r = 0; r < m; ++r) {
+          const idx_t gr = sn.below[blk.row_off + r] - tgt.first;
+          seg[gr + static_cast<std::size_t>(c) * tgt.width()] -=
+              z[r + static_cast<std::size_t>(c) * m];
+        }
+      }
+    } else {
+      const int w = static_cast<int>(sn.width());
+      for (int c = 0; c < nrhs_; ++c) {
+        for (int r = 0; r < w; ++r) {
+          seg[r + static_cast<std::size_t>(c) * w] -=
+              z[r + static_cast<std::size_t>(c) * w];
+        }
+      }
+    }
+  }
+  seg_ready_[dest] = std::max(seg_ready_[dest], ready);
+  if (--remaining_[dest] == 0) {
+    per_rank_[rank.id()].tasks.push_back(
+        Task{Task::Type::kDiag, dest, 0, nullptr,
+             std::max(seg_ready_[dest], rank.now())});
+  }
+}
+
+}  // namespace sympack::core

@@ -1,0 +1,102 @@
+// Distributed triangular solve: L y = b (forward) then L^T x = y
+// (backward), using the factored blocks in place (paper's solve phase,
+// Figures 8/10/12).
+//
+// Both sweeps are task-based over the same block distribution as the
+// factorization and use the same signal-RPC + one-sided-get protocol:
+//   forward:  the owner of diagonal block k solves the panel RHS segment
+//             once all descendant contributions have been folded in,
+//             broadcasts y_k to the owners of panel-k blocks; each block
+//             owner computes z = B_{s,k} y_k and fans the partial sum in
+//             to the owner of supernode s.
+//   backward: the owner of supernode s broadcasts x_s to the owners of
+//             blocks *targeting* s; each computes w = B_{s,k}^T x_s|rows
+//             and fans it in to the owner of panel k.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block_store.hpp"
+#include "core/offload.hpp"
+#include "core/options.hpp"
+#include "pgas/runtime.hpp"
+#include "symbolic/taskgraph.hpp"
+
+namespace sympack::core {
+
+class SolveEngine {
+ public:
+  SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
+              const symbolic::TaskGraph& tg, BlockStore& store,
+              Offload& offload, const SolverOptions& opts);
+  ~SolveEngine();
+  SolveEngine(const SolveEngine&) = delete;
+  SolveEngine& operator=(const SolveEngine&) = delete;
+
+  /// Solve L L^T x = b for `nrhs` right-hand sides stored column-major
+  /// in `b` (permuted ordering). Returns x (also permuted ordering).
+  /// In protocol-only mode the returned vector is zero-filled but the
+  /// full task/communication schedule still runs.
+  std::vector<double> solve(const std::vector<double>& b, int nrhs);
+
+ private:
+  struct Msg {
+    enum class Type : std::uint8_t { kX, kContrib } type;
+    idx_t k;          // kX: supernode whose solution segment is published
+    idx_t panel;      // kContrib: source panel
+    BlockSlot slot;   // kContrib: block slot in the panel
+    pgas::GlobalPtr data;
+    std::size_t bytes;
+  };
+  struct Task {
+    enum class Type : std::uint8_t { kDiag, kContrib } type;
+    idx_t k;         // kDiag: supernode; kContrib: panel
+    BlockSlot slot;  // kContrib only
+    const double* operand;  // solution segment the contribution consumes
+    double ready;
+  };
+  struct PerRank {
+    std::deque<Task> tasks;
+    std::vector<Msg> msgs;
+    idx_t done_diag = 0;
+    idx_t done_contrib = 0;
+    std::vector<pgas::GlobalPtr> owned_buffers;  // freed at phase end
+  };
+
+  pgas::Step step(pgas::Rank& rank, bool backward);
+  void handle_msg(pgas::Rank& rank, const Msg& msg, bool backward);
+  void execute_diag(pgas::Rank& rank, idx_t k, bool backward);
+  void execute_contrib(pgas::Rank& rank, const Task& task, bool backward);
+  void publish_solution(pgas::Rank& rank, idx_t k, bool backward);
+  void apply_contribution(pgas::Rank& rank, idx_t panel, BlockSlot slot,
+                          const double* z, double ready, bool backward);
+  void run_phase(bool backward);
+  void reset_phase(bool backward);
+  void free_buffers();
+
+  pgas::Runtime* rt_;
+  const symbolic::Symbolic* sym_;
+  const symbolic::TaskGraph* tg_;
+  BlockStore* store_;
+  Offload* offload_;
+  SolverOptions opts_;
+  int nrhs_ = 1;
+
+  // (panel, slot) pairs targeting each supernode (transpose structure).
+  std::vector<std::vector<std::pair<idx_t, BlockSlot>>> target_blocks_;
+  // Per-supernode RHS/solution segment, owned by the diagonal owner.
+  std::vector<std::vector<double>> seg_;
+  std::vector<int> remaining_;        // contributions outstanding
+  std::vector<double> seg_ready_;     // sim time the segment is complete
+  std::vector<PerRank> per_rank_;
+  // Per-rank totals for termination.
+  std::vector<idx_t> owned_diag_;
+  std::vector<idx_t> owned_contrib_fwd_;
+  std::vector<idx_t> owned_contrib_bwd_;
+};
+
+}  // namespace sympack::core

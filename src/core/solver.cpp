@@ -1,0 +1,208 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/factor.hpp"
+#include "core/fanin.hpp"
+#include "core/solve.hpp"
+#include "ordering/etree.hpp"
+#include "sparse/permute.hpp"
+#include "support/timer.hpp"
+
+namespace sympack::core {
+
+Policy parse_policy(const std::string& name) {
+  if (name == "fifo") return Policy::kFifo;
+  if (name == "lifo") return Policy::kLifo;
+  if (name == "priority" || name == "prio") return Policy::kPriority;
+  if (name == "critical-path" || name == "critical") {
+    return Policy::kCriticalPath;
+  }
+  throw std::invalid_argument("unknown scheduling policy: " + name);
+}
+
+std::string policy_name(Policy p) {
+  switch (p) {
+    case Policy::kFifo: return "fifo";
+    case Policy::kLifo: return "lifo";
+    case Policy::kPriority: return "priority";
+    case Policy::kCriticalPath: return "critical-path";
+  }
+  return "?";
+}
+
+Variant parse_variant(const std::string& name) {
+  if (name == "fan-out" || name == "fanout") return Variant::kFanOut;
+  if (name == "fan-in" || name == "fanin") return Variant::kFanIn;
+  throw std::invalid_argument("unknown variant: " + name);
+}
+
+std::string variant_name(Variant v) {
+  return v == Variant::kFanOut ? "fan-out" : "fan-in";
+}
+
+SymPackSolver::SymPackSolver(pgas::Runtime& rt, SolverOptions opts)
+    : rt_(&rt), opts_(opts) {}
+
+SymPackSolver::~SymPackSolver() = default;
+
+void SymPackSolver::symbolic_factorize(const sparse::CscMatrix& a) {
+  using support::WallClock;
+
+  double t0 = WallClock::now();
+  perm_ = ordering::compute_ordering(a, opts_.ordering);
+  a_perm_ = sparse::permute_symmetric(a, perm_);
+  report_.ordering_wall_s = WallClock::now() - t0;
+
+  t0 = WallClock::now();
+  const auto parent = ordering::elimination_tree(a_perm_);
+  sym_ = symbolic::analyze(a_perm_, parent, opts_.symbolic);
+  const auto mapping =
+      opts_.mapping == symbolic::Mapping::Kind::kProportional
+          ? symbolic::Mapping::proportional(rt_->nranks(), sym_)
+          : symbolic::Mapping(rt_->nranks(), opts_.mapping);
+  tg_ = std::make_unique<symbolic::TaskGraph>(sym_, mapping);
+  store_ = std::make_unique<BlockStore>(sym_, *tg_, *rt_, opts_.numeric);
+  offload_ = std::make_unique<Offload>(opts_.gpu, *rt_, opts_.numeric);
+  report_.symbolic_wall_s = WallClock::now() - t0;
+
+  report_.n = a.n();
+  report_.matrix_nnz = a.nnz_stored();
+  report_.factor_nnz = sym_.factor_nnz();
+  report_.factor_flops = sym_.flops();
+  report_.num_supernodes = sym_.num_snodes();
+  report_.num_blocks = store_->num_blocks();
+  factorized_ = false;
+}
+
+void SymPackSolver::factorize() {
+  if (!tg_) {
+    throw std::logic_error("factorize() requires symbolic_factorize()");
+  }
+  const double t0 = support::WallClock::now();
+  store_->assemble(a_perm_);
+  rt_->reset_clocks();
+  rt_->reset_stats();
+  offload_->reset_counters();
+
+  if (opts_.variant == Variant::kFanOut) {
+    FactorEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_, tracer_);
+    engine.run();
+  } else {
+    FanInEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_);
+    engine.run();
+  }
+
+  report_.factor_wall_s = support::WallClock::now() - t0;
+  report_.factor_sim_s = rt_->max_clock();
+  report_.rank0_ops = offload_->counts(0);
+  report_.total_ops = offload_->total_counts();
+  report_.comm = rt_->total_stats();
+  report_.gpu_fallbacks = offload_->fallbacks();
+  report_.peak_memory_bytes = rt_->peak_bytes();
+  factorized_ = true;
+}
+
+std::vector<double> SymPackSolver::solve(const std::vector<double>& b,
+                                         int nrhs) {
+  if (!factorized_) throw std::logic_error("solve() requires factorize()");
+  const auto n = static_cast<std::size_t>(sym_.n());
+  if (b.size() != n * static_cast<std::size_t>(nrhs)) {
+    throw std::invalid_argument("solve: rhs size mismatch");
+  }
+
+  // Permute the right-hand sides into the factor's ordering.
+  std::vector<double> b_perm(b.size());
+  for (int c = 0; c < nrhs; ++c) {
+    for (std::size_t k = 0; k < n; ++k) {
+      b_perm[k + c * n] = b[static_cast<std::size_t>(perm_[k]) + c * n];
+    }
+  }
+
+  const double t0 = support::WallClock::now();
+  rt_->reset_clocks();
+  SolveEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_);
+  auto x_perm = engine.solve(b_perm, nrhs);
+  report_.solve_wall_s = support::WallClock::now() - t0;
+  report_.solve_sim_s = rt_->max_clock();
+  // Fold solve-phase ops and comm into the report totals.
+  report_.rank0_ops = offload_->counts(0);
+  report_.total_ops = offload_->total_counts();
+  report_.comm = rt_->total_stats();
+
+  // Un-permute the solution.
+  std::vector<double> x(b.size());
+  for (int c = 0; c < nrhs; ++c) {
+    for (std::size_t k = 0; k < n; ++k) {
+      x[static_cast<std::size_t>(perm_[k]) + c * n] = x_perm[k + c * n];
+    }
+  }
+  return x;
+}
+
+SymPackSolver::RefinedSolve SymPackSolver::solve_refined(
+    const std::vector<double>& b, int nrhs, int max_iterations,
+    double tolerance) {
+  RefinedSolve result;
+  result.x = solve(b, nrhs);
+  const auto n = static_cast<std::size_t>(sym_.n());
+
+  auto residual_norms = [&](const std::vector<double>& x,
+                            std::vector<double>& r) {
+    // r = b - A x per RHS; returns the worst relative 2-norm.
+    double worst = 0.0;
+    std::vector<double> ax(n);
+    for (int c = 0; c < nrhs; ++c) {
+      // A is held permuted; apply P^T A P through the permutation.
+      std::vector<double> xp(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        xp[k] = x[static_cast<std::size_t>(perm_[k]) + c * n];
+      }
+      a_perm_.symv(xp.data(), ax.data());
+      double rr = 0.0, bb = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double bv = b[static_cast<std::size_t>(perm_[k]) + c * n];
+        const double rv = bv - ax[k];
+        r[static_cast<std::size_t>(perm_[k]) + c * n] = rv;
+        rr += rv * rv;
+        bb += bv * bv;
+      }
+      worst = std::max(worst, bb > 0 ? std::sqrt(rr / bb) : std::sqrt(rr));
+    }
+    return worst;
+  };
+
+  std::vector<double> r(b.size());
+  result.residual = residual_norms(result.x, r);
+  for (int it = 0; it < max_iterations && result.residual > tolerance; ++it) {
+    const auto dx = solve(r, nrhs);
+    std::vector<double> candidate = result.x;
+    for (std::size_t i = 0; i < candidate.size(); ++i) candidate[i] += dx[i];
+    std::vector<double> r2(b.size());
+    const double improved = residual_norms(candidate, r2);
+    if (improved >= result.residual) break;  // stagnated
+    result.x = std::move(candidate);
+    r = std::move(r2);
+    result.residual = improved;
+    ++result.iterations;
+  }
+  return result;
+}
+
+std::vector<double> SymPackSolver::dense_factor() const {
+  if (!factorized_) {
+    throw std::logic_error("dense_factor() requires factorize()");
+  }
+  return store_->to_dense_lower();
+}
+
+const BlockStore& SymPackSolver::block_store() const {
+  if (!factorized_) {
+    throw std::logic_error("block_store() requires factorize()");
+  }
+  return *store_;
+}
+
+}  // namespace sympack::core

@@ -1,0 +1,101 @@
+// Public solver API.
+//
+// Usage:
+//   pgas::Runtime rt(config);              // the "cluster"
+//   core::SymPackSolver solver(rt, opts);
+//   solver.symbolic_factorize(A);          // ordering + analysis + mapping
+//   solver.factorize();                    // numeric Cholesky (fan-out)
+//   auto x = solver.solve(b);              // triangular solves
+//   solver.report();                       // timings, op counts, comm
+//
+// The matrix A is a symmetric positive definite CscMatrix (lower
+// triangle). b and x are in the original (unpermuted) ordering; the
+// fill-reducing permutation is applied internally.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/block_store.hpp"
+#include "core/offload.hpp"
+#include "core/options.hpp"
+#include "core/report.hpp"
+#include "core/trace.hpp"
+#include "pgas/runtime.hpp"
+#include "sparse/csc.hpp"
+#include "symbolic/taskgraph.hpp"
+
+namespace sympack::core {
+
+class SymPackSolver {
+ public:
+  SymPackSolver(pgas::Runtime& rt, SolverOptions opts = {});
+  ~SymPackSolver();
+  SymPackSolver(const SymPackSolver&) = delete;
+  SymPackSolver& operator=(const SymPackSolver&) = delete;
+
+  /// Phase 1: fill-reducing ordering, elimination analysis, supernode and
+  /// block partitioning, task-graph construction, block allocation.
+  void symbolic_factorize(const sparse::CscMatrix& a);
+
+  /// Phase 2: numeric factorization. May be called repeatedly (the panels
+  /// are re-assembled from A each time); requires symbolic_factorize.
+  void factorize();
+
+  /// Phase 3: solve A x = b for nrhs right-hand sides (column-major in
+  /// b). Requires factorize. b/x are in the original ordering.
+  [[nodiscard]] std::vector<double> solve(const std::vector<double>& b,
+                                          int nrhs = 1);
+
+  /// Result of solve_refined().
+  struct RefinedSolve {
+    std::vector<double> x;
+    int iterations = 0;      // refinement steps actually taken
+    double residual = 0.0;   // final ||b - A x||_2 / ||b||_2 (worst RHS)
+  };
+
+  /// solve() followed by iterative refinement: x += A^{-1}(b - A x) until
+  /// the residual stops improving, `tolerance` is reached, or
+  /// `max_iterations` steps were taken. (The paper's PaStiX baseline
+  /// driver ships with refinement; symPACK gains it here as an option.)
+  [[nodiscard]] RefinedSolve solve_refined(const std::vector<double>& b,
+                                           int nrhs = 1,
+                                           int max_iterations = 3,
+                                           double tolerance = 1e-14);
+
+  [[nodiscard]] const Report& report() const { return report_; }
+  [[nodiscard]] const std::vector<sparse::idx_t>& permutation() const {
+    return perm_;
+  }
+  [[nodiscard]] const symbolic::Symbolic& symbolic() const { return sym_; }
+  [[nodiscard]] const SolverOptions& options() const { return opts_; }
+
+  /// Attach a tracer: subsequent factorize() calls record every task's
+  /// simulated execution interval (core/trace.hpp). Pass nullptr to
+  /// detach. The tracer must outlive the solver's factorize() calls.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// The factor L of P A P^T as a dense lower-triangular matrix
+  /// (permuted ordering). Small problems / tests only.
+  [[nodiscard]] std::vector<double> dense_factor() const;
+
+  /// Access to the distributed factor blocks (advanced use: selected
+  /// inversion, inspection). Requires factorize().
+  [[nodiscard]] const BlockStore& block_store() const;
+
+ private:
+  pgas::Runtime* rt_;
+  SolverOptions opts_;
+  Report report_;
+
+  sparse::CscMatrix a_perm_;  // permuted matrix kept for re-assembly
+  std::vector<sparse::idx_t> perm_;
+  symbolic::Symbolic sym_;
+  std::unique_ptr<symbolic::TaskGraph> tg_;
+  std::unique_ptr<BlockStore> store_;
+  std::unique_ptr<Offload> offload_;
+  Tracer* tracer_ = nullptr;
+  bool factorized_ = false;
+};
+
+}  // namespace sympack::core

@@ -1,0 +1,47 @@
+#include "core/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sympack::core {
+
+void Tracer::record(int rank, std::string name, double begin_s,
+                    double end_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{rank, std::move(name), begin_s, end_s});
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  char buf[160];
+  for (const auto& e : events_) {
+    if (!first) out << ",\n";
+    first = false;
+    std::snprintf(buf, sizeof buf,
+                  R"({"name":"%s","ph":"X","pid":0,"tid":%d,"ts":%.3f,)"
+                  R"("dur":%.3f})",
+                  e.name.c_str(), e.rank, e.begin_s * 1e6,
+                  (e.end_s - e.begin_s) * 1e6);
+    out << buf;
+  }
+  out << "]\n";
+  return out.str();
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("Tracer: cannot open " + path);
+  f << to_chrome_json();
+}
+
+}  // namespace sympack::core

@@ -1,0 +1,39 @@
+// Execution tracing: records every task's (rank, type, simulated
+// begin/end) and writes a Chrome trace-event JSON (chrome://tracing,
+// Perfetto) so schedules can be inspected visually — the kind of
+// diagnostics an "intra-node scheduling heuristics" study (paper §6)
+// needs.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sympack::core {
+
+class Tracer {
+ public:
+  struct Event {
+    int rank;
+    std::string name;   // e.g. "D 42", "F 42:3", "U 42:3:1"
+    double begin_s;     // simulated seconds
+    double end_s;
+  };
+
+  void record(int rank, std::string name, double begin_s, double end_s);
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear();
+
+  /// Serialize as a Chrome trace-event array ("X" complete events, one
+  /// tid per rank, microsecond timestamps).
+  [[nodiscard]] std::string to_chrome_json() const;
+  void write_chrome_json(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+};
+
+}  // namespace sympack::core

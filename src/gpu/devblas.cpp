@@ -1,0 +1,46 @@
+#include "gpu/devblas.hpp"
+
+namespace sympack::gpu {
+namespace {
+
+// Block the calling rank until the submitted kernel finishes (symPACK
+// synchronizes after each offloaded computation).
+void charge(pgas::Rank& rank, Device& dev, Op op, double flops) {
+  const double done = dev.submit(op, flops, rank.now());
+  rank.merge_clock(done);
+}
+
+}  // namespace
+
+void dev_gemm(pgas::Rank& rank, Device& dev, blas::Trans trans_a,
+              blas::Trans trans_b, int m, int n, int k, double alpha,
+              const double* a, int lda, const double* b, int ldb, double beta,
+              double* c, int ldc) {
+  blas::gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  charge(rank, dev, Op::kGemm,
+         static_cast<double>(blas::gemm_flops(m, n, k)));
+}
+
+void dev_syrk(pgas::Rank& rank, Device& dev, blas::UpLo uplo,
+              blas::Trans trans, int n, int k, double alpha, const double* a,
+              int lda, double beta, double* c, int ldc) {
+  blas::syrk(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+  charge(rank, dev, Op::kSyrk, static_cast<double>(blas::syrk_flops(n, k)));
+}
+
+void dev_trsm(pgas::Rank& rank, Device& dev, blas::Side side, blas::UpLo uplo,
+              blas::Trans trans_a, blas::Diag diag, int m, int n, double alpha,
+              const double* a, int lda, double* b, int ldb) {
+  blas::trsm(side, uplo, trans_a, diag, m, n, alpha, a, lda, b, ldb);
+  charge(rank, dev, Op::kTrsm,
+         static_cast<double>(blas::trsm_flops(side, m, n)));
+}
+
+int dev_potrf(pgas::Rank& rank, Device& dev, blas::UpLo uplo, int n, double* a,
+              int lda) {
+  const int info = blas::potrf(uplo, n, a, lda);
+  charge(rank, dev, Op::kPotrf, static_cast<double>(blas::potrf_flops(n)));
+  return info;
+}
+
+}  // namespace sympack::gpu

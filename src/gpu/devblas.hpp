@@ -1,0 +1,33 @@
+// Device BLAS/LAPACK: the cuBLAS/cuSolver stand-in (paper §4.2).
+//
+// Each routine computes the exact same result as the host kernel (the
+// math runs on the host against the device-resident buffers, which are
+// host-addressable in this simulation) and charges simulated GPU time:
+// the calling rank blocks until kernel completion, and the kernel
+// serializes against other kernels on the same physical device.
+#pragma once
+
+#include "blas/blas.hpp"
+#include "gpu/device.hpp"
+#include "pgas/runtime.hpp"
+
+namespace sympack::gpu {
+
+void dev_gemm(pgas::Rank& rank, Device& dev, blas::Trans trans_a,
+              blas::Trans trans_b, int m, int n, int k, double alpha,
+              const double* a, int lda, const double* b, int ldb, double beta,
+              double* c, int ldc);
+
+void dev_syrk(pgas::Rank& rank, Device& dev, blas::UpLo uplo,
+              blas::Trans trans, int n, int k, double alpha, const double* a,
+              int lda, double beta, double* c, int ldc);
+
+void dev_trsm(pgas::Rank& rank, Device& dev, blas::Side side, blas::UpLo uplo,
+              blas::Trans trans_a, blas::Diag diag, int m, int n, double alpha,
+              const double* a, int lda, double* b, int ldb);
+
+/// Returns the POTRF info code (0 = success), as cuSolver does.
+int dev_potrf(pgas::Rank& rank, Device& dev, blas::UpLo uplo, int n, double* a,
+              int lda);
+
+}  // namespace sympack::gpu

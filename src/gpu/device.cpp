@@ -1,0 +1,78 @@
+#include "gpu/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sympack::gpu {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kGemm: return "GEMM";
+    case Op::kSyrk: return "SYRK";
+    case Op::kTrsm: return "TRSM";
+    case Op::kPotrf: return "POTRF";
+  }
+  return "?";
+}
+
+double cpu_kernel_time(const pgas::MachineModel& model, Op op, double flops) {
+  double rate = model.cpu_gemm_Gflops;
+  switch (op) {
+    case Op::kGemm: rate = model.cpu_gemm_Gflops; break;
+    case Op::kSyrk: rate = model.cpu_syrk_Gflops; break;
+    case Op::kTrsm: rate = model.cpu_trsm_Gflops; break;
+    case Op::kPotrf: rate = model.cpu_potrf_Gflops; break;
+  }
+  return flops / (rate * 1e9);
+}
+
+double gpu_kernel_time(const pgas::MachineModel& model, Op op, double flops) {
+  double rate = model.gpu_gemm_Gflops;
+  switch (op) {
+    case Op::kGemm: rate = model.gpu_gemm_Gflops; break;
+    case Op::kSyrk: rate = model.gpu_syrk_Gflops; break;
+    case Op::kTrsm: rate = model.gpu_trsm_Gflops; break;
+    case Op::kPotrf: rate = model.gpu_potrf_Gflops; break;
+  }
+  return flops / (rate * 1e9);
+}
+
+double Device::submit(Op op, double flops, double ready) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double start = std::max(ready, busy_until_);
+  const double finish =
+      start + model_->gpu_launch_s + gpu_kernel_time(*model_, op, flops);
+  busy_until_ = finish;
+  ++kernels_;
+  return finish;
+}
+
+double Device::busy_until() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_until_;
+}
+
+std::uint64_t Device::kernels_launched() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return kernels_;
+}
+
+void Device::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  busy_until_ = 0.0;
+  kernels_ = 0;
+}
+
+DeviceManager::DeviceManager(pgas::Runtime& runtime) {
+  const int total = runtime.nodes() * runtime.config().gpus_per_node;
+  devices_.reserve(total);
+  for (int d = 0; d < total; ++d) {
+    devices_.push_back(std::make_unique<Device>(d, runtime.model()));
+  }
+}
+
+void DeviceManager::reset() {
+  for (auto& d : devices_) d->reset();
+}
+
+}  // namespace sympack::gpu

@@ -1,0 +1,71 @@
+// Simulated GPU devices.
+//
+// Each physical device is a contended resource shared by the ranks bound
+// to it (paper §4.2 recommends binding process p to device p mod d).
+// Kernels execute their numerics on the host (bit-identical results) and
+// charge simulated time from the A100 performance model; the device's own
+// clock serializes kernels from co-located ranks, so oversubscribing a
+// GPU shows up as queueing delay exactly like on real hardware.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "pgas/machine_model.hpp"
+#include "pgas/runtime.hpp"
+
+namespace sympack::gpu {
+
+enum class Op { kGemm, kSyrk, kTrsm, kPotrf };
+
+const char* op_name(Op op);
+
+/// Time to run `flops` of `op` on the CPU (one core, flat-MPI process).
+double cpu_kernel_time(const pgas::MachineModel& model, Op op, double flops);
+
+/// Pure execution time of `flops` of `op` on the device (excl. launch).
+double gpu_kernel_time(const pgas::MachineModel& model, Op op, double flops);
+
+class Device {
+ public:
+  Device(int id, const pgas::MachineModel& model)
+      : id_(id), model_(&model) {}
+
+  [[nodiscard]] int id() const { return id_; }
+
+  /// Submit a kernel: the caller becomes ready at `ready`; the kernel
+  /// starts when both the caller and the device are free, runs for
+  /// launch-overhead + flops/rate, and the completion time is returned.
+  /// Thread-safe (device clock is shared between ranks).
+  double submit(Op op, double flops, double ready);
+
+  [[nodiscard]] double busy_until() const;
+  [[nodiscard]] std::uint64_t kernels_launched() const;
+  void reset();
+
+ private:
+  int id_;
+  const pgas::MachineModel* model_;
+  mutable std::mutex mutex_;
+  double busy_until_ = 0.0;
+  std::uint64_t kernels_ = 0;
+};
+
+/// One Device per physical GPU of the runtime's cluster, plus the
+/// rank -> device binding.
+class DeviceManager {
+ public:
+  explicit DeviceManager(pgas::Runtime& runtime);
+
+  [[nodiscard]] Device& device_for(const pgas::Rank& rank) {
+    return *devices_.at(rank.device());
+  }
+  [[nodiscard]] Device& device(int id) { return *devices_.at(id); }
+  [[nodiscard]] int count() const { return static_cast<int>(devices_.size()); }
+  void reset();
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace sympack::gpu

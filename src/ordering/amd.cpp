@@ -1,0 +1,160 @@
+#include "ordering/amd.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace sympack::ordering {
+namespace {
+
+struct HeapEntry {
+  idx_t degree;
+  idx_t vertex;
+  bool operator>(const HeapEntry& o) const {
+    if (degree != o.degree) return degree > o.degree;
+    return vertex > o.vertex;  // deterministic tie-break
+  }
+};
+
+}  // namespace
+
+std::vector<idx_t> amd(const Graph& g) {
+  const idx_t n = g.n;
+  std::vector<idx_t> perm;
+  perm.reserve(n);
+
+  // Quotient graph state. A vertex is a live *variable* until eliminated,
+  // after which it becomes an *element* whose member list records the
+  // clique it created. Absorbed elements are dead.
+  std::vector<std::vector<idx_t>> adj_var(n);   // variable-variable edges
+  std::vector<std::vector<idx_t>> adj_elem(n);  // incident elements
+  std::vector<std::vector<idx_t>> members(n);   // element -> variables
+  enum class State : unsigned char { kVariable, kElement, kDead };
+  std::vector<State> state(n, State::kVariable);
+  std::vector<idx_t> degree(n);
+
+  for (idx_t v = 0; v < n; ++v) {
+    adj_var[v].assign(g.adjind.begin() + g.adjptr[v],
+                      g.adjind.begin() + g.adjptr[v + 1]);
+    degree[v] = g.degree(v);
+  }
+
+  // Lazy-deletion min-heap keyed by approximate degree.
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (idx_t v = 0; v < n; ++v) heap.push({degree[v], v});
+
+  std::vector<idx_t> mark(n, -1);   // stamp array for set operations
+  std::vector<idx_t> wstamp(n, -1); // stamp for element |Le \ Lp| counters
+  std::vector<idx_t> w(n, 0);
+  idx_t stamp = 0;
+
+  std::vector<idx_t> lp;  // the new element's member list
+
+  while (static_cast<idx_t>(perm.size()) < n) {
+    // Pop the minimum-degree live variable (skip stale heap entries).
+    idx_t p = -1;
+    while (!heap.empty()) {
+      const auto top = heap.top();
+      heap.pop();
+      if (state[top.vertex] == State::kVariable &&
+          top.degree == degree[top.vertex]) {
+        p = top.vertex;
+        break;
+      }
+    }
+    if (p < 0) break;  // defensive; cannot happen while variables remain
+
+    // ---- Form Lp = (A_p U union of member lists of E_p) \ {p, dead}.
+    ++stamp;
+    mark[p] = stamp;
+    lp.clear();
+    for (idx_t v : adj_var[p]) {
+      if (state[v] == State::kVariable && mark[v] != stamp) {
+        mark[v] = stamp;
+        lp.push_back(v);
+      }
+    }
+    for (idx_t e : adj_elem[p]) {
+      if (state[e] != State::kElement) continue;
+      for (idx_t v : members[e]) {
+        if (state[v] == State::kVariable && mark[v] != stamp) {
+          mark[v] = stamp;
+          lp.push_back(v);
+        }
+      }
+      // Element absorption: e's clique is now covered by element p.
+      state[e] = State::kDead;
+      members[e].clear();
+      members[e].shrink_to_fit();
+    }
+
+    // ---- Compute |L_e \ Lp| for every live element touching Lp.
+    for (idx_t i : lp) {
+      for (idx_t e : adj_elem[i]) {
+        if (state[e] != State::kElement) continue;
+        if (wstamp[e] != stamp) {
+          wstamp[e] = stamp;
+          // Live member count of e (lazy compaction happens below).
+          idx_t live = 0;
+          for (idx_t v : members[e]) {
+            if (state[v] == State::kVariable) ++live;
+          }
+          w[e] = live;
+        }
+        --w[e];
+      }
+    }
+
+    // ---- Update each i in Lp.
+    const idx_t lp_size = static_cast<idx_t>(lp.size());
+    for (idx_t i : lp) {
+      // Prune variable adjacency: drop p, dead vertices, and anything in
+      // Lp (now covered by the new element).
+      auto& av = adj_var[i];
+      std::size_t out = 0;
+      for (idx_t v : av) {
+        if (v == p || state[v] != State::kVariable) continue;
+        if (mark[v] == stamp) continue;  // in Lp
+        av[out++] = v;
+      }
+      av.resize(out);
+
+      // Prune element list to live elements and append p.
+      auto& ae = adj_elem[i];
+      out = 0;
+      for (idx_t e : ae) {
+        if (state[e] == State::kElement) ae[out++] = e;
+      }
+      ae.resize(out);
+      ae.push_back(p);
+
+      // AMD approximate external degree.
+      idx_t elem_sum = 0;
+      for (idx_t e : ae) {
+        if (e == p) continue;
+        // w[e] was set in this stamp epoch iff e touches Lp (it must,
+        // since e is adjacent to i in Lp); guard anyway.
+        elem_sum += (wstamp[e] == stamp) ? std::max<idx_t>(w[e], 0) : 0;
+      }
+      const idx_t bound_prev = degree[i] + lp_size - 1;
+      const idx_t bound_new =
+          static_cast<idx_t>(av.size()) + (lp_size - 1) + elem_sum;
+      const idx_t remaining = n - static_cast<idx_t>(perm.size()) - 1;
+      degree[i] =
+          std::max<idx_t>(0, std::min({remaining, bound_prev, bound_new}));
+      heap.push({degree[i], i});
+    }
+
+    // ---- p becomes an element.
+    state[p] = State::kElement;
+    members[p] = lp;
+    adj_var[p].clear();
+    adj_var[p].shrink_to_fit();
+    adj_elem[p].clear();
+    adj_elem[p].shrink_to_fit();
+    perm.push_back(p);
+  }
+  return perm;
+}
+
+}  // namespace sympack::ordering

@@ -1,0 +1,22 @@
+// Approximate Minimum Degree ordering (Amestoy, Davis & Duff style).
+//
+// A quotient-graph implementation with element absorption and the AMD
+// approximate external degree bound
+//   d_i = min(n - k, d_i + |Lp| - 1, |A_i| + |Lp \ i| + sum_e |L_e \ Lp|)
+// where the |L_e \ Lp| terms are computed for all touched elements in one
+// pass. Supervariable detection is omitted (each variable is kept
+// individually) — this trades some speed for simplicity without affecting
+// correctness of the ordering.
+#pragma once
+
+#include <vector>
+
+#include "ordering/graph.hpp"
+
+namespace sympack::ordering {
+
+/// Returns the elimination order as new-to-old: perm[k] = variable
+/// eliminated k-th.
+std::vector<idx_t> amd(const Graph& g);
+
+}  // namespace sympack::ordering

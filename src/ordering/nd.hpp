@@ -1,0 +1,26 @@
+// Nested dissection ordering (the role Scotch plays in the paper's
+// experiments, AD/AE §A.2.4). Recursive vertex bisection:
+//   1. Build a BFS level structure from a pseudo-peripheral vertex.
+//   2. Cut at the level that best balances the two halves.
+//   3. Take as vertex separator the smaller-side vertices adjacent to the
+//      other side.
+//   4. Recurse on both halves; separator vertices are numbered last.
+// Small parts are ordered with AMD, matching the minimum-degree leaf
+// treatment of production ND codes.
+#pragma once
+
+#include <vector>
+
+#include "ordering/graph.hpp"
+
+namespace sympack::ordering {
+
+struct NdOptions {
+  idx_t leaf_size = 96;   // parts at or below this size go to AMD
+  int max_depth = 40;     // recursion guard
+};
+
+/// Returns the permutation as new-to-old: perm[k] = old index placed k-th.
+std::vector<idx_t> nested_dissection(const Graph& g, const NdOptions& opts = {});
+
+}  // namespace sympack::ordering

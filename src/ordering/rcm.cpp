@@ -1,0 +1,43 @@
+#include "ordering/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace sympack::ordering {
+
+std::vector<idx_t> rcm(const Graph& g) {
+  std::vector<idx_t> order;
+  order.reserve(g.n);
+  std::vector<bool> visited(g.n, false);
+  std::vector<idx_t> neighbours;
+
+  for (idx_t s = 0; s < g.n; ++s) {
+    if (visited[s]) continue;
+    // One BFS per connected component, rooted at a pseudo-peripheral
+    // vertex of that component.
+    const idx_t root = pseudo_peripheral(g, s);
+    std::queue<idx_t> q;
+    q.push(root);
+    visited[root] = true;
+    while (!q.empty()) {
+      const idx_t v = q.front();
+      q.pop();
+      order.push_back(v);
+      neighbours.clear();
+      for (idx_t p = g.adjptr[v]; p < g.adjptr[v + 1]; ++p) {
+        const idx_t u = g.adjind[p];
+        if (!visited[u]) {
+          visited[u] = true;
+          neighbours.push_back(u);
+        }
+      }
+      std::sort(neighbours.begin(), neighbours.end(),
+                [&](idx_t a, idx_t b) { return g.degree(a) < g.degree(b); });
+      for (idx_t u : neighbours) q.push(u);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace sympack::ordering

@@ -1,0 +1,15 @@
+// Reverse Cuthill-McKee ordering: bandwidth reduction via BFS from a
+// pseudo-peripheral vertex, children visited in increasing-degree order,
+// then the whole order reversed.
+#pragma once
+
+#include <vector>
+
+#include "ordering/graph.hpp"
+
+namespace sympack::ordering {
+
+/// Returns the permutation as new-to-old: perm[k] = old index placed k-th.
+std::vector<idx_t> rcm(const Graph& g);
+
+}  // namespace sympack::ordering

@@ -1,0 +1,31 @@
+// Global pointer: a reference to memory owned by some rank, in host or
+// device memory — the analogue of upcxx::global_ptr. Because all ranks
+// live in one address space here, the pointer carries the raw address;
+// the rank and memory kind drive the communication cost model and the
+// protocol bookkeeping.
+#pragma once
+
+#include <cstddef>
+
+#include "pgas/machine_model.hpp"
+
+namespace sympack::pgas {
+
+struct GlobalPtr {
+  std::byte* addr = nullptr;
+  int rank = -1;
+  MemKind kind = MemKind::kHost;
+
+  [[nodiscard]] bool is_null() const { return addr == nullptr; }
+
+  template <typename T>
+  [[nodiscard]] T* local() const {
+    return reinterpret_cast<T*>(addr);
+  }
+
+  friend bool operator==(const GlobalPtr& a, const GlobalPtr& b) {
+    return a.addr == b.addr && a.rank == b.rank && a.kind == b.kind;
+  }
+};
+
+}  // namespace sympack::pgas

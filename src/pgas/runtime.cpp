@@ -1,0 +1,297 @@
+#include "pgas/runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "support/logging.hpp"
+
+namespace sympack::pgas {
+
+// ---------------------------------------------------------------- Rank
+
+int Rank::nranks() const { return runtime_->nranks(); }
+
+int Rank::node() const { return id_ / runtime_->config().ranks_per_node; }
+
+int Rank::device() const {
+  const auto& cfg = runtime_->config();
+  const int local = id_ % cfg.ranks_per_node;
+  return node() * cfg.gpus_per_node + (local % cfg.gpus_per_node);
+}
+
+GlobalPtr Rank::allocate_host(std::size_t bytes) {
+  auto* addr = new std::byte[bytes];
+  runtime_->register_allocation(addr, {bytes, MemKind::kHost, -1});
+  return GlobalPtr{addr, id_, MemKind::kHost};
+}
+
+GlobalPtr Rank::allocate_device(std::size_t bytes, bool nothrow) {
+  const int dev = device();
+  const std::size_t device_cap = runtime_->config().device_memory_bytes;
+  {
+    std::lock_guard<std::mutex> lock(runtime_->device_mutex_);
+    if (runtime_->device_used_[dev] + bytes > device_cap) {
+      if (nothrow) return GlobalPtr{nullptr, id_, MemKind::kDevice};
+      throw DeviceOom("device " + std::to_string(dev) + " out of memory (" +
+                      std::to_string(bytes) + " B requested, " +
+                      std::to_string(device_cap - runtime_->device_used_[dev]) +
+                      " B free)");
+    }
+    runtime_->device_used_[dev] += bytes;
+  }
+  auto* addr = new std::byte[bytes];
+  runtime_->register_allocation(addr, {bytes, MemKind::kDevice, dev});
+  return GlobalPtr{addr, id_, MemKind::kDevice};
+}
+
+void Rank::deallocate(GlobalPtr ptr) {
+  if (ptr.is_null()) return;
+  const auto alloc = runtime_->unregister_allocation(ptr.addr);
+  if (alloc.kind == MemKind::kDevice) {
+    std::lock_guard<std::mutex> lock(runtime_->device_mutex_);
+    runtime_->device_used_[alloc.device] -= alloc.bytes;
+  }
+  delete[] ptr.addr;
+}
+
+void Rank::rpc(int target, std::function<void(Rank&)> fn) {
+  Rank& t = runtime_->rank(target);
+  const double arrival = clock_ + runtime_->model().rpc_overhead_s;
+  advance(runtime_->model().rpc_overhead_s * 0.5);  // injection cost
+  ++stats_.rpcs_sent;
+  std::lock_guard<std::mutex> lock(t.inbox_mutex_);
+  t.inbox_.push_back({arrival, std::move(fn)});
+}
+
+int Rank::progress() {
+  std::vector<InboxEntry> drained;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    drained.swap(inbox_);
+  }
+  for (auto& entry : drained) {
+    // The callback cannot run before the RPC arrived.
+    merge_clock(entry.arrival);
+    advance(runtime_->model().rpc_overhead_s * 0.5);  // execution cost
+    entry.fn(*this);
+    ++stats_.rpcs_executed;
+  }
+  return static_cast<int>(drained.size());
+}
+
+bool Rank::has_pending_rpcs() const {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  return !inbox_.empty();
+}
+
+double Rank::transfer_completion(std::size_t bytes, int peer,
+                                 MemKind src_kind, MemKind dst_kind) {
+  const bool same = runtime_->same_node(peer, id_);
+  const double t =
+      runtime_->model().transfer_time(bytes, same, src_kind, dst_kind);
+  if (same) return now() + t;
+  // Cross-node transfers serialize on this rank's NIC channel.
+  const auto& cfg = runtime_->config();
+  const int nic = node() * cfg.nics_per_node +
+                  (id_ % cfg.ranks_per_node) % cfg.nics_per_node;
+  std::lock_guard<std::mutex> lock(runtime_->nic_mutex_);
+  double& busy = runtime_->nic_busy_[nic];
+  busy = std::max(busy, now()) + t;
+  return busy;
+}
+
+double Rank::rget(const GlobalPtr& src, std::byte* dst, std::size_t bytes,
+                  MemKind dst_kind) {
+  std::memcpy(dst, src.addr, bytes);
+  const double t = transfer_completion(bytes, src.rank, src.kind, dst_kind);
+  advance(runtime_->model().rma_issue_s);
+  ++stats_.gets;
+  if (src.kind == MemKind::kDevice) {
+    stats_.bytes_from_device += bytes;
+  } else {
+    stats_.bytes_from_host += bytes;
+  }
+  if (dst_kind == MemKind::kDevice) stats_.bytes_to_device += bytes;
+  return t;
+}
+
+double Rank::copy(const GlobalPtr& src, const GlobalPtr& dst,
+                  std::size_t bytes) {
+  std::memcpy(dst.addr, src.addr, bytes);
+  const int peer = (src.rank == id_) ? dst.rank : src.rank;
+  const double t = transfer_completion(bytes, peer, src.kind, dst.kind);
+  advance(runtime_->model().rma_issue_s);
+  ++stats_.puts;
+  if (src.kind == MemKind::kDevice) {
+    stats_.bytes_from_device += bytes;
+  } else {
+    stats_.bytes_from_host += bytes;
+  }
+  if (dst.kind == MemKind::kDevice) stats_.bytes_to_device += bytes;
+  return t;
+}
+
+void Rank::hd_copy(const std::byte* src, std::byte* dst, std::size_t bytes) {
+  std::memcpy(dst, src, bytes);
+  advance(runtime_->model().hd_copy_time(bytes));
+  ++stats_.hd_copies;
+}
+
+// ------------------------------------------------------------- Runtime
+
+Runtime::Runtime(Config config) : config_(config) {
+  if (config_.nranks < 1 || config_.ranks_per_node < 1 ||
+      config_.gpus_per_node < 1) {
+    throw std::invalid_argument("Runtime: invalid configuration");
+  }
+  ranks_.reserve(config_.nranks);
+  for (int r = 0; r < config_.nranks; ++r) {
+    auto rank = std::make_unique<Rank>();
+    rank->id_ = r;
+    rank->runtime_ = this;
+    ranks_.push_back(std::move(rank));
+  }
+  device_used_.assign(static_cast<std::size_t>(nodes()) * config_.gpus_per_node,
+                      0);
+  nic_busy_.assign(static_cast<std::size_t>(nodes()) * config_.nics_per_node,
+                   0.0);
+}
+
+Runtime::~Runtime() {
+  // Free anything the user leaked so ASAN-style runs stay clean; warn so
+  // tests can keep allocation discipline honest.
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  if (!allocations_.empty()) {
+    SYMPACK_LOG_DEBUG("Runtime: freeing %zu leaked allocations",
+                      allocations_.size());
+    for (auto& [addr, alloc] : allocations_) delete[] addr;
+  }
+}
+
+int Runtime::nodes() const {
+  return (config_.nranks + config_.ranks_per_node - 1) /
+         config_.ranks_per_node;
+}
+
+bool Runtime::same_node(int a, int b) const {
+  return a / config_.ranks_per_node == b / config_.ranks_per_node;
+}
+
+void Runtime::drive(const std::function<Step(Rank&)>& step, int stall_limit) {
+  const int n = nranks();
+  if (config_.threaded) {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (int r = 0; r < n; ++r) {
+      threads.emplace_back([&, r] {
+        Rank& self = rank(r);
+        while (true) {
+          const Step s = step(self);
+          if (s == Step::kDone) break;
+          if (s == Step::kIdle) std::this_thread::yield();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    return;
+  }
+
+  std::vector<bool> done(n, false);
+  int remaining = n;
+  int stalled_sweeps = 0;
+  while (remaining > 0) {
+    bool any_work = false;
+    for (int r = 0; r < n; ++r) {
+      if (done[r]) continue;
+      const Step s = step(rank(r));
+      if (s == Step::kDone) {
+        done[r] = true;
+        --remaining;
+        any_work = true;
+      } else if (s == Step::kWorked) {
+        any_work = true;
+      }
+    }
+    if (any_work) {
+      stalled_sweeps = 0;
+    } else if (++stalled_sweeps > stall_limit) {
+      throw std::runtime_error(
+          "Runtime::drive: no rank made progress for " +
+          std::to_string(stall_limit) + " sweeps (deadlock?)");
+    }
+  }
+}
+
+double Runtime::max_clock() const {
+  double best = 0.0;
+  for (const auto& r : ranks_) best = std::max(best, r->now());
+  return best;
+}
+
+void Runtime::reset_clocks() {
+  for (auto& r : ranks_) r->clock_ = 0.0;
+  std::lock_guard<std::mutex> lock(nic_mutex_);
+  std::fill(nic_busy_.begin(), nic_busy_.end(), 0.0);
+}
+
+CommStats Runtime::total_stats() const {
+  CommStats total;
+  for (const auto& r : ranks_) {
+    const CommStats& s = r->stats();
+    total.rpcs_sent += s.rpcs_sent;
+    total.rpcs_executed += s.rpcs_executed;
+    total.gets += s.gets;
+    total.puts += s.puts;
+    total.bytes_from_host += s.bytes_from_host;
+    total.bytes_from_device += s.bytes_from_device;
+    total.bytes_to_device += s.bytes_to_device;
+    total.hd_copies += s.hd_copies;
+  }
+  return total;
+}
+
+void Runtime::reset_stats() {
+  for (auto& r : ranks_) r->stats_ = CommStats{};
+}
+
+std::size_t Runtime::device_bytes_in_use(int device) const {
+  std::lock_guard<std::mutex> lock(device_mutex_);
+  return device_used_.at(device);
+}
+
+void Runtime::register_allocation(std::byte* addr, Allocation a) {
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  allocations_.emplace(addr, a);
+  bytes_in_use_ += a.bytes;
+  peak_bytes_ = std::max(peak_bytes_, bytes_in_use_);
+}
+
+Runtime::Allocation Runtime::unregister_allocation(std::byte* addr) {
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  const auto it = allocations_.find(addr);
+  if (it == allocations_.end()) {
+    throw std::invalid_argument("deallocate: unknown pointer");
+  }
+  const Allocation a = it->second;
+  allocations_.erase(it);
+  bytes_in_use_ -= a.bytes;
+  return a;
+}
+
+std::size_t Runtime::bytes_in_use() const {
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  return bytes_in_use_;
+}
+
+std::size_t Runtime::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  return peak_bytes_;
+}
+
+void Runtime::reset_peak_memory() {
+  std::lock_guard<std::mutex> lock(alloc_mutex_);
+  peak_bytes_ = bytes_in_use_;
+}
+
+}  // namespace sympack::pgas

@@ -1,0 +1,69 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sympack::sparse {
+
+void CooBuilder::add(idx_t i, idx_t j, double value) {
+  if (i < 0 || i >= n_ || j < 0 || j >= n_) {
+    throw std::out_of_range("CooBuilder::add index out of range");
+  }
+  if (i < j) std::swap(i, j);  // mirror into the lower triangle
+  rows_.push_back(i);
+  cols_.push_back(j);
+  vals_.push_back(value);
+}
+
+CscMatrix CooBuilder::build() const {
+  // Count entries per column including a forced diagonal slot.
+  std::vector<bool> has_diag(n_, false);
+  for (std::size_t k = 0; k < rows_.size(); ++k) {
+    if (rows_[k] == cols_[k]) has_diag[cols_[k]] = true;
+  }
+
+  // Sort by (col, row) with an index permutation to keep memory modest.
+  std::vector<std::size_t> order(rows_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cols_[a] != cols_[b]) return cols_[a] < cols_[b];
+    return rows_[a] < rows_[b];
+  });
+
+  std::vector<idx_t> colptr(n_ + 1, 0);
+  std::vector<idx_t> rowind;
+  std::vector<double> values;
+  rowind.reserve(rows_.size() + n_);
+  values.reserve(rows_.size() + n_);
+
+  std::size_t k = 0;
+  for (idx_t j = 0; j < n_; ++j) {
+    colptr[j] = static_cast<idx_t>(rowind.size());
+    if (!has_diag[j]) {
+      rowind.push_back(j);
+      values.push_back(0.0);
+    }
+    while (k < order.size() && cols_[order[k]] == j) {
+      const idx_t i = rows_[order[k]];
+      double v = vals_[order[k]];
+      ++k;
+      // Fold duplicates.
+      while (k < order.size() && cols_[order[k]] == j &&
+             rows_[order[k]] == i) {
+        v += vals_[order[k]];
+        ++k;
+      }
+      // Keep the forced diagonal (inserted above) sorted: it was pushed
+      // before any off-diagonals, and i >= j always holds here, so when
+      // there is a real diagonal it arrives first in sorted order.
+      rowind.push_back(i);
+      values.push_back(v);
+    }
+  }
+  colptr[n_] = static_cast<idx_t>(rowind.size());
+  return CscMatrix(n_, std::move(colptr), std::move(rowind),
+                   std::move(values));
+}
+
+}  // namespace sympack::sparse

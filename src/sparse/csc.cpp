@@ -1,0 +1,127 @@
+#include "sparse/csc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sympack::sparse {
+
+CscMatrix::CscMatrix(idx_t n, std::vector<idx_t> colptr,
+                     std::vector<idx_t> rowind, std::vector<double> values)
+    : n_(n),
+      colptr_(std::move(colptr)),
+      rowind_(std::move(rowind)),
+      values_(std::move(values)) {
+  validate();
+}
+
+idx_t CscMatrix::nnz_full() const {
+  idx_t diag = 0;
+  for (idx_t j = 0; j < n_; ++j) {
+    for (idx_t p = colptr_[j]; p < colptr_[j + 1]; ++p) {
+      if (rowind_[p] == j) ++diag;
+    }
+  }
+  return 2 * nnz_stored() - diag;
+}
+
+double CscMatrix::at(idx_t i, idx_t j) const {
+  if (i < j) std::swap(i, j);
+  const auto begin = rowind_.begin() + colptr_[j];
+  const auto end = rowind_.begin() + colptr_[j + 1];
+  const auto it = std::lower_bound(begin, end, i);
+  if (it == end || *it != i) return 0.0;
+  return values_[static_cast<std::size_t>(it - rowind_.begin())];
+}
+
+bool CscMatrix::has_entry(idx_t i, idx_t j) const {
+  if (i < j) std::swap(i, j);
+  const auto begin = rowind_.begin() + colptr_[j];
+  const auto end = rowind_.begin() + colptr_[j + 1];
+  return std::binary_search(begin, end, i);
+}
+
+void CscMatrix::symv(const double* x, double* y) const {
+  for (idx_t i = 0; i < n_; ++i) y[i] = 0.0;
+  for (idx_t j = 0; j < n_; ++j) {
+    const double xj = x[j];
+    double acc = 0.0;
+    for (idx_t p = colptr_[j]; p < colptr_[j + 1]; ++p) {
+      const idx_t i = rowind_[p];
+      const double v = values_[p];
+      y[i] += v * xj;
+      if (i != j) acc += v * x[i];  // the mirrored upper-triangle entry
+    }
+    y[j] += acc;
+  }
+}
+
+std::vector<double> CscMatrix::to_dense() const {
+  std::vector<double> d(static_cast<std::size_t>(n_) * n_, 0.0);
+  for (idx_t j = 0; j < n_; ++j) {
+    for (idx_t p = colptr_[j]; p < colptr_[j + 1]; ++p) {
+      const idx_t i = rowind_[p];
+      d[static_cast<std::size_t>(j) * n_ + i] = values_[p];
+      d[static_cast<std::size_t>(i) * n_ + j] = values_[p];
+    }
+  }
+  return d;
+}
+
+void CscMatrix::validate() const {
+  if (static_cast<idx_t>(colptr_.size()) != n_ + 1) {
+    throw std::runtime_error("CscMatrix: colptr size != n+1");
+  }
+  if (colptr_[0] != 0 ||
+      colptr_[n_] != static_cast<idx_t>(rowind_.size()) ||
+      rowind_.size() != values_.size()) {
+    throw std::runtime_error("CscMatrix: inconsistent array sizes");
+  }
+  for (idx_t j = 0; j < n_; ++j) {
+    if (colptr_[j] > colptr_[j + 1]) {
+      throw std::runtime_error("CscMatrix: colptr not monotone");
+    }
+    idx_t prev = -1;
+    bool has_diag = false;
+    for (idx_t p = colptr_[j]; p < colptr_[j + 1]; ++p) {
+      const idx_t i = rowind_[p];
+      if (i < j || i >= n_) {
+        throw std::runtime_error(
+            "CscMatrix: row index outside lower triangle");
+      }
+      if (i <= prev) {
+        throw std::runtime_error("CscMatrix: rows not strictly increasing");
+      }
+      if (i == j) has_diag = true;
+      prev = i;
+    }
+    if (!has_diag) {
+      throw std::runtime_error("CscMatrix: missing diagonal entry in column " +
+                               std::to_string(j));
+    }
+  }
+}
+
+void CscMatrix::shift_diagonal(double shift) {
+  for (idx_t j = 0; j < n_; ++j) {
+    // Diagonal is the first entry of each (sorted) column.
+    values_[colptr_[j]] += shift;
+  }
+}
+
+double CscMatrix::norm1() const {
+  std::vector<double> colsum(n_, 0.0);
+  for (idx_t j = 0; j < n_; ++j) {
+    for (idx_t p = colptr_[j]; p < colptr_[j + 1]; ++p) {
+      const idx_t i = rowind_[p];
+      const double a = std::fabs(values_[p]);
+      colsum[j] += a;
+      if (i != j) colsum[i] += a;
+    }
+  }
+  double best = 0.0;
+  for (double s : colsum) best = std::max(best, s);
+  return best;
+}
+
+}  // namespace sympack::sparse

@@ -1,0 +1,69 @@
+// Compressed sparse column storage for symmetric matrices.
+//
+// Following the solver convention (paper §2), a symmetric matrix A is
+// stored as its *lower triangle including the diagonal* in CSC format with
+// row indices sorted within each column. Structural symmetry is implicit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace sympack::sparse {
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+  CscMatrix(idx_t n, std::vector<idx_t> colptr, std::vector<idx_t> rowind,
+            std::vector<double> values);
+
+  [[nodiscard]] idx_t n() const { return n_; }
+  /// Number of stored (lower-triangle) nonzeros.
+  [[nodiscard]] idx_t nnz_stored() const {
+    return static_cast<idx_t>(rowind_.size());
+  }
+  /// Number of nonzeros of the full symmetric matrix
+  /// (off-diagonals counted twice).
+  [[nodiscard]] idx_t nnz_full() const;
+
+  [[nodiscard]] const std::vector<idx_t>& colptr() const { return colptr_; }
+  [[nodiscard]] const std::vector<idx_t>& rowind() const { return rowind_; }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] std::vector<double>& values() { return values_; }
+
+  /// Value at (i, j); i >= j required (lower triangle). Returns 0 when the
+  /// entry is not stored. O(log column-size).
+  [[nodiscard]] double at(idx_t i, idx_t j) const;
+
+  /// True if (i, j), i >= j, is a stored structural nonzero.
+  [[nodiscard]] bool has_entry(idx_t i, idx_t j) const;
+
+  /// Symmetric matrix-vector product y = A x using the implicit symmetry.
+  void symv(const double* x, double* y) const;
+
+  /// Dense n-by-n column-major expansion of the full symmetric matrix.
+  /// Intended for tests/small problems only.
+  [[nodiscard]] std::vector<double> to_dense() const;
+
+  /// Validate the invariants (sorted rows, in-range indices, monotone
+  /// colptr, diagonal present in every column). Throws std::runtime_error
+  /// with a description on violation.
+  void validate() const;
+
+  /// Add `shift` to every diagonal entry (e.g. to reinforce positive
+  /// definiteness in generated problems).
+  void shift_diagonal(double shift);
+
+  /// Sum of |a_ij| over the full symmetric matrix of the largest column
+  /// (the induced 1-norm).
+  [[nodiscard]] double norm1() const;
+
+ private:
+  idx_t n_ = 0;
+  std::vector<idx_t> colptr_;   // size n+1
+  std::vector<idx_t> rowind_;   // size nnz_stored, sorted per column
+  std::vector<double> values_;  // size nnz_stored
+};
+
+}  // namespace sympack::sparse

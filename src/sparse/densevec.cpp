@@ -1,0 +1,49 @@
+#include "sparse/densevec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sympack::sparse {
+
+double dot(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("dot: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm2(const std::vector<double>& x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(const std::vector<double>& x) {
+  double best = 0.0;
+  for (double v : x) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double relative_residual(const CscMatrix& a, const std::vector<double>& x,
+                         const std::vector<double>& b) {
+  if (static_cast<idx_t>(x.size()) != a.n() ||
+      static_cast<idx_t>(b.size()) != a.n()) {
+    throw std::invalid_argument("relative_residual: size mismatch");
+  }
+  std::vector<double> r(a.n());
+  a.symv(x.data(), r.data());
+  for (idx_t i = 0; i < a.n(); ++i) r[i] = b[i] - r[i];
+  const double denom = a.norm1() * norm2(x) + norm2(b);
+  return denom == 0.0 ? norm2(r) : norm2(r) / denom;
+}
+
+std::vector<double> rhs_for_ones(const CscMatrix& a) {
+  std::vector<double> ones(a.n(), 1.0);
+  std::vector<double> b(a.n());
+  a.symv(ones.data(), b.data());
+  return b;
+}
+
+}  // namespace sympack::sparse

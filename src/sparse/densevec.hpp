@@ -1,0 +1,28 @@
+// Dense vector helpers and residual checks for the solver tests and
+// examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace sympack::sparse {
+
+double dot(const std::vector<double>& x, const std::vector<double>& y);
+double norm2(const std::vector<double>& x);
+double norm_inf(const std::vector<double>& x);
+/// y += alpha * x
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y);
+
+/// Relative residual of Ax = b:  ||b - A x||_2 / (||A||_1 ||x||_2 + ||b||_2).
+/// This is the standard backward-error style metric used to validate
+/// direct solvers.
+double relative_residual(const CscMatrix& a, const std::vector<double>& x,
+                         const std::vector<double>& b);
+
+/// Deterministic right-hand side: b = A * ones, so the exact solution is
+/// the all-ones vector. Used throughout the examples and benches.
+std::vector<double> rhs_for_ones(const CscMatrix& a);
+
+}  // namespace sympack::sparse

@@ -1,0 +1,250 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "support/random.hpp"
+
+namespace sympack::sparse {
+namespace {
+
+using support::Xoshiro256;
+
+// Assemble an SPD matrix from a weighted edge list: a_ij = -w_ij for each
+// edge, a_ii = sum_j w_ij + shift (strict diagonal dominance => SPD).
+class GraphAssembler {
+ public:
+  GraphAssembler(idx_t n, double shift) : n_(n), shift_(shift), diag_(n, 0.0) {
+    builder_ = std::make_unique<CooBuilder>(n);
+  }
+
+  void add_edge(idx_t u, idx_t v, double w) {
+    if (u == v) {
+      diag_[u] += w;
+      return;
+    }
+    builder_->add(u, v, -w);
+    diag_[u] += w;
+    diag_[v] += w;
+  }
+
+  CscMatrix finish() {
+    for (idx_t i = 0; i < n_; ++i) {
+      builder_->add(i, i, diag_[i] + shift_);
+    }
+    return builder_->build();
+  }
+
+ private:
+  idx_t n_;
+  double shift_;
+  std::vector<double> diag_;
+  std::unique_ptr<CooBuilder> builder_;
+};
+
+}  // namespace
+
+CscMatrix grid2d_laplacian(idx_t nx, idx_t ny, Stencil2D stencil) {
+  if (nx <= 0 || ny <= 0) throw std::invalid_argument("grid2d: empty grid");
+  const idx_t n = nx * ny;
+  GraphAssembler g(n, 1e-2);
+  auto id = [nx](idx_t x, idx_t y) { return y * nx + x; };
+  for (idx_t y = 0; y < ny; ++y) {
+    for (idx_t x = 0; x < nx; ++x) {
+      const idx_t u = id(x, y);
+      if (x + 1 < nx) g.add_edge(u, id(x + 1, y), 1.0);
+      if (y + 1 < ny) g.add_edge(u, id(x, y + 1), 1.0);
+      if (stencil == Stencil2D::kNinePoint) {
+        if (x + 1 < nx && y + 1 < ny) g.add_edge(u, id(x + 1, y + 1), 0.5);
+        if (x > 0 && y + 1 < ny) g.add_edge(u, id(x - 1, y + 1), 0.5);
+      }
+    }
+  }
+  return g.finish();
+}
+
+CscMatrix grid3d_laplacian(idx_t nx, idx_t ny, idx_t nz, Stencil3D stencil) {
+  if (nx <= 0 || ny <= 0 || nz <= 0) {
+    throw std::invalid_argument("grid3d: empty grid");
+  }
+  const idx_t n = nx * ny * nz;
+  GraphAssembler g(n, 1e-2);
+  auto id = [nx, ny](idx_t x, idx_t y, idx_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  for (idx_t z = 0; z < nz; ++z) {
+    for (idx_t y = 0; y < ny; ++y) {
+      for (idx_t x = 0; x < nx; ++x) {
+        const idx_t u = id(x, y, z);
+        if (stencil == Stencil3D::kSevenPoint) {
+          if (x + 1 < nx) g.add_edge(u, id(x + 1, y, z), 1.0);
+          if (y + 1 < ny) g.add_edge(u, id(x, y + 1, z), 1.0);
+          if (z + 1 < nz) g.add_edge(u, id(x, y, z + 1), 1.0);
+        } else {
+          // All 26 neighbours; enumerate the 13 "forward" offsets so each
+          // edge is added once.
+          for (idx_t dz = 0; dz <= 1; ++dz) {
+            for (idx_t dy = (dz == 0 ? 0 : -1); dy <= 1; ++dy) {
+              for (idx_t dx = (dz == 0 && dy == 0 ? 1 : -1); dx <= 1; ++dx) {
+                const idx_t xx = x + dx, yy = y + dy, zz = z + dz;
+                if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz >= nz) {
+                  continue;
+                }
+                const double dist =
+                    std::sqrt(static_cast<double>(dx * dx + dy * dy + dz * dz));
+                g.add_edge(u, id(xx, yy, zz), 1.0 / dist);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return g.finish();
+}
+
+CscMatrix elasticity3d(idx_t nx, idx_t ny, idx_t nz) {
+  if (nx <= 0 || ny <= 0 || nz <= 0) {
+    throw std::invalid_argument("elasticity3d: empty grid");
+  }
+  const idx_t nodes = nx * ny * nz;
+  const idx_t n = 3 * nodes;
+  CooBuilder builder(n);
+  std::vector<double> diag(n, 0.0);
+  auto id = [nx, ny](idx_t x, idx_t y, idx_t z) {
+    return (z * ny + y) * nx + x;
+  };
+  // 3x3 coupling block along a grid edge in direction d (0/1/2): a stiff
+  // normal component and weaker shear coupling; symmetric by construction.
+  auto couple = [&](idx_t u, idx_t v, int d) {
+    for (int a = 0; a < 3; ++a) {
+      for (int b = 0; b < 3; ++b) {
+        double w = 0.0;
+        if (a == b) {
+          w = (a == d) ? 2.0 : 0.6;  // normal vs transverse stiffness
+        } else if (a == d || b == d) {
+          w = 0.25;  // shear coupling with the edge direction
+        }
+        if (w == 0.0) continue;
+        const idx_t iu = 3 * u + a;
+        const idx_t iv = 3 * v + b;
+        builder.add(iu, iv, -w);
+        diag[iu] += std::fabs(w);
+        diag[iv] += std::fabs(w);
+      }
+    }
+  };
+  for (idx_t z = 0; z < nz; ++z) {
+    for (idx_t y = 0; y < ny; ++y) {
+      for (idx_t x = 0; x < nx; ++x) {
+        const idx_t u = id(x, y, z);
+        if (x + 1 < nx) couple(u, id(x + 1, y, z), 0);
+        if (y + 1 < ny) couple(u, id(x, y + 1, z), 1);
+        if (z + 1 < nz) couple(u, id(x, y, z + 1), 2);
+      }
+    }
+  }
+  for (idx_t i = 0; i < n; ++i) builder.add(i, i, diag[i] + 0.1);
+  return builder.build();
+}
+
+CscMatrix thermal_irregular(idx_t nx, idx_t ny, double extra_edge_fraction,
+                            std::uint64_t seed) {
+  if (nx <= 0 || ny <= 0) {
+    throw std::invalid_argument("thermal_irregular: empty grid");
+  }
+  const idx_t n = nx * ny;
+  GraphAssembler g(n, 1e-3);
+  Xoshiro256 rng(seed);
+  auto id = [nx](idx_t x, idx_t y) { return y * nx + x; };
+  // Base 5-point grid with heterogeneous conductivities spanning two
+  // orders of magnitude (thermal2 models steady-state heat flow through
+  // heterogeneous material).
+  for (idx_t y = 0; y < ny; ++y) {
+    for (idx_t x = 0; x < nx; ++x) {
+      const idx_t u = id(x, y);
+      const double k = std::pow(10.0, rng.next_in(-1.0, 1.0));
+      if (x + 1 < nx) g.add_edge(u, id(x + 1, y), k);
+      if (y + 1 < ny) g.add_edge(u, id(x, y + 1), k * rng.next_in(0.5, 1.5));
+    }
+  }
+  // Random irregular edges with bounded span, emulating an unstructured
+  // triangulation's deviation from the tensor grid.
+  const auto extras = static_cast<idx_t>(extra_edge_fraction * n);
+  for (idx_t e = 0; e < extras; ++e) {
+    const idx_t x = static_cast<idx_t>(rng.next_below(nx));
+    const idx_t y = static_cast<idx_t>(rng.next_below(ny));
+    const idx_t dx = static_cast<idx_t>(rng.next_below(5)) - 2;
+    const idx_t dy = static_cast<idx_t>(rng.next_below(5)) - 2;
+    const idx_t xx = x + dx, yy = y + dy;
+    if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+    const idx_t u = id(x, y), v = id(xx, yy);
+    if (u == v) continue;
+    g.add_edge(u, v, rng.next_in(0.05, 0.5));
+  }
+  return g.finish();
+}
+
+CscMatrix random_spd(idx_t n, double avg_degree, std::uint64_t seed) {
+  if (n <= 0) throw std::invalid_argument("random_spd: n must be positive");
+  GraphAssembler g(n, 0.5);
+  Xoshiro256 rng(seed);
+  const auto edges = static_cast<idx_t>(avg_degree * n / 2.0);
+  for (idx_t e = 0; e < edges; ++e) {
+    const idx_t u = static_cast<idx_t>(rng.next_below(n));
+    const idx_t v = static_cast<idx_t>(rng.next_below(n));
+    if (u == v) continue;
+    g.add_edge(u, v, rng.next_in(0.1, 1.0));
+  }
+  return g.finish();
+}
+
+CscMatrix tridiagonal(idx_t n) {
+  GraphAssembler g(n, 1.0);
+  for (idx_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, 1.0);
+  return g.finish();
+}
+
+CscMatrix arrow(idx_t n) {
+  if (n < 1) throw std::invalid_argument("arrow: n must be positive");
+  GraphAssembler g(n, 1.0);
+  for (idx_t i = 0; i + 1 < n; ++i) g.add_edge(i, n - 1, 1.0);
+  return g.finish();
+}
+
+CscMatrix dense_spd(idx_t n, std::uint64_t seed) {
+  CooBuilder builder(n);
+  Xoshiro256 rng(seed);
+  for (idx_t j = 0; j < n; ++j) {
+    for (idx_t i = j + 1; i < n; ++i) {
+      builder.add(i, j, rng.next_in(-1.0, 1.0));
+    }
+    builder.add(j, j, static_cast<double>(n) + 1.0);
+  }
+  return builder.build();
+}
+
+// Default benchmark sizes are chosen so the full figure sweeps complete in
+// minutes on one core while keeping the paper's structural regimes; the
+// originals' dimensions are recorded in bench_table1 for comparison.
+CscMatrix flan_proxy(double scale) {
+  const auto dim = std::max<idx_t>(4, static_cast<idx_t>(30 * std::cbrt(scale)));
+  return grid3d_laplacian(dim, dim, dim, Stencil3D::kTwentySevenPoint);
+}
+
+CscMatrix bones_proxy(double scale) {
+  const auto dim = std::max<idx_t>(4, static_cast<idx_t>(22 * std::cbrt(scale)));
+  return elasticity3d(dim, dim, dim);
+}
+
+CscMatrix thermal_proxy(double scale) {
+  const auto dim =
+      std::max<idx_t>(8, static_cast<idx_t>(340 * std::sqrt(scale)));
+  return thermal_irregular(dim, dim, 0.35, 0x7e37a1);
+}
+
+}  // namespace sympack::sparse

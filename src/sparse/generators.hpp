@@ -1,0 +1,64 @@
+// Synthetic SPD problem generators.
+//
+// The paper evaluates on three SuiteSparse matrices (Table 1): Flan_1565
+// (3D steel flange model), boneS10 (3D trabecular bone), and thermal2
+// (steady-state thermal, highly sparse & irregular). Those files are not
+// redistributable here, so this module synthesizes proxies that reproduce
+// the structural regimes the paper selected them for:
+//   - flan_proxy:    3D 27-point stencil -> big supernodes, dense blocks,
+//                    GPU-friendly (like a 3D structural problem).
+//   - bones_proxy:   3D 7-point stencil with 3 coupled dofs per grid node
+//                    (elasticity-like vector problem).
+//   - thermal_proxy: 2D 5-point stencil + random irregular long-range
+//                    edges -> very sparse, irregular structure, small
+//                    supernodes (communication/latency bound).
+// All generators emit symmetric diagonally-dominant matrices (hence SPD).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/csc.hpp"
+
+namespace sympack::sparse {
+
+enum class Stencil2D { kFivePoint, kNinePoint };
+enum class Stencil3D { kSevenPoint, kTwentySevenPoint };
+
+/// 2D grid Laplacian, nx*ny unknowns, Dirichlet boundary.
+CscMatrix grid2d_laplacian(idx_t nx, idx_t ny,
+                           Stencil2D stencil = Stencil2D::kFivePoint);
+
+/// 3D grid Laplacian, nx*ny*nz unknowns.
+CscMatrix grid3d_laplacian(idx_t nx, idx_t ny, idx_t nz,
+                           Stencil3D stencil = Stencil3D::kSevenPoint);
+
+/// 3D elasticity-like operator: 3 dofs per grid node with 3x3 coupling
+/// blocks along grid edges (7-point connectivity). n = 3*nx*ny*nz.
+CscMatrix elasticity3d(idx_t nx, idx_t ny, idx_t nz);
+
+/// Irregular 2D thermal-like problem: a base 5-point grid with
+/// `extra_edge_fraction * n` random extra edges of bounded span and
+/// heterogeneous conductivities. Deterministic for a given seed.
+CscMatrix thermal_irregular(idx_t nx, idx_t ny, double extra_edge_fraction,
+                            std::uint64_t seed);
+
+/// Random sparse SPD matrix with ~avg_degree off-diagonals per column.
+CscMatrix random_spd(idx_t n, double avg_degree, std::uint64_t seed);
+
+/// 1D Laplacian (tridiagonal), handy for exactness tests.
+CscMatrix tridiagonal(idx_t n);
+
+/// Arrow matrix: dense last row/column + diagonal; worst case for fill
+/// under natural ordering, best case after reordering.
+CscMatrix arrow(idx_t n);
+
+/// Fully dense SPD matrix of order n (tests only).
+CscMatrix dense_spd(idx_t n, std::uint64_t seed);
+
+/// The proxy suite used by the benchmark harness. `scale` in (0, 1]
+/// shrinks the grid dimensions relative to the default benchmark size.
+CscMatrix flan_proxy(double scale = 1.0);
+CscMatrix bones_proxy(double scale = 1.0);
+CscMatrix thermal_proxy(double scale = 1.0);
+
+}  // namespace sympack::sparse

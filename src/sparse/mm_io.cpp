@@ -1,0 +1,107 @@
+#include "sparse/mm_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sparse/coo.hpp"
+
+namespace sympack::sparse {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+CscMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("MatrixMarket: empty stream");
+  }
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") {
+    throw std::runtime_error("MatrixMarket: missing banner");
+  }
+  object = lower(object);
+  format = lower(format);
+  field = lower(field);
+  symmetry = lower(symmetry);
+  if (object != "matrix" || format != "coordinate") {
+    throw std::runtime_error(
+        "MatrixMarket: only coordinate matrices are supported");
+  }
+  const bool pattern = field == "pattern";
+  if (!pattern && field != "real" && field != "integer") {
+    throw std::runtime_error("MatrixMarket: unsupported field " + field);
+  }
+  const bool symmetric = symmetry == "symmetric";
+  if (!symmetric && symmetry != "general") {
+    throw std::runtime_error("MatrixMarket: unsupported symmetry " +
+                             symmetry);
+  }
+
+  // Skip comments and blank lines; then the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  idx_t rows = 0, cols = 0, entries = 0;
+  if (!(size_line >> rows >> cols >> entries)) {
+    throw std::runtime_error("MatrixMarket: malformed size line");
+  }
+  if (rows != cols) {
+    throw std::runtime_error("MatrixMarket: matrix is not square");
+  }
+
+  CooBuilder builder(rows);
+  for (idx_t k = 0; k < entries; ++k) {
+    idx_t i = 0, j = 0;
+    double v = 1.0;
+    if (!(in >> i >> j)) {
+      throw std::runtime_error("MatrixMarket: truncated entry list");
+    }
+    if (!pattern && !(in >> v)) {
+      throw std::runtime_error("MatrixMarket: truncated entry list");
+    }
+    --i;  // 1-based on disk
+    --j;
+    if (!symmetric && i < j) continue;  // general: keep lower triangle only
+    builder.add(i, j, v);
+  }
+  return builder.build();
+}
+
+CscMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CscMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real symmetric\n";
+  out << "% written by sympack-repro\n";
+  out << a.n() << ' ' << a.n() << ' ' << a.nnz_stored() << '\n';
+  out.precision(17);
+  for (idx_t j = 0; j < a.n(); ++j) {
+    for (idx_t p = a.colptr()[j]; p < a.colptr()[j + 1]; ++p) {
+      out << a.rowind()[p] + 1 << ' ' << j + 1 << ' ' << a.values()[p]
+          << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CscMatrix& a) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace sympack::sparse

@@ -1,0 +1,77 @@
+#include "sparse/permute.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "sparse/coo.hpp"
+
+namespace sympack::sparse {
+
+bool is_permutation(const std::vector<idx_t>& perm) {
+  const idx_t n = static_cast<idx_t>(perm.size());
+  std::vector<bool> seen(n, false);
+  for (idx_t v : perm) {
+    if (v < 0 || v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+std::vector<idx_t> invert_permutation(const std::vector<idx_t>& perm) {
+  if (!is_permutation(perm)) {
+    throw std::invalid_argument("invert_permutation: not a permutation");
+  }
+  std::vector<idx_t> inv(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) {
+    inv[perm[k]] = static_cast<idx_t>(k);
+  }
+  return inv;
+}
+
+CscMatrix permute_symmetric(const CscMatrix& a,
+                            const std::vector<idx_t>& perm) {
+  if (static_cast<idx_t>(perm.size()) != a.n()) {
+    throw std::invalid_argument("permute_symmetric: size mismatch");
+  }
+  const auto iperm = invert_permutation(perm);
+  CooBuilder builder(a.n());
+  for (idx_t j = 0; j < a.n(); ++j) {
+    for (idx_t p = a.colptr()[j]; p < a.colptr()[j + 1]; ++p) {
+      const idx_t i = a.rowind()[p];
+      builder.add(iperm[i], iperm[j], a.values()[p]);
+    }
+  }
+  return builder.build();
+}
+
+std::vector<double> permute_vector(const std::vector<double>& x,
+                                   const std::vector<idx_t>& perm) {
+  std::vector<double> out(x.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) out[k] = x[perm[k]];
+  return out;
+}
+
+std::vector<double> unpermute_vector(const std::vector<double>& x,
+                                     const std::vector<idx_t>& perm) {
+  std::vector<double> out(x.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) out[perm[k]] = x[k];
+  return out;
+}
+
+std::vector<idx_t> identity_permutation(idx_t n) {
+  std::vector<idx_t> p(n);
+  std::iota(p.begin(), p.end(), idx_t{0});
+  return p;
+}
+
+std::vector<idx_t> compose(const std::vector<idx_t>& p1,
+                           const std::vector<idx_t>& p2) {
+  if (p1.size() != p2.size()) {
+    throw std::invalid_argument("compose: size mismatch");
+  }
+  std::vector<idx_t> out(p1.size());
+  for (std::size_t k = 0; k < p2.size(); ++k) out[k] = p1[p2[k]];
+  return out;
+}
+
+}  // namespace sympack::sparse

@@ -1,0 +1,40 @@
+// Symmetric permutation utilities.
+//
+// Convention: a permutation is stored as `perm` with perm[k] = old index of
+// the row/column placed at position k (i.e. "new-to-old"). The inverse
+// (`iperm`, old-to-new) satisfies iperm[perm[k]] = k.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "sparse/types.hpp"
+
+namespace sympack::sparse {
+
+/// Compute the inverse permutation. Throws if `perm` is not a permutation.
+std::vector<idx_t> invert_permutation(const std::vector<idx_t>& perm);
+
+/// Validate that perm is a permutation of 0..n-1.
+bool is_permutation(const std::vector<idx_t>& perm);
+
+/// B = P A P^T where row/col perm[k] of A becomes row/col k of B, keeping
+/// lower-triangle storage canonical.
+CscMatrix permute_symmetric(const CscMatrix& a, const std::vector<idx_t>& perm);
+
+/// Apply a permutation to a vector: out[k] = x[perm[k]].
+std::vector<double> permute_vector(const std::vector<double>& x,
+                                   const std::vector<idx_t>& perm);
+
+/// Scatter back: out[perm[k]] = x[k].
+std::vector<double> unpermute_vector(const std::vector<double>& x,
+                                     const std::vector<idx_t>& perm);
+
+/// The identity permutation of length n.
+std::vector<idx_t> identity_permutation(idx_t n);
+
+/// Compose permutations: (p1 then p2)[k] = p1[p2[k]].
+std::vector<idx_t> compose(const std::vector<idx_t>& p1,
+                           const std::vector<idx_t>& p2);
+
+}  // namespace sympack::sparse

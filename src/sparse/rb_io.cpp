@@ -1,0 +1,135 @@
+#include "sparse/rb_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sympack::sparse {
+namespace {
+
+std::string read_line(std::istream& in, const char* what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error(std::string("RutherfordBoeing: missing ") + what);
+  }
+  return line;
+}
+
+}  // namespace
+
+CscMatrix read_rutherford_boeing(std::istream& in) {
+  // Line 1: title (72) + key (8). Line 2: card counts. Line 3: type and
+  // dimensions. Line 4: formats. We parse dimensions from line 3 and read
+  // the pointer/index/value sections as whitespace-separated tokens.
+  (void)read_line(in, "title line");
+  (void)read_line(in, "counts line");
+  const std::string line3 = read_line(in, "type line");
+  (void)read_line(in, "format line");
+
+  std::istringstream meta(line3);
+  std::string type;
+  idx_t nrow = 0, ncol = 0, nnz = 0, neltvl = 0;
+  if (!(meta >> type >> nrow >> ncol >> nnz)) {
+    throw std::runtime_error("RutherfordBoeing: malformed type line");
+  }
+  meta >> neltvl;  // optional trailing field
+  std::string lt = type;
+  std::transform(lt.begin(), lt.end(), lt.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lt.size() != 3 || lt[0] != 'r' || lt[1] != 's' || lt[2] != 'a') {
+    throw std::runtime_error("RutherfordBoeing: unsupported type " + type +
+                             " (only rsa)");
+  }
+  if (nrow != ncol) {
+    throw std::runtime_error("RutherfordBoeing: matrix is not square");
+  }
+
+  std::vector<idx_t> colptr(ncol + 1);
+  std::vector<idx_t> rowind(nnz);
+  std::vector<double> values(nnz);
+  for (idx_t j = 0; j <= ncol; ++j) {
+    if (!(in >> colptr[j])) {
+      throw std::runtime_error("RutherfordBoeing: truncated pointers");
+    }
+    --colptr[j];  // 1-based on disk
+  }
+  for (idx_t p = 0; p < nnz; ++p) {
+    if (!(in >> rowind[p])) {
+      throw std::runtime_error("RutherfordBoeing: truncated indices");
+    }
+    --rowind[p];
+  }
+  for (idx_t p = 0; p < nnz; ++p) {
+    if (!(in >> values[p])) {
+      throw std::runtime_error("RutherfordBoeing: truncated values");
+    }
+  }
+  // RB does not mandate sorted rows within a column; sort for our canon.
+  for (idx_t j = 0; j < ncol; ++j) {
+    const idx_t lo = colptr[j], hi = colptr[j + 1];
+    std::vector<std::pair<idx_t, double>> col;
+    col.reserve(hi - lo);
+    for (idx_t p = lo; p < hi; ++p) col.emplace_back(rowind[p], values[p]);
+    std::sort(col.begin(), col.end());
+    for (idx_t p = lo; p < hi; ++p) {
+      rowind[p] = col[p - lo].first;
+      values[p] = col[p - lo].second;
+    }
+  }
+  return CscMatrix(ncol, std::move(colptr), std::move(rowind),
+                   std::move(values));
+}
+
+CscMatrix read_rutherford_boeing_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_rutherford_boeing(in);
+}
+
+void write_rutherford_boeing(std::ostream& out, const CscMatrix& a,
+                             const std::string& title,
+                             const std::string& key) {
+  const idx_t n = a.n();
+  const idx_t nnz = a.nnz_stored();
+
+  // Section sizes in "cards" (lines); we emit 10 pointers, 12 indices and
+  // 4 values per line respectively, mirroring common RB formats.
+  const idx_t ptrcrd = (n + 1 + 9) / 10;
+  const idx_t indcrd = (nnz + 11) / 12;
+  const idx_t valcrd = (nnz + 3) / 4;
+
+  std::string padded_title = title.substr(0, 72);
+  padded_title.resize(72, ' ');
+  std::string padded_key = key.substr(0, 8);
+  padded_key.resize(8, ' ');
+
+  out << padded_title << padded_key << '\n';
+  out << ptrcrd + indcrd + valcrd << ' ' << ptrcrd << ' ' << indcrd << ' '
+      << valcrd << '\n';
+  out << "rsa " << n << ' ' << n << ' ' << nnz << " 0\n";
+  out << "(10I8) (12I8) (4E24.16)\n";
+
+  auto emit = [&out](idx_t count, idx_t per_line, auto value_at) {
+    for (idx_t k = 0; k < count; ++k) {
+      out << value_at(k);
+      out << (((k + 1) % per_line == 0 || k + 1 == count) ? '\n' : ' ');
+    }
+  };
+  emit(n + 1, 10, [&](idx_t k) { return a.colptr()[k] + 1; });
+  emit(nnz, 12, [&](idx_t k) { return a.rowind()[k] + 1; });
+  out.precision(16);
+  out << std::scientific;
+  emit(nnz, 4, [&](idx_t k) { return a.values()[k]; });
+}
+
+void write_rutherford_boeing_file(const std::string& path, const CscMatrix& a,
+                                  const std::string& title,
+                                  const std::string& key) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_rutherford_boeing(out, a, title, key);
+}
+
+}  // namespace sympack::sparse

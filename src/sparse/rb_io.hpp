@@ -1,0 +1,24 @@
+// Rutherford-Boeing reader/writer for real symmetric assembled matrices
+// (type "rsa"). The paper's symPACK runs consumed Rutherford-Boeing inputs
+// (AD/AE §A.2.4). The reader tokenizes numeric fields by whitespace, which
+// accepts the blank-separated layout this writer (and most tools) emit.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csc.hpp"
+
+namespace sympack::sparse {
+
+CscMatrix read_rutherford_boeing(std::istream& in);
+CscMatrix read_rutherford_boeing_file(const std::string& path);
+
+void write_rutherford_boeing(std::ostream& out, const CscMatrix& a,
+                             const std::string& title = "sympack-repro",
+                             const std::string& key = "SYMPK");
+void write_rutherford_boeing_file(const std::string& path, const CscMatrix& a,
+                                  const std::string& title = "sympack-repro",
+                                  const std::string& key = "SYMPK");
+
+}  // namespace sympack::sparse

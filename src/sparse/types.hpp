@@ -1,0 +1,11 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sympack::sparse {
+
+/// Index type used for rows/columns and nonzero offsets. 64-bit so that
+/// factor structures with billions of entries cannot overflow.
+using idx_t = std::int64_t;
+
+}  // namespace sympack::sparse

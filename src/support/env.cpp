@@ -1,0 +1,36 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace sympack::support {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::string(v) : fallback;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+bool env_bool(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (!v) return fallback;
+  const std::string s(v);
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return true;
+}
+
+}  // namespace sympack::support

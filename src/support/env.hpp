@@ -1,0 +1,14 @@
+// Environment-variable helpers (typed reads with defaults).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sympack::support {
+
+std::string env_string(const char* name, const std::string& fallback);
+std::int64_t env_int(const char* name, std::int64_t fallback);
+double env_double(const char* name, double fallback);
+bool env_bool(const char* name, bool fallback);
+
+}  // namespace sympack::support

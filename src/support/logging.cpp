@@ -1,0 +1,62 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace sympack::support {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized, read SYMPACK_LOG lazily
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+int resolve_level() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl >= 0) return lvl;
+  const char* env = std::getenv("SYMPACK_LOG");
+  LogLevel parsed = env ? Logger::parse_level(env) : LogLevel::kWarn;
+  g_level.store(static_cast<int>(parsed), std::memory_order_relaxed);
+  return static_cast<int>(parsed);
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return static_cast<LogLevel>(resolve_level()); }
+
+void Logger::set_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::parse_level(const std::string& name) {
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "trace") return LogLevel::kTrace;
+  return LogLevel::kInfo;
+}
+
+void Logger::log(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > resolve_level()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[sympack %-5s] ", level_name(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace sympack::support

@@ -1,0 +1,40 @@
+// Minimal leveled logger. Thread-safe; writes to stderr. The level is
+// process-global and can be set programmatically or via the SYMPACK_LOG
+// environment variable (error|warn|info|debug|trace).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace sympack::support {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+  kTrace = 4,
+};
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  /// Parse a level name; returns kInfo for unrecognized input.
+  static LogLevel parse_level(const std::string& name);
+
+  /// printf-style logging. No-op when `level` is above the global level.
+  static void log(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+};
+
+#define SYMPACK_LOG_ERROR(...) \
+  ::sympack::support::Logger::log(::sympack::support::LogLevel::kError, __VA_ARGS__)
+#define SYMPACK_LOG_WARN(...) \
+  ::sympack::support::Logger::log(::sympack::support::LogLevel::kWarn, __VA_ARGS__)
+#define SYMPACK_LOG_INFO(...) \
+  ::sympack::support::Logger::log(::sympack::support::LogLevel::kInfo, __VA_ARGS__)
+#define SYMPACK_LOG_DEBUG(...) \
+  ::sympack::support::Logger::log(::sympack::support::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace sympack::support

@@ -1,0 +1,108 @@
+#include "support/options.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace sympack::support {
+namespace {
+
+// Both GNU-style `--name` and the single-dash `-name` flags the paper's
+// driver uses (e.g. `-in`, `-nrhs`, `-ordering`) are accepted. A leading
+// dash followed by a digit is a negative number, not an option.
+bool looks_like_option(const std::string& arg) {
+  if (arg.size() < 2 || arg[0] != '-') return false;
+  const char next = arg[1] == '-' ? (arg.size() > 2 ? arg[2] : '\0') : arg[1];
+  return next != '\0' && (std::isalpha(static_cast<unsigned char>(next)) != 0);
+}
+
+std::string strip_dashes(const std::string& arg) {
+  return arg[1] == '-' ? arg.substr(2) : arg.substr(1);
+}
+
+bool parse_bool(const std::string& value) {
+  if (value == "false" || value == "0" || value == "no" || value == "off") {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Options::Options(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!looks_like_option(arg)) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = strip_dashes(arg);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--no-flag` form.
+    if (arg.rfind("no-", 0) == 0) {
+      values_[arg.substr(3)] = "false";
+      continue;
+    }
+    // `--name value` if the next token is not itself an option; otherwise
+    // treat as a boolean flag.
+    if (i + 1 < argc && !looks_like_option(argv[i + 1])) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+void Options::set(const std::string& name, const std::string& value) {
+  values_[name] = value;
+}
+
+bool Options::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Options::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return parse_bool(it->second);
+}
+
+std::vector<std::int64_t> Options::get_int_list(
+    const std::string& name, const std::vector<std::int64_t>& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoll(item));
+  }
+  if (out.empty()) throw std::invalid_argument("empty list for --" + name);
+  return out;
+}
+
+}  // namespace sympack::support

@@ -1,0 +1,49 @@
+// A small command-line option parser used by the examples and benchmark
+// drivers. Supports `--name value`, `--name=value`, boolean flags
+// (`--flag` / `--no-flag`), and typed accessors with defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sympack::support {
+
+class Options {
+ public:
+  Options() = default;
+  /// Parse argv. Unrecognized positional arguments are collected in
+  /// positional(). Throws std::invalid_argument on malformed input
+  /// (e.g. trailing `--name` with no value).
+  Options(int argc, const char* const* argv);
+
+  /// Explicitly set an option (used by tests and for defaults).
+  void set(const std::string& name, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  /// Flags: `--x` => true, `--no-x` => false, `--x=false` => false.
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list of integers, e.g. `--nodes 1,2,4,8`.
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sympack::support

@@ -1,0 +1,61 @@
+// Deterministic, fast PRNG (xoshiro256**) used for workload generation and
+// property-based tests. We avoid std::mt19937 so that streams are identical
+// across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace sympack::support {
+
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& word : state_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      word = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill; simple modulo
+    // bias is acceptable for workload generation.
+    return next() % bound;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace sympack::support

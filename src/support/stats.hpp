@@ -1,0 +1,28 @@
+// Summary statistics for benchmark measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sympack::support {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation
+  double median = 0.0;
+};
+
+/// Compute summary statistics of a sample. Empty input yields a
+/// zero-initialized Summary.
+Summary summarize(const std::vector<double>& samples);
+
+/// Percentile with linear interpolation; p in [0, 100]. Empty input -> 0.
+double percentile(std::vector<double> samples, double p);
+
+/// Geometric mean of strictly positive samples; 0 if input empty.
+double geometric_mean(const std::vector<double>& samples);
+
+}  // namespace sympack::support

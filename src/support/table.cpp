@@ -1,0 +1,102 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sympack::support {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("AsciiTable row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string AsciiTable::fmt_int(std::int64_t value) {
+  // Group digits with commas for readability (e.g. 1,564,794 as in Table 1).
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (value < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string AsciiTable::fmt_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 3) {
+    v /= 1024.0;
+    ++u;
+  }
+  if (u == 0) {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", v, units[u]);
+  }
+  return buf;
+}
+
+void AsciiTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_sep = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t i = row[c].size(); i < widths[c]; ++i) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string AsciiTable::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+}  // namespace sympack::support

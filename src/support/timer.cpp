@@ -1,0 +1,55 @@
+#include "support/timer.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sympack::support {
+
+double WallClock::now() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+void Timer::start() {
+  if (running_) return;
+  started_at_ = WallClock::now();
+  running_ = true;
+}
+
+void Timer::stop() {
+  if (!running_) return;
+  accumulated_ += WallClock::now() - started_at_;
+  running_ = false;
+  ++laps_;
+}
+
+void Timer::reset() {
+  accumulated_ = 0.0;
+  started_at_ = 0.0;
+  laps_ = 0;
+  running_ = false;
+}
+
+double Timer::elapsed() const {
+  double total = accumulated_;
+  if (running_) total += WallClock::now() - started_at_;
+  return total;
+}
+
+std::string format_duration(double seconds) {
+  char buf[64];
+  const double a = std::fabs(seconds);
+  if (a < 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1f ns", seconds * 1e9);
+  } else if (a < 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f us", seconds * 1e6);
+  } else if (a < 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace sympack::support

@@ -1,0 +1,59 @@
+// Wall-clock timing utilities used throughout the solver, tests, and
+// benchmark harnesses. All durations are reported in seconds as double.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace sympack::support {
+
+/// Monotonic wall clock. now() returns seconds since an arbitrary epoch.
+class WallClock {
+ public:
+  static double now();
+};
+
+/// Stopwatch with start/stop/accumulate semantics.
+///
+/// A Timer may be started and stopped repeatedly; elapsed() returns the
+/// accumulated running time. Calling elapsed() while running includes the
+/// in-flight interval.
+class Timer {
+ public:
+  Timer() = default;
+
+  void start();
+  void stop();
+  void reset();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] double elapsed() const;
+  /// Number of completed start/stop intervals.
+  [[nodiscard]] std::uint64_t laps() const { return laps_; }
+
+ private:
+  double accumulated_ = 0.0;
+  double started_at_ = 0.0;
+  std::uint64_t laps_ = 0;
+  bool running_ = false;
+};
+
+/// RAII timer that adds its lifetime to an accumulator on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& accumulator)
+      : accumulator_(accumulator), started_at_(WallClock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() { accumulator_ += WallClock::now() - started_at_; }
+
+ private:
+  double& accumulator_;
+  double started_at_;
+};
+
+/// Format a duration in seconds with an adaptive unit (ns/us/ms/s).
+std::string format_duration(double seconds);
+
+}  // namespace sympack::support

@@ -1,0 +1,113 @@
+#include "symbolic/mapping.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sympack::symbolic {
+
+Mapping::Mapping(int nranks, Kind kind) : nranks_(nranks), kind_(kind) {
+  if (nranks < 1) throw std::invalid_argument("Mapping: nranks < 1");
+  // Near-square grid: largest divisor of P that is <= sqrt(P).
+  pr_ = static_cast<int>(std::sqrt(static_cast<double>(nranks)));
+  while (pr_ > 1 && nranks % pr_ != 0) --pr_;
+  pc_ = nranks / pr_;
+}
+
+Mapping Mapping::proportional(int nranks, const Symbolic& sym) {
+  const idx_t ns = sym.num_snodes();
+  // Per-panel factorization cost and supernodal-tree structure.
+  std::vector<double> subtree(ns);
+  std::vector<idx_t> parent(ns, -1);
+  std::vector<std::vector<idx_t>> children(ns);
+  std::vector<idx_t> roots;
+  for (idx_t k = 0; k < ns; ++k) {
+    const auto& sn = sym.snode(k);
+    const double w = static_cast<double>(sn.width());
+    const double b = static_cast<double>(sn.nrows_below());
+    subtree[k] = w * w * w / 3.0 + w * w * b + w * b * (b + 1.0);
+    if (!sn.below.empty()) parent[k] = sym.snode_of(sn.below.front());
+  }
+  for (idx_t k = 0; k < ns; ++k) {
+    if (parent[k] >= 0) {
+      children[parent[k]].push_back(k);
+    } else {
+      roots.push_back(k);
+    }
+  }
+  // Accumulate subtree costs bottom-up (children have smaller indices).
+  for (idx_t k = 0; k < ns; ++k) {
+    if (parent[k] >= 0) subtree[parent[k]] += subtree[k];
+  }
+
+  auto ranges = std::make_shared<std::vector<std::pair<int, int>>>(
+      ns, std::pair<int, int>{0, nranks});
+  // Recursive proportional split, iteratively with an explicit stack:
+  // a node keeps its parent's full range; its children divide that range
+  // proportionally to their subtree costs (each at least one rank).
+  struct Frame {
+    std::vector<idx_t> nodes;  // siblings sharing [lo, hi)
+    int lo, hi;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{roots, 0, nranks});
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    const int width = f.hi - f.lo;
+    double total = 0.0;
+    for (idx_t k : f.nodes) total += subtree[k];
+    double cum = 0.0;
+    for (std::size_t c = 0; c < f.nodes.size(); ++c) {
+      const idx_t k = f.nodes[c];
+      int lo = f.lo, hi = f.hi;
+      if (width > 1 && f.nodes.size() > 1 && total > 0.0) {
+        lo = f.lo + static_cast<int>(cum / total * width);
+        cum += subtree[k];
+        hi = f.lo + static_cast<int>(cum / total * width);
+        if (hi <= lo) hi = lo + 1;       // every subtree gets a rank
+        if (hi > f.hi) hi = f.hi;
+        if (lo >= f.hi) lo = f.hi - 1;
+      }
+      (*ranges)[k] = {lo, hi};
+      if (!children[k].empty()) stack.push_back(Frame{children[k], lo, hi});
+    }
+  }
+
+  Mapping m(nranks, Kind::kProportional);
+  m.ranges_ = std::move(ranges);
+  return m;
+}
+
+int Mapping::operator()(idx_t i, idx_t j) const {
+  switch (kind_) {
+    case Kind::k2dBlockCyclic:
+      return static_cast<int>((i % pr_) * pc_ + (j % pc_));
+    case Kind::kRowCyclic:
+      return static_cast<int>(i % nranks_);
+    case Kind::kColCyclic:
+      return static_cast<int>(j % nranks_);
+    case Kind::kProportional: {
+      if (!ranges_) {
+        throw std::logic_error(
+            "proportional mapping must be built with Mapping::proportional()");
+      }
+      const auto& [lo, hi] = (*ranges_)[j];
+      return lo + static_cast<int>(i % (hi - lo));
+    }
+  }
+  return 0;
+}
+
+Mapping::Kind Mapping::parse(const std::string& name) {
+  if (name == "2d" || name == "block-cyclic" || name == "2dbc") {
+    return Kind::k2dBlockCyclic;
+  }
+  if (name == "row") return Kind::kRowCyclic;
+  if (name == "col" || name == "column") return Kind::kColCyclic;
+  if (name == "proportional" || name == "subtree") {
+    return Kind::kProportional;
+  }
+  throw std::invalid_argument("unknown mapping: " + name);
+}
+
+}  // namespace sympack::symbolic

@@ -1,0 +1,58 @@
+// Block-to-process mapping (paper §3.3). Blocks are identified by the
+// coordinate pair (i, j): i = supernode owning the block's rows, j =
+// supernode owning the block's columns. The default is the paper's 2D
+// block-cyclic map over a near-square process grid; 1D row- and
+// column-cyclic maps are provided for the mapping ablation, which the
+// paper calls out as introducing serial bottlenecks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace sympack::symbolic {
+
+using sparse::idx_t;
+
+class Mapping {
+ public:
+  enum class Kind {
+    k2dBlockCyclic,
+    kRowCyclic,
+    kColCyclic,
+    /// Subtree-to-subcube: each elimination-tree subtree is assigned a
+    /// contiguous rank range proportional to its factorization cost
+    /// (the locality-aware mapping of PaStiX/MUMPS lineage); within a
+    /// panel's range, block rows are dealt cyclically. Requires the
+    /// proportional() factory.
+    kProportional,
+  };
+
+  Mapping(int nranks, Kind kind = Kind::k2dBlockCyclic);
+
+  /// Build a proportional mapping from the supernodal tree.
+  static Mapping proportional(int nranks, const Symbolic& sym);
+
+  /// Process owning block (i, j).
+  [[nodiscard]] int operator()(idx_t i, idx_t j) const;
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] int grid_rows() const { return pr_; }
+  [[nodiscard]] int grid_cols() const { return pc_; }
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  static Kind parse(const std::string& name);
+
+ private:
+  int nranks_;
+  Kind kind_;
+  int pr_ = 1;
+  int pc_ = 1;
+  /// kProportional: per panel-supernode rank range [lo, hi).
+  std::shared_ptr<const std::vector<std::pair<int, int>>> ranges_;
+};
+
+}  // namespace sympack::symbolic

@@ -1,0 +1,258 @@
+#include "symbolic/symbolic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "blas/blas.hpp"
+#include "ordering/etree.hpp"
+
+namespace sympack::symbolic {
+namespace {
+
+// Greedy relaxed amalgamation over detected supernode ranges
+// [first, last]. A group is merged into the immediately following one
+// when the following group is its elimination-tree parent and the
+// padding (explicit zeros) this adds stays below the threshold.
+std::vector<std::pair<idx_t, idx_t>> amalgamate(
+    const std::vector<std::pair<idx_t, idx_t>>& ranges,
+    const std::vector<idx_t>& parent, const std::vector<idx_t>& counts,
+    const SymbolicOptions& opts) {
+  std::vector<std::pair<idx_t, idx_t>> merged;
+  std::vector<double> extra_zeros;  // padding accumulated per group
+  for (const auto& range : ranges) {
+    bool absorbed = false;
+    if (!merged.empty()) {
+      auto& prev = merged.back();
+      const idx_t pf = prev.first, pl = prev.second;
+      const idx_t sf = range.first;
+      if (pl + 1 == sf && parent[pl] == sf) {
+        // Padding estimate: every column j of the child is padded to the
+        // structure of the parent's first column plus the columns in
+        // between.
+        double extra = 0.0;
+        for (idx_t j = pf; j <= pl; ++j) {
+          const double padded =
+              static_cast<double>(counts[sf]) + static_cast<double>(sf - j);
+          extra += std::max(0.0, padded - static_cast<double>(counts[j]));
+        }
+        double merged_entries = extra + extra_zeros.back();
+        for (idx_t j = pf; j <= range.second; ++j) {
+          merged_entries += static_cast<double>(counts[j]);
+        }
+        const bool small_child = (pl - pf + 1) <= opts.relax_small;
+        const bool cheap =
+            extra + extra_zeros.back() <= opts.relax_ratio * merged_entries;
+        if (small_child || cheap) {
+          prev.second = range.second;
+          extra_zeros.back() += extra;
+          absorbed = true;
+        }
+      }
+    }
+    if (!absorbed) {
+      merged.push_back(range);
+      extra_zeros.push_back(0.0);
+    }
+  }
+  return merged;
+}
+
+std::vector<std::pair<idx_t, idx_t>> split_wide(
+    const std::vector<std::pair<idx_t, idx_t>>& ranges, idx_t max_width) {
+  if (max_width <= 0) return ranges;
+  std::vector<std::pair<idx_t, idx_t>> out;
+  for (const auto& [f, l] : ranges) {
+    idx_t start = f;
+    while (l - start + 1 > max_width) {
+      out.emplace_back(start, start + max_width - 1);
+      start += max_width;
+    }
+    out.emplace_back(start, l);
+  }
+  return out;
+}
+
+}  // namespace
+
+idx_t Symbolic::find_block(idx_t k, idx_t t) const {
+  const auto& blocks = snodes_[k].blocks;
+  auto it = std::lower_bound(
+      blocks.begin(), blocks.end(), t,
+      [](const Block& b, idx_t target) { return b.target < target; });
+  if (it == blocks.end() || it->target != t) return -1;
+  return static_cast<idx_t>(it - blocks.begin());
+}
+
+Symbolic analyze(const sparse::CscMatrix& a, const std::vector<idx_t>& parent,
+                 const SymbolicOptions& opts) {
+  const idx_t n = a.n();
+  Symbolic sym;
+  sym.n_ = n;
+  if (n == 0) return sym;
+
+  const auto counts = ordering::column_counts(a, parent);
+
+  // ---- 1. Maximal supernodes: j-1 joins j iff parent(j-1) == j and
+  // count(j-1) == count(j) + 1.
+  std::vector<std::pair<idx_t, idx_t>> ranges;
+  idx_t first = 0;
+  for (idx_t j = 1; j < n; ++j) {
+    const bool contiguous = parent[j - 1] == j && counts[j - 1] == counts[j] + 1;
+    if (!contiguous) {
+      ranges.emplace_back(first, j - 1);
+      first = j;
+    }
+  }
+  ranges.emplace_back(first, n - 1);
+
+  // ---- 2. Relaxed amalgamation + width capping.
+  if (opts.amalgamate) ranges = amalgamate(ranges, parent, counts, opts);
+  ranges = split_wide(ranges, opts.max_width);
+
+  const idx_t ns = static_cast<idx_t>(ranges.size());
+  sym.snodes_.resize(ns);
+  sym.snode_of_.resize(n);
+  for (idx_t s = 0; s < ns; ++s) {
+    auto& sn = sym.snodes_[s];
+    sn.id = s;
+    sn.first = ranges[s].first;
+    sn.last = ranges[s].second;
+    for (idx_t j = sn.first; j <= sn.last; ++j) sym.snode_of_[j] = s;
+  }
+
+  // ---- 3. Panel row structures: union of the panel's A-rows and the
+  // below-rows contributed by child panels, truncated to rows beyond the
+  // panel's own columns.
+  std::vector<std::vector<idx_t>> children(ns);
+  for (idx_t s = 0; s < ns; ++s) {
+    auto& sn = sym.snodes_[s];
+    std::vector<idx_t> rows;
+    for (idx_t j = sn.first; j <= sn.last; ++j) {
+      for (idx_t p = a.colptr()[j]; p < a.colptr()[j + 1]; ++p) {
+        const idx_t i = a.rowind()[p];
+        if (i > sn.last) rows.push_back(i);
+      }
+    }
+    for (idx_t c : children[s]) {
+      for (idx_t r : sym.snodes_[c].below) {
+        if (r > sn.last) rows.push_back(r);
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    sn.below = std::move(rows);
+    if (!sn.below.empty()) {
+      children[sym.snode_of_[sn.below.front()]].push_back(s);
+    }
+  }
+
+  // ---- 4. Block partition (paper Alg. 2): group the sorted below-rows
+  // by the supernode owning each row's column range; runs are contiguous
+  // because supernode column ranges are contiguous and rows are sorted.
+  for (auto& sn : sym.snodes_) {
+    idx_t off = 0;
+    const idx_t nb = sn.nrows_below();
+    while (off < nb) {
+      const idx_t target = sym.snode_of_[sn.below[off]];
+      idx_t end = off + 1;
+      while (end < nb && sym.snode_of_[sn.below[end]] == target) ++end;
+      sn.blocks.push_back(Block{target, off, end - off});
+      off = end;
+    }
+  }
+
+  // ---- 5. Size and flop statistics.
+  for (const auto& sn : sym.snodes_) {
+    const idx_t w = sn.width();
+    const idx_t b = sn.nrows_below();
+    sym.factor_nnz_ += w * (w + 1) / 2 + w * b;
+    sym.flops_ += static_cast<double>(blas::potrf_flops(static_cast<int>(w)));
+    sym.flops_ += static_cast<double>(w) * w * b;          // panel TRSM
+    sym.flops_ += static_cast<double>(w) * b * (b + 1.0);  // trailing update
+  }
+  return sym;
+}
+
+void Symbolic::validate(const sparse::CscMatrix& a) const {
+  auto fail = [](const std::string& msg) {
+    throw std::runtime_error("Symbolic::validate: " + msg);
+  };
+  // Column partition.
+  idx_t expect = 0;
+  for (const auto& sn : snodes_) {
+    if (sn.first != expect || sn.last < sn.first || sn.last >= n_) {
+      fail("supernode ranges do not partition the columns");
+    }
+    expect = sn.last + 1;
+    for (idx_t j = sn.first; j <= sn.last; ++j) {
+      if (snode_of_[j] != sn.id) fail("snode_of inconsistent");
+    }
+  }
+  if (expect != n_) fail("columns not fully covered");
+
+  for (const auto& sn : snodes_) {
+    // Below rows sorted, strictly beyond the diagonal block.
+    for (std::size_t k = 0; k < sn.below.size(); ++k) {
+      if (sn.below[k] <= sn.last) fail("below row inside diagonal block");
+      if (k > 0 && sn.below[k] <= sn.below[k - 1]) fail("below not sorted");
+    }
+    // Blocks exactly tile `below`, targets strictly ascending, rows in
+    // the target's column range.
+    idx_t off = 0;
+    idx_t prev_target = -1;
+    for (const auto& blk : sn.blocks) {
+      if (blk.row_off != off || blk.nrows <= 0) fail("blocks do not tile");
+      if (blk.target <= prev_target) fail("block targets not ascending");
+      prev_target = blk.target;
+      const auto& target = snodes_[blk.target];
+      for (idx_t r = blk.row_off; r < blk.row_off + blk.nrows; ++r) {
+        if (sn.below[r] < target.first || sn.below[r] > target.last) {
+          fail("block row outside target column range");
+        }
+      }
+      off += blk.nrows;
+    }
+    if (off != sn.nrows_below()) fail("blocks do not cover below rows");
+
+    // A's entries are covered by the panel structure.
+    for (idx_t j = sn.first; j <= sn.last; ++j) {
+      for (idx_t p = a.colptr()[j]; p < a.colptr()[j + 1]; ++p) {
+        const idx_t i = a.rowind()[p];
+        if (i <= sn.last) continue;
+        if (!std::binary_search(sn.below.begin(), sn.below.end(), i)) {
+          fail("matrix entry missing from panel structure");
+        }
+      }
+    }
+
+    // Update containment: an update U_{s,j,t} scatters rows of block s
+    // of panel j into block B_{s,t} of panel t — those rows must exist
+    // there (paper §3.2 dependency structure relies on this).
+    for (std::size_t ti = 0; ti < sn.blocks.size(); ++ti) {
+      const idx_t t = sn.blocks[ti].target;
+      const auto& tgt = snodes_[t];
+      for (std::size_t si = ti; si < sn.blocks.size(); ++si) {
+        const auto& sblk = sn.blocks[si];
+        const idx_t s = sblk.target;
+        for (idx_t r = sblk.row_off; r < sblk.row_off + sblk.nrows; ++r) {
+          const idx_t row = sn.below[r];
+          if (s == t) {
+            if (row < tgt.first || row > tgt.last) fail("containment (diag)");
+          } else {
+            const idx_t bi = find_block(t, s);
+            if (bi < 0) fail("containment: target block missing");
+            const auto& tb = tgt.blocks[bi];
+            const auto begin = tgt.below.begin() + tb.row_off;
+            const auto end = begin + tb.nrows;
+            if (!std::binary_search(begin, end, row)) {
+              fail("containment: row missing in target block");
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sympack::symbolic

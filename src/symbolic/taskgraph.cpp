@@ -1,0 +1,85 @@
+#include "symbolic/taskgraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sympack::symbolic {
+
+TaskGraph::TaskGraph(const Symbolic& sym, const Mapping& map)
+    : sym_(&sym), map_(map) {
+  const idx_t ns = sym.num_snodes();
+  ucount_.resize(ns);
+  for (idx_t k = 0; k < ns; ++k) {
+    ucount_[k].assign(1 + sym.snode(k).blocks.size(), 0);
+  }
+  owned_f_.assign(map.nranks(), 0);
+  owned_u_.assign(map.nranks(), 0);
+
+  for (idx_t j = 0; j < ns; ++j) {
+    const auto& sn = sym.snode(j);
+    // Factor tasks of panel j.
+    ++owned_f_[map(j, j)];
+    for (const auto& blk : sn.blocks) ++owned_f_[map(blk.target, j)];
+    total_f_ += 1 + static_cast<idx_t>(sn.blocks.size());
+
+    // Update tasks: every ordered pair (ti <= si) of panel-j blocks.
+    const idx_t nb = static_cast<idx_t>(sn.blocks.size());
+    for (idx_t ti = 0; ti < nb; ++ti) {
+      const idx_t t = sn.blocks[ti].target;
+      for (idx_t si = ti; si < nb; ++si) {
+        const idx_t s = sn.blocks[si].target;
+        BlockSlot slot;
+        if (s == t) {
+          slot = 0;  // diagonal block of supernode t
+        } else {
+          const idx_t bi = sym.find_block(t, s);
+          if (bi < 0) {
+            throw std::runtime_error(
+                "TaskGraph: containment violation (missing target block)");
+          }
+          slot = bi + 1;
+        }
+        ++ucount_[t][slot];
+        ++owned_u_[map(s, t)];
+        ++total_u_;
+      }
+    }
+  }
+}
+
+int TaskGraph::owner(idx_t k, BlockSlot slot) const {
+  if (slot == 0) return map_(k, k);
+  return map_(sym_->snode(k).blocks[slot - 1].target, k);
+}
+
+std::vector<int> TaskGraph::consumers(idx_t k, BlockSlot slot) const {
+  const auto& sn = sym_->snode(k);
+  std::vector<int> out;
+  if (slot == 0) {
+    // The diagonal factor L_{k,k} is consumed by every F task of panel k.
+    for (const auto& blk : sn.blocks) out.push_back(map_(blk.target, k));
+  } else {
+    const idx_t bi = slot - 1;
+    const idx_t s = sn.blocks[bi].target;
+    // As the source operand of U_{s,k,t} for every t <= s in the panel.
+    for (idx_t ti = 0; ti <= bi; ++ti) {
+      out.push_back(map_(s, sn.blocks[ti].target));
+    }
+    // As the pivot operand of U_{s',k,s} for every s' >= s in the panel.
+    for (idx_t si = bi; si < static_cast<idx_t>(sn.blocks.size()); ++si) {
+      out.push_back(map_(sn.blocks[si].target, s));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<int> TaskGraph::recipients(idx_t k, BlockSlot slot) const {
+  auto out = consumers(k, slot);
+  const int self = owner(k, slot);
+  out.erase(std::remove(out.begin(), out.end(), self), out.end());
+  return out;
+}
+
+}  // namespace sympack::symbolic

@@ -1,0 +1,77 @@
+// Static task-graph analysis (paper §3.2/§3.3).
+//
+// The numeric factorization runs three task types:
+//   D_k       factor the diagonal block of supernode k            (POTRF)
+//   F_{s,k}   factor off-diagonal block B_{s,k}                   (TRSM)
+//   U_{s,j,t} update B_{s,t} with L_{s,j} * L_{t,j}^T         (SYRK/GEMM)
+// U_{s,j,t} exists for every panel j and every ordered pair of its blocks
+// (t <= s); it executes on the owner of the *target* block B_{s,t} — the
+// defining property of the fan-out family.
+//
+// This class precomputes, for a given block->process mapping:
+//   - the number of updates landing in every block (the initial
+//     dependency counters of the D and F tasks),
+//   - per-rank task totals (termination detection),
+//   - the recipient sets P_F and P_D of every factor block (who must be
+//     signalled when it completes).
+#pragma once
+
+#include <vector>
+
+#include "symbolic/mapping.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace sympack::symbolic {
+
+/// Identifies a block within its panel: slot 0 is the diagonal block,
+/// slot b+1 is Supernode::blocks[b].
+using BlockSlot = idx_t;
+
+class TaskGraph {
+ public:
+  TaskGraph(const Symbolic& sym, const Mapping& map);
+
+  [[nodiscard]] const Symbolic& symbolic() const { return *sym_; }
+  [[nodiscard]] const Mapping& mapping() const { return map_; }
+
+  /// Number of update tasks whose target is block `slot` of supernode k.
+  [[nodiscard]] idx_t update_count(idx_t k, BlockSlot slot) const {
+    return ucount_[k][slot];
+  }
+
+  /// Owner rank of block slot of supernode k.
+  [[nodiscard]] int owner(idx_t k, BlockSlot slot) const;
+
+  /// Per-rank totals for termination detection.
+  [[nodiscard]] idx_t owned_factor_tasks(int rank) const {
+    return owned_f_[rank];
+  }
+  [[nodiscard]] idx_t owned_update_tasks(int rank) const {
+    return owned_u_[rank];
+  }
+
+  [[nodiscard]] idx_t total_updates() const { return total_u_; }
+  [[nodiscard]] idx_t total_factor_tasks() const { return total_f_; }
+
+  /// Ranks that must be notified when factor block (k, slot) completes
+  /// (paper's P_F for off-diagonal blocks, P_D for slot 0), excluding the
+  /// owner itself. Sorted, deduplicated.
+  [[nodiscard]] std::vector<int> recipients(idx_t k, BlockSlot slot) const;
+
+  /// Ranks (including the owner if it has such tasks) that execute
+  /// updates consuming factor block (k, slot); recipients() is this set
+  /// minus the owner for off-diagonal blocks, plus F-task owners for the
+  /// diagonal. Exposed for tests.
+  [[nodiscard]] std::vector<int> consumers(idx_t k, BlockSlot slot) const;
+
+ private:
+  const Symbolic* sym_;
+  Mapping map_;
+  std::vector<std::vector<idx_t>> ucount_;  // [snode][slot]
+  std::vector<idx_t> owned_f_;
+  std::vector<idx_t> owned_u_;
+  idx_t total_u_ = 0;
+  idx_t total_f_ = 0;
+};
+
+}  // namespace sympack::symbolic

@@ -1,0 +1,453 @@
+// Tests for the dense BLAS/LAPACK kernels. Every kernel is checked against
+// a naive triple-loop reference on randomized inputs, across all
+// transpose/side/uplo/diag combinations and a sweep of shapes (TEST_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/blas.hpp"
+#include "support/random.hpp"
+
+namespace sympack::blas {
+namespace {
+
+using support::Xoshiro256;
+
+std::vector<double> random_matrix(int rows, int cols, Xoshiro256& rng,
+                                  int ld = -1) {
+  if (ld < 0) ld = rows;
+  std::vector<double> m(static_cast<std::size_t>(ld) * cols);
+  for (int j = 0; j < cols; ++j) {
+    for (int i = 0; i < rows; ++i) {
+      m[i + static_cast<std::size_t>(j) * ld] = rng.next_in(-1.0, 1.0);
+    }
+  }
+  return m;
+}
+
+// Make a well-conditioned SPD matrix: A = B*B^T + n*I.
+std::vector<double> random_spd(int n, Xoshiro256& rng) {
+  auto b = random_matrix(n, n, rng);
+  std::vector<double> a(static_cast<std::size_t>(n) * n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (int l = 0; l < n; ++l) {
+        acc += b[i + static_cast<std::size_t>(l) * n] *
+               b[j + static_cast<std::size_t>(l) * n];
+      }
+      a[i + static_cast<std::size_t>(j) * n] = acc + (i == j ? n : 0.0);
+    }
+  }
+  return a;
+}
+
+double at(const std::vector<double>& m, int i, int j, int ld) {
+  return m[i + static_cast<std::size_t>(j) * ld];
+}
+double& at(std::vector<double>& m, int i, int j, int ld) {
+  return m[i + static_cast<std::size_t>(j) * ld];
+}
+
+// Naive reference GEMM.
+void ref_gemm(Trans ta, Trans tb, int m, int n, int k, double alpha,
+              const std::vector<double>& a, int lda,
+              const std::vector<double>& b, int ldb, double beta,
+              std::vector<double>& c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (int l = 0; l < k; ++l) {
+        const double av = (ta == Trans::kNo) ? at(a, i, l, lda) : at(a, l, i, lda);
+        const double bv = (tb == Trans::kNo) ? at(b, l, j, ldb) : at(b, j, l, ldb);
+        acc += av * bv;
+      }
+      at(c, i, j, ldc) = alpha * acc + beta * at(c, i, j, ldc);
+    }
+  }
+}
+
+double max_diff(const std::vector<double>& x, const std::vector<double>& y) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    d = std::max(d, std::fabs(x[i] - y[i]));
+  }
+  return d;
+}
+
+struct GemmCase {
+  int m, n, k;
+  Trans ta, tb;
+  double alpha, beta;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmSweep, MatchesReference) {
+  const auto p = GetParam();
+  Xoshiro256 rng(p.m * 7919 + p.n * 104729 + p.k);
+  const int ar = (p.ta == Trans::kNo) ? p.m : p.k;
+  const int ac = (p.ta == Trans::kNo) ? p.k : p.m;
+  const int br = (p.tb == Trans::kNo) ? p.k : p.n;
+  const int bc = (p.tb == Trans::kNo) ? p.n : p.k;
+  auto a = random_matrix(ar, ac, rng);
+  auto b = random_matrix(br, bc, rng);
+  auto c = random_matrix(p.m, p.n, rng);
+  auto c_ref = c;
+  gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a.data(), ar, b.data(), br, p.beta,
+       c.data(), p.m);
+  ref_gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a, ar, b, br, p.beta, c_ref,
+           p.m);
+  EXPECT_LT(max_diff(c, c_ref), 1e-11 * std::max(1, p.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, GemmSweep,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Trans::kNo, Trans::kNo, 1.0, 0.0},
+        GemmCase{5, 7, 3, Trans::kNo, Trans::kNo, 1.0, 1.0},
+        GemmCase{5, 7, 3, Trans::kNo, Trans::kYes, -1.0, 1.0},
+        GemmCase{5, 7, 3, Trans::kYes, Trans::kNo, 2.0, 0.5},
+        GemmCase{5, 7, 3, Trans::kYes, Trans::kYes, 0.5, 2.0},
+        GemmCase{16, 16, 16, Trans::kNo, Trans::kYes, -1.0, 1.0},
+        GemmCase{33, 17, 29, Trans::kNo, Trans::kNo, 1.0, 0.0},
+        GemmCase{33, 17, 29, Trans::kNo, Trans::kYes, 1.0, 0.0},
+        GemmCase{33, 17, 29, Trans::kYes, Trans::kNo, 1.0, 0.0},
+        GemmCase{33, 17, 29, Trans::kYes, Trans::kYes, 1.0, 0.0},
+        GemmCase{64, 64, 64, Trans::kNo, Trans::kYes, -1.0, 1.0},
+        GemmCase{100, 3, 50, Trans::kNo, Trans::kYes, -1.0, 1.0},
+        GemmCase{3, 100, 50, Trans::kNo, Trans::kNo, 1.0, 1.0}));
+
+TEST(Gemm, ZeroSizedDimensionsAreNoops) {
+  std::vector<double> a(4, 1.0), b(4, 1.0), c(4, 3.0);
+  gemm(Trans::kNo, Trans::kNo, 0, 2, 2, 1.0, a.data(), 1, b.data(), 2, 0.0,
+       c.data(), 1);
+  gemm(Trans::kNo, Trans::kNo, 2, 0, 2, 1.0, a.data(), 2, b.data(), 2, 0.0,
+       c.data(), 2);
+  EXPECT_DOUBLE_EQ(c[0], 3.0);  // untouched
+}
+
+TEST(Gemm, KZeroScalesByBeta) {
+  std::vector<double> c = {1.0, 2.0, 3.0, 4.0};
+  gemm(Trans::kNo, Trans::kNo, 2, 2, 0, 1.0, nullptr, 2, nullptr, 2, 0.5,
+       c.data(), 2);
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_DOUBLE_EQ(c[3], 2.0);
+}
+
+TEST(Gemm, BetaZeroIgnoresGarbageC) {
+  Xoshiro256 rng(3);
+  auto a = random_matrix(4, 4, rng);
+  auto b = random_matrix(4, 4, rng);
+  std::vector<double> c(16, std::nan(""));
+  gemm(Trans::kNo, Trans::kNo, 4, 4, 4, 1.0, a.data(), 4, b.data(), 4, 0.0,
+       c.data(), 4);
+  for (double v : c) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Gemm, RespectsLeadingDimension) {
+  Xoshiro256 rng(5);
+  const int m = 3, n = 3, k = 3, ld = 7;
+  auto a = random_matrix(m, k, rng, ld);
+  auto b = random_matrix(k, n, rng, ld);
+  std::vector<double> c(static_cast<std::size_t>(ld) * n, 0.0);
+  std::vector<double> c_ref = c;
+  gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0, a.data(), ld, b.data(), ld, 0.0,
+       c.data(), ld);
+  ref_gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0, a, ld, b, ld, 0.0, c_ref, ld);
+  EXPECT_LT(max_diff(c, c_ref), 1e-12);
+  // Padding rows must remain untouched.
+  for (int j = 0; j < n; ++j) {
+    for (int i = m; i < ld; ++i) EXPECT_DOUBLE_EQ(at(c, i, j, ld), 0.0);
+  }
+}
+
+struct SyrkCase {
+  int n, k;
+  UpLo uplo;
+  Trans trans;
+  double alpha, beta;
+};
+
+class SyrkSweep : public ::testing::TestWithParam<SyrkCase> {};
+
+TEST_P(SyrkSweep, MatchesGemmOnTriangle) {
+  const auto p = GetParam();
+  Xoshiro256 rng(p.n * 31 + p.k * 17);
+  const int ar = (p.trans == Trans::kNo) ? p.n : p.k;
+  const int ac = (p.trans == Trans::kNo) ? p.k : p.n;
+  auto a = random_matrix(ar, ac, rng);
+  auto c = random_matrix(p.n, p.n, rng);
+  auto c_full = c;
+
+  syrk(p.uplo, p.trans, p.n, p.k, p.alpha, a.data(), ar, p.beta, c.data(),
+       p.n);
+  // Reference: full C' = alpha op(A) op(A)^T + beta C via ref_gemm.
+  const Trans tb = (p.trans == Trans::kNo) ? Trans::kYes : Trans::kNo;
+  ref_gemm(p.trans, tb, p.n, p.n, p.k, p.alpha, a, ar, a, ar, p.beta, c_full,
+           p.n);
+
+  for (int j = 0; j < p.n; ++j) {
+    for (int i = 0; i < p.n; ++i) {
+      const bool in_tri =
+          (p.uplo == UpLo::kLower) ? (i >= j) : (i <= j);
+      if (in_tri) {
+        EXPECT_NEAR(at(c, i, j, p.n), at(c_full, i, j, p.n),
+                    1e-11 * std::max(1, p.k))
+            << "i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SyrkSweep,
+    ::testing::Values(SyrkCase{1, 1, UpLo::kLower, Trans::kNo, 1.0, 0.0},
+                      SyrkCase{5, 3, UpLo::kLower, Trans::kNo, -1.0, 1.0},
+                      SyrkCase{5, 3, UpLo::kUpper, Trans::kNo, -1.0, 1.0},
+                      SyrkCase{5, 3, UpLo::kLower, Trans::kYes, 2.0, 0.5},
+                      SyrkCase{5, 3, UpLo::kUpper, Trans::kYes, 2.0, 0.5},
+                      SyrkCase{17, 29, UpLo::kLower, Trans::kNo, -1.0, 1.0},
+                      SyrkCase{32, 32, UpLo::kLower, Trans::kNo, -1.0, 1.0},
+                      SyrkCase{29, 17, UpLo::kUpper, Trans::kYes, 1.0, 0.0}));
+
+TEST(Syrk, OnlyTriangleTouched) {
+  Xoshiro256 rng(13);
+  const int n = 6, k = 4;
+  auto a = random_matrix(n, k, rng);
+  std::vector<double> c(static_cast<std::size_t>(n) * n, 99.0);
+  syrk(UpLo::kLower, Trans::kNo, n, k, 1.0, a.data(), n, 0.0, c.data(), n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < j; ++i) {
+      EXPECT_DOUBLE_EQ(at(c, i, j, n), 99.0);  // strict upper untouched
+    }
+  }
+}
+
+struct TrsmCase {
+  int m, n;
+  Side side;
+  UpLo uplo;
+  Trans trans;
+  Diag diag;
+  double alpha;
+};
+
+class TrsmSweep : public ::testing::TestWithParam<TrsmCase> {};
+
+TEST_P(TrsmSweep, SolutionSatisfiesEquation) {
+  const auto p = GetParam();
+  Xoshiro256 rng(p.m * 11 + p.n * 13);
+  const int asize = (p.side == Side::kLeft) ? p.m : p.n;
+  // Build a well-conditioned triangular matrix: random entries, dominant
+  // diagonal.
+  auto a = random_matrix(asize, asize, rng);
+  for (int i = 0; i < asize; ++i) at(a, i, i, asize) = 2.0 + asize * 0.1;
+  auto b = random_matrix(p.m, p.n, rng);
+  auto b_orig = b;
+
+  trsm(p.side, p.uplo, p.trans, p.diag, p.m, p.n, p.alpha, a.data(), asize,
+       b.data(), p.m);
+
+  // Verify op(A) X == alpha B (or X op(A) == alpha B) by multiplying back,
+  // restricting A to its triangular part (+unit diagonal if requested).
+  std::vector<double> tri(static_cast<std::size_t>(asize) * asize, 0.0);
+  for (int j = 0; j < asize; ++j) {
+    for (int i = 0; i < asize; ++i) {
+      const bool keep = (p.uplo == UpLo::kLower) ? (i >= j) : (i <= j);
+      if (keep) at(tri, i, j, asize) = at(a, i, j, asize);
+    }
+    if (p.diag == Diag::kUnit) at(tri, j, j, asize) = 1.0;
+  }
+  std::vector<double> prod(static_cast<std::size_t>(p.m) * p.n, 0.0);
+  if (p.side == Side::kLeft) {
+    ref_gemm(p.trans, Trans::kNo, p.m, p.n, p.m, 1.0, tri, asize, b, p.m, 0.0,
+             prod, p.m);
+  } else {
+    ref_gemm(Trans::kNo, p.trans, p.m, p.n, p.n, 1.0, b, p.m, tri, asize, 0.0,
+             prod, p.m);
+  }
+  for (std::size_t i = 0; i < prod.size(); ++i) {
+    EXPECT_NEAR(prod[i], p.alpha * b_orig[i], 1e-9) << "entry " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, TrsmSweep,
+    ::testing::Values(
+        TrsmCase{4, 3, Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kNonUnit, 1.0},
+        TrsmCase{4, 3, Side::kLeft, UpLo::kLower, Trans::kYes, Diag::kNonUnit, 1.0},
+        TrsmCase{4, 3, Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0},
+        TrsmCase{4, 3, Side::kLeft, UpLo::kUpper, Trans::kYes, Diag::kNonUnit, 1.0},
+        TrsmCase{4, 3, Side::kRight, UpLo::kLower, Trans::kNo, Diag::kNonUnit, 1.0},
+        TrsmCase{4, 3, Side::kRight, UpLo::kLower, Trans::kYes, Diag::kNonUnit, 1.0},
+        TrsmCase{4, 3, Side::kRight, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0},
+        TrsmCase{4, 3, Side::kRight, UpLo::kUpper, Trans::kYes, Diag::kNonUnit, 1.0},
+        TrsmCase{7, 5, Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0},
+        TrsmCase{7, 5, Side::kRight, UpLo::kLower, Trans::kYes, Diag::kUnit, 1.0},
+        TrsmCase{12, 9, Side::kRight, UpLo::kLower, Trans::kYes, Diag::kNonUnit, 2.0},
+        TrsmCase{1, 1, Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kNonUnit, 1.0},
+        TrsmCase{25, 31, Side::kRight, UpLo::kLower, Trans::kYes, Diag::kNonUnit, 1.0},
+        TrsmCase{31, 25, Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kNonUnit, -1.0}));
+
+TEST(Potrf, FactorsSpdMatrix) {
+  Xoshiro256 rng(17);
+  const int n = 24;
+  auto a = random_spd(n, rng);
+  auto a_orig = a;
+  ASSERT_EQ(potrf(UpLo::kLower, n, a.data(), n), 0);
+  // Check L L^T == A on the lower triangle.
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      double acc = 0.0;
+      for (int l = 0; l <= j; ++l) {
+        acc += at(a, i, l, n) * at(a, j, l, n);
+      }
+      EXPECT_NEAR(acc, at(a_orig, i, j, n), 1e-8 * n);
+    }
+  }
+}
+
+TEST(Potrf, LargeBlockedMatchesUnblockedPath) {
+  // n > panel size (64) exercises the blocked TRSM/SYRK path.
+  Xoshiro256 rng(23);
+  const int n = 150;
+  auto a = random_spd(n, rng);
+  auto a_orig = a;
+  ASSERT_EQ(potrf(UpLo::kLower, n, a.data(), n), 0);
+  double max_err = 0.0;
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      double acc = 0.0;
+      for (int l = 0; l <= j; ++l) acc += at(a, i, l, n) * at(a, j, l, n);
+      max_err = std::max(max_err, std::fabs(acc - at(a_orig, i, j, n)));
+    }
+  }
+  EXPECT_LT(max_err, 1e-7 * n);
+}
+
+TEST(Potrf, UpperVariantAgreesWithLowerTranspose) {
+  Xoshiro256 rng(29);
+  const int n = 20;
+  auto a = random_spd(n, rng);
+  auto lower = a;
+  auto upper = a;
+  ASSERT_EQ(potrf(UpLo::kLower, n, lower.data(), n), 0);
+  ASSERT_EQ(potrf(UpLo::kUpper, n, upper.data(), n), 0);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      EXPECT_NEAR(at(lower, i, j, n), at(upper, j, i, n), 1e-9);
+    }
+  }
+}
+
+TEST(Potrf, DetectsIndefiniteMatrix) {
+  // diag(1, -1) is not positive definite; failure at column 2.
+  std::vector<double> a = {1.0, 0.0, 0.0, -1.0};
+  EXPECT_EQ(potrf(UpLo::kLower, 2, a.data(), 2), 2);
+}
+
+TEST(Potrf, DetectsIndefiniteInBlockedRegime) {
+  Xoshiro256 rng(31);
+  const int n = 100;
+  auto a = random_spd(n, rng);
+  at(a, 80, 80, n) = -1e6;  // poison a pivot inside the second panel
+  EXPECT_EQ(potrf(UpLo::kLower, n, a.data(), n), 81);
+}
+
+TEST(Potrf, EmptyMatrixOk) {
+  EXPECT_EQ(potrf(UpLo::kLower, 0, nullptr, 1), 0);
+}
+
+TEST(Potrf, OneByOne) {
+  double a = 9.0;
+  EXPECT_EQ(potrf(UpLo::kLower, 1, &a, 1), 0);
+  EXPECT_DOUBLE_EQ(a, 3.0);
+  double neg = -1.0;
+  EXPECT_EQ(potrf(UpLo::kLower, 1, &neg, 1), 1);
+}
+
+TEST(Gemv, MatchesReference) {
+  Xoshiro256 rng(37);
+  const int m = 9, n = 6;
+  auto a = random_matrix(m, n, rng);
+  auto x = random_matrix(n, 1, rng);
+  auto y = random_matrix(m, 1, rng);
+  auto y_ref = y;
+  gemv(Trans::kNo, m, n, 2.0, a.data(), m, x.data(), 1, 0.5, y.data(), 1);
+  for (int i = 0; i < m; ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < n; ++j) acc += at(a, i, j, m) * x[j];
+    y_ref[i] = 2.0 * acc + 0.5 * y_ref[i];
+  }
+  EXPECT_LT(max_diff(y, y_ref), 1e-12);
+}
+
+TEST(Gemv, TransposedWithStrides) {
+  Xoshiro256 rng(41);
+  const int m = 7, n = 5;
+  auto a = random_matrix(m, n, rng);
+  std::vector<double> x(static_cast<std::size_t>(m) * 2, 0.0);
+  std::vector<double> y(static_cast<std::size_t>(n) * 3, 0.0);
+  for (int i = 0; i < m; ++i) x[2 * i] = rng.next_in(-1, 1);
+  gemv(Trans::kYes, m, n, 1.0, a.data(), m, x.data(), 2, 0.0, y.data(), 3);
+  for (int j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (int i = 0; i < m; ++i) acc += at(a, i, j, m) * x[2 * i];
+    EXPECT_NEAR(y[3 * j], acc, 1e-12);
+  }
+}
+
+TEST(Trsv, SolvesLowerSystem) {
+  Xoshiro256 rng(43);
+  const int n = 12;
+  auto a = random_matrix(n, n, rng);
+  for (int i = 0; i < n; ++i) at(a, i, i, n) = 3.0;
+  auto x_true = random_matrix(n, 1, rng);
+  // b = L x
+  std::vector<double> b(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) b[i] += at(a, i, j, n) * x_true[j];
+  }
+  trsv(UpLo::kLower, Trans::kNo, Diag::kNonUnit, n, a.data(), n, b.data(), 1);
+  EXPECT_LT(max_diff(b, x_true), 1e-10);
+}
+
+TEST(Trsv, StridedTransposed) {
+  Xoshiro256 rng(47);
+  const int n = 8;
+  auto a = random_matrix(n, n, rng);
+  for (int i = 0; i < n; ++i) at(a, i, i, n) = 4.0;
+  auto x_true = random_matrix(n, 1, rng);
+  // b = L^T x
+  std::vector<double> b(static_cast<std::size_t>(n) * 2, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int j = i; j < n; ++j) acc += at(a, j, i, n) * x_true[j];
+    b[2 * i] = acc;
+  }
+  trsv(UpLo::kLower, Trans::kYes, Diag::kNonUnit, n, a.data(), n, b.data(), 2);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(b[2 * i], x_true[i], 1e-10);
+}
+
+TEST(Norms, Frobenius) {
+  std::vector<double> a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(frobenius_norm(2, 1, a.data(), 2), 5.0);
+}
+
+TEST(Norms, MaxAbs) {
+  std::vector<double> a = {1.0, -7.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs(2, 2, a.data(), 2), 7.0);
+}
+
+TEST(Flops, CountsArePositiveAndScale) {
+  EXPECT_EQ(gemm_flops(2, 3, 4), 48);
+  EXPECT_EQ(syrk_flops(3, 4), 48);
+  EXPECT_EQ(trsm_flops(Side::kRight, 10, 4), 160);
+  EXPECT_EQ(trsm_flops(Side::kLeft, 4, 10), 160);
+  EXPECT_GT(potrf_flops(10), 333);
+}
+
+}  // namespace
+}  // namespace sympack::blas

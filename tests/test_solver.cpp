@@ -1,0 +1,471 @@
+// End-to-end correctness tests for the symPACK solver: the distributed
+// fan-out factorization must reproduce the reference Cholesky factor, and
+// factorize+solve must give tiny residuals — across matrices, rank
+// counts, orderings, scheduling policies, GPU on/off, and the threaded
+// runtime.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/blas.hpp"
+#include "core/solver.hpp"
+#include "sparse/densevec.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/permute.hpp"
+#include "support/random.hpp"
+
+namespace sympack::core {
+namespace {
+
+using sparse::CscMatrix;
+using sparse::idx_t;
+
+pgas::Runtime::Config cluster(int nranks, int per_node = 4) {
+  pgas::Runtime::Config cfg;
+  cfg.nranks = nranks;
+  cfg.ranks_per_node = per_node;
+  cfg.gpus_per_node = 4;
+  cfg.device_memory_bytes = 64 << 20;
+  return cfg;
+}
+
+double solve_residual(pgas::Runtime& rt, const CscMatrix& a,
+                      SolverOptions opts = {}) {
+  SymPackSolver solver(rt, opts);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const auto b = sparse::rhs_for_ones(a);
+  const auto x = solver.solve(b);
+  return sparse::relative_residual(a, x, b);
+}
+
+// Reference: dense Cholesky of the permuted matrix, compared entry-wise
+// against the solver's assembled factor.
+void expect_factor_matches_dense(pgas::Runtime& rt, const CscMatrix& a,
+                                 SolverOptions opts = {}) {
+  SymPackSolver solver(rt, opts);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const auto ap = sparse::permute_symmetric(a, solver.permutation());
+  auto dense = ap.to_dense();
+  const auto n = static_cast<int>(a.n());
+  ASSERT_EQ(blas::potrf(blas::UpLo::kLower, n, dense.data(), n), 0);
+  const auto l = solver.dense_factor();
+  double max_err = 0.0;
+  for (int j = 0; j < n; ++j) {
+    for (int i = j; i < n; ++i) {
+      max_err = std::max(max_err, std::fabs(l[i + static_cast<std::size_t>(j) * n] -
+                                            dense[i + static_cast<std::size_t>(j) * n]));
+    }
+  }
+  EXPECT_LT(max_err, 1e-8) << "factor mismatch vs dense reference";
+}
+
+TEST(Solver, FactorMatchesDenseReferenceSingleRank) {
+  pgas::Runtime rt(cluster(1));
+  expect_factor_matches_dense(rt, sparse::grid2d_laplacian(8, 8));
+}
+
+TEST(Solver, FactorMatchesDenseReferenceFourRanks) {
+  pgas::Runtime rt(cluster(4));
+  expect_factor_matches_dense(rt, sparse::grid2d_laplacian(9, 7));
+}
+
+TEST(Solver, FactorMatchesDenseIrregularSixRanks) {
+  pgas::Runtime rt(cluster(6, 2));
+  expect_factor_matches_dense(rt, sparse::thermal_irregular(7, 8, 0.5, 5));
+}
+
+TEST(Solver, TinyMatrices) {
+  pgas::Runtime rt(cluster(2));
+  for (idx_t n : {1, 2, 3}) {
+    const auto a = sparse::tridiagonal(n);
+    EXPECT_LT(solve_residual(rt, a), 1e-12) << "n=" << n;
+  }
+}
+
+TEST(Solver, DenseBlockMatrix) {
+  pgas::Runtime rt(cluster(3, 3));
+  EXPECT_LT(solve_residual(rt, sparse::dense_spd(30, 7)), 1e-12);
+}
+
+struct SolverCase {
+  const char* name;
+  int nranks;
+  CscMatrix (*make)();
+};
+
+class SolverSweep : public ::testing::TestWithParam<SolverCase> {};
+
+TEST_P(SolverSweep, ResidualTiny) {
+  const auto& p = GetParam();
+  pgas::Runtime rt(cluster(p.nranks));
+  EXPECT_LT(solve_residual(rt, p.make()), 1e-11) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MatricesAndRanks, SolverSweep,
+    ::testing::Values(
+        SolverCase{"grid2d_r1", 1, [] { return sparse::grid2d_laplacian(12, 12); }},
+        SolverCase{"grid2d_r2", 2, [] { return sparse::grid2d_laplacian(12, 12); }},
+        SolverCase{"grid2d_r4", 4, [] { return sparse::grid2d_laplacian(12, 12); }},
+        SolverCase{"grid2d_r8", 8, [] { return sparse::grid2d_laplacian(12, 12); }},
+        SolverCase{"grid2d_r13", 13, [] { return sparse::grid2d_laplacian(12, 12); }},
+        SolverCase{"grid3d_r4", 4, [] { return sparse::grid3d_laplacian(5, 5, 5); }},
+        SolverCase{"grid3d27_r6", 6,
+                   [] {
+                     return sparse::grid3d_laplacian(
+                         4, 4, 4, sparse::Stencil3D::kTwentySevenPoint);
+                   }},
+        SolverCase{"thermal_r4", 4, [] { return sparse::thermal_irregular(12, 12, 0.4, 11); }},
+        SolverCase{"elastic_r4", 4, [] { return sparse::elasticity3d(3, 3, 3); }},
+        SolverCase{"random_r5", 5, [] { return sparse::random_spd(150, 5.0, 13); }},
+        SolverCase{"arrow_r3", 3, [] { return sparse::arrow(40); }},
+        SolverCase{"tridiag_r4", 4, [] { return sparse::tridiagonal(100); }}),
+    [](const auto& info) { return info.param.name; });
+
+class OrderingSweep2
+    : public ::testing::TestWithParam<ordering::Method> {};
+
+TEST_P(OrderingSweep2, AllOrderingsGiveCorrectSolve) {
+  pgas::Runtime rt(cluster(4));
+  SolverOptions opts;
+  opts.ordering = GetParam();
+  EXPECT_LT(solve_residual(rt, sparse::grid2d_laplacian(10, 11), opts), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orderings, OrderingSweep2,
+                         ::testing::Values(ordering::Method::kNatural,
+                                           ordering::Method::kRcm,
+                                           ordering::Method::kAmd,
+                                           ordering::Method::kNestedDissection),
+                         [](const auto& info) {
+                           return ordering::method_name(info.param);
+                         });
+
+class PolicySweep : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(PolicySweep, AllPoliciesGiveCorrectSolve) {
+  pgas::Runtime rt(cluster(4));
+  SolverOptions opts;
+  opts.policy = GetParam();
+  EXPECT_LT(solve_residual(rt, sparse::thermal_irregular(10, 10, 0.4, 3), opts),
+            1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicySweep,
+                         ::testing::Values(Policy::kFifo, Policy::kLifo,
+                                           Policy::kPriority),
+                         [](const auto& info) {
+                           return policy_name(info.param);
+                         });
+
+class MappingSweep
+    : public ::testing::TestWithParam<symbolic::Mapping::Kind> {};
+
+TEST_P(MappingSweep, AllMappingsGiveCorrectSolve) {
+  pgas::Runtime rt(cluster(4));
+  SolverOptions opts;
+  opts.mapping = GetParam();
+  EXPECT_LT(solve_residual(rt, sparse::grid2d_laplacian(11, 9), opts), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mappings, MappingSweep,
+    ::testing::Values(symbolic::Mapping::Kind::k2dBlockCyclic,
+                      symbolic::Mapping::Kind::kRowCyclic,
+                      symbolic::Mapping::Kind::kColCyclic));
+
+TEST(Solver, GpuOffAndOnAgree) {
+  const auto a = sparse::grid3d_laplacian(4, 4, 4);
+  pgas::Runtime rt(cluster(4));
+  SolverOptions cpu_opts;
+  cpu_opts.gpu.enabled = false;
+  SolverOptions gpu_opts;
+  gpu_opts.gpu.enabled = true;
+  // Force plenty of offload with tiny thresholds.
+  gpu_opts.gpu.potrf_threshold = 4;
+  gpu_opts.gpu.trsm_threshold = 4;
+  gpu_opts.gpu.syrk_threshold = 4;
+  gpu_opts.gpu.gemm_threshold = 4;
+  gpu_opts.gpu.device_resident_threshold = 64;
+  EXPECT_LT(solve_residual(rt, a, cpu_opts), 1e-11);
+  EXPECT_LT(solve_residual(rt, a, gpu_opts), 1e-11);
+}
+
+TEST(Solver, GpuOffloadActuallyHappens) {
+  pgas::Runtime rt(cluster(4));
+  SolverOptions opts;
+  opts.gpu.potrf_threshold = 16;
+  opts.gpu.trsm_threshold = 16;
+  opts.gpu.syrk_threshold = 16;
+  opts.gpu.gemm_threshold = 16;
+  SymPackSolver solver(rt, opts);
+  const auto a = sparse::grid3d_laplacian(5, 5, 5);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const auto& ops = solver.report().total_ops;
+  std::uint64_t gpu_total = 0, cpu_total = 0;
+  for (int i = 0; i < 4; ++i) {
+    gpu_total += ops.gpu[i];
+    cpu_total += ops.cpu[i];
+  }
+  EXPECT_GT(gpu_total, 0u);
+  EXPECT_GT(cpu_total, 0u);  // small blocks stay on the CPU (hybrid!)
+}
+
+TEST(Solver, DefaultThresholdsKeepMajorityOnCpu) {
+  // Fig. 6's qualitative shape: with realistic thresholds, most calls
+  // run on the CPU, the few large ones on the GPU.
+  pgas::Runtime rt(cluster(4));
+  SymPackSolver solver(rt, SolverOptions{});
+  const auto a = sparse::grid3d_laplacian(6, 6, 6);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const auto& ops = solver.report().total_ops;
+  std::uint64_t gpu_total = 0, cpu_total = 0;
+  for (int i = 0; i < 4; ++i) {
+    gpu_total += ops.gpu[i];
+    cpu_total += ops.cpu[i];
+  }
+  EXPECT_GT(cpu_total, gpu_total);
+}
+
+TEST(Solver, DeviceOomFallsBackToCpu) {
+  pgas::Runtime::Config cfg = cluster(2);
+  cfg.device_memory_bytes = 256;  // nothing but the tiniest scratch fits
+  pgas::Runtime rt(cfg);
+  SolverOptions opts;
+  opts.gpu.potrf_threshold = 4;
+  opts.gpu.trsm_threshold = 4;
+  opts.gpu.syrk_threshold = 4;
+  opts.gpu.gemm_threshold = 4;
+  opts.gpu.fallback = GpuFallback::kCpu;
+  SymPackSolver solver(rt, opts);
+  const auto a = sparse::grid2d_laplacian(10, 10);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  EXPECT_GT(solver.report().gpu_fallbacks, 0u);
+  const auto b = sparse::rhs_for_ones(a);
+  const auto x = solver.solve(b);
+  EXPECT_LT(sparse::relative_residual(a, x, b), 1e-11);
+}
+
+TEST(Solver, DeviceOomThrowOptionThrows) {
+  pgas::Runtime::Config cfg = cluster(2);
+  cfg.device_memory_bytes = 256;
+  pgas::Runtime rt(cfg);
+  SolverOptions opts;
+  opts.gpu.potrf_threshold = 4;
+  opts.gpu.trsm_threshold = 4;
+  opts.gpu.syrk_threshold = 4;
+  opts.gpu.gemm_threshold = 4;
+  opts.gpu.fallback = GpuFallback::kThrow;
+  SymPackSolver solver(rt, opts);
+  solver.symbolic_factorize(sparse::grid2d_laplacian(10, 10));
+  EXPECT_THROW(solver.factorize(), pgas::DeviceOom);
+}
+
+TEST(Solver, IndefiniteMatrixThrows) {
+  pgas::Runtime rt(cluster(2));
+  auto a = sparse::grid2d_laplacian(6, 6);
+  a.shift_diagonal(-10.0);  // make it indefinite
+  SymPackSolver solver(rt, SolverOptions{});
+  solver.symbolic_factorize(a);
+  EXPECT_THROW(solver.factorize(), std::runtime_error);
+}
+
+TEST(Solver, MultipleRhs) {
+  pgas::Runtime rt(cluster(4));
+  const auto a = sparse::grid2d_laplacian(9, 9);
+  SymPackSolver solver(rt, SolverOptions{});
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const idx_t n = a.n();
+  const int nrhs = 3;
+  support::Xoshiro256 rng(21);
+  std::vector<double> xs(static_cast<std::size_t>(n) * nrhs);
+  for (auto& v : xs) v = rng.next_in(-1, 1);
+  std::vector<double> b(xs.size());
+  for (int c = 0; c < nrhs; ++c) {
+    a.symv(xs.data() + static_cast<std::size_t>(c) * n,
+           b.data() + static_cast<std::size_t>(c) * n);
+  }
+  const auto x = solver.solve(b, nrhs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(x[i], xs[i], 1e-8);
+  }
+}
+
+TEST(Solver, RepeatedFactorizationsReuseSymbolic) {
+  // The PEXSI-style use case the paper motivates: many factorizations of
+  // matrices with identical structure.
+  pgas::Runtime rt(cluster(4));
+  auto a = sparse::grid2d_laplacian(10, 10);
+  SymPackSolver solver(rt, SolverOptions{});
+  solver.symbolic_factorize(a);
+  for (int rep = 0; rep < 3; ++rep) {
+    solver.factorize();
+    const auto b = sparse::rhs_for_ones(a);
+    const auto x = solver.solve(b);
+    EXPECT_LT(sparse::relative_residual(a, x, b), 1e-11);
+  }
+}
+
+TEST(Solver, ThreadedRuntimeProducesCorrectResults) {
+  pgas::Runtime::Config cfg = cluster(4);
+  cfg.threaded = true;
+  pgas::Runtime rt(cfg);
+  EXPECT_LT(solve_residual(rt, sparse::grid2d_laplacian(12, 12)), 1e-11);
+}
+
+TEST(Solver, ThreadedIrregularStress) {
+  pgas::Runtime::Config cfg = cluster(8, 4);
+  cfg.threaded = true;
+  pgas::Runtime rt(cfg);
+  EXPECT_LT(solve_residual(rt, sparse::thermal_irregular(14, 14, 0.5, 9)),
+            1e-11);
+}
+
+TEST(Solver, ReportPopulated) {
+  pgas::Runtime rt(cluster(4));
+  const auto a = sparse::grid2d_laplacian(12, 12);
+  SymPackSolver solver(rt, SolverOptions{});
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const auto b = sparse::rhs_for_ones(a);
+  (void)solver.solve(b);
+  const Report& r = solver.report();
+  EXPECT_EQ(r.n, a.n());
+  EXPECT_GE(r.factor_nnz, a.nnz_stored());
+  EXPECT_GT(r.num_supernodes, 0);
+  EXPECT_GT(r.factor_sim_s, 0.0);
+  EXPECT_GT(r.solve_sim_s, 0.0);
+  EXPECT_GT(r.factor_flops, 0.0);
+  // 4 ranks on one node exchange messages.
+  EXPECT_GT(r.comm.rpcs_sent, 0u);
+  EXPECT_GT(r.comm.gets, 0u);
+}
+
+TEST(Solver, SimulatedTimeDecreasesWithMoreNodes) {
+  // The essence of Figures 7-12: strong scaling in simulated time. Uses
+  // a compute-heavy 27-point 3D problem (protocol-only) so the problem
+  // is large enough to scale, like the paper's matrices.
+  const auto a = sparse::grid3d_laplacian(
+      10, 10, 10, sparse::Stencil3D::kTwentySevenPoint);
+  auto run = [&](int nranks, int per_node) {
+    pgas::Runtime rt(cluster(nranks, per_node));
+    SolverOptions opts;
+    opts.numeric = false;
+    SymPackSolver solver(rt, opts);
+    solver.symbolic_factorize(a);
+    solver.factorize();
+    return solver.report().factor_sim_s;
+  };
+  const double t1 = run(4, 4);    // 1 node
+  const double t16 = run(64, 4);  // 16 nodes
+  EXPECT_LT(t16, t1);
+}
+
+TEST(Solver, ProtocolOnlyModeMatchesTaskScheduleShape) {
+  // numeric=false runs the full protocol and produces comparable
+  // simulated times without touching values.
+  const auto a = sparse::grid2d_laplacian(14, 14);
+  double t_numeric = 0.0, t_dry = 0.0;
+  pgas::CommStats comm_numeric, comm_dry;
+  {
+    pgas::Runtime rt(cluster(4));
+    SymPackSolver solver(rt, SolverOptions{});
+    solver.symbolic_factorize(a);
+    solver.factorize();
+    t_numeric = solver.report().factor_sim_s;
+    comm_numeric = solver.report().comm;
+  }
+  {
+    pgas::Runtime rt(cluster(4));
+    SolverOptions opts;
+    opts.numeric = false;
+    SymPackSolver solver(rt, opts);
+    solver.symbolic_factorize(a);
+    solver.factorize();
+    t_dry = solver.report().factor_sim_s;
+    comm_dry = solver.report().comm;
+  }
+  EXPECT_GT(t_dry, 0.0);
+  EXPECT_NEAR(t_dry / t_numeric, 1.0, 0.25);  // same cost model
+  EXPECT_EQ(comm_numeric.rpcs_sent, comm_dry.rpcs_sent);
+  EXPECT_EQ(comm_numeric.gets, comm_dry.gets);
+  EXPECT_EQ(comm_numeric.bytes_from_host, comm_dry.bytes_from_host);
+}
+
+TEST(Solver, ProtocolOnlySolveRuns) {
+  pgas::Runtime rt(cluster(4));
+  SolverOptions opts;
+  opts.numeric = false;
+  SymPackSolver solver(rt, opts);
+  const auto a = sparse::grid2d_laplacian(10, 10);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  std::vector<double> b(a.n(), 1.0);
+  (void)solver.solve(b);
+  EXPECT_GT(solver.report().solve_sim_s, 0.0);
+}
+
+TEST(Solver, ApiMisuseThrows) {
+  pgas::Runtime rt(cluster(2));
+  SymPackSolver solver(rt, SolverOptions{});
+  EXPECT_THROW(solver.factorize(), std::logic_error);
+  solver.symbolic_factorize(sparse::tridiagonal(5));
+  EXPECT_THROW(solver.solve({1, 2, 3, 4, 5}), std::logic_error);
+  solver.factorize();
+  EXPECT_THROW(solver.solve({1, 2, 3}), std::invalid_argument);  // wrong size
+}
+
+TEST(Solver, PolicyParseRoundTrip) {
+  EXPECT_EQ(parse_policy("fifo"), Policy::kFifo);
+  EXPECT_EQ(parse_policy("lifo"), Policy::kLifo);
+  EXPECT_EQ(parse_policy("priority"), Policy::kPriority);
+  EXPECT_THROW(parse_policy("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sympack::core
+
+namespace sympack::core {
+namespace {
+
+TEST(ProportionalMappingSolve, CorrectEndToEnd) {
+  pgas::Runtime::Config cfg;
+  cfg.nranks = 6;
+  cfg.ranks_per_node = 3;
+  pgas::Runtime rt(cfg);
+  SolverOptions opts;
+  opts.mapping = symbolic::Mapping::Kind::kProportional;
+  SymPackSolver solver(rt, opts);
+  const auto a = sparse::grid2d_laplacian(13, 12);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const auto b = sparse::rhs_for_ones(a);
+  const auto x = solver.solve(b);
+  EXPECT_LT(sparse::relative_residual(a, x, b), 1e-11);
+}
+
+TEST(ProportionalMappingSolve, FanInVariantToo) {
+  pgas::Runtime::Config cfg;
+  cfg.nranks = 4;
+  cfg.ranks_per_node = 4;
+  pgas::Runtime rt(cfg);
+  SolverOptions opts;
+  opts.mapping = symbolic::Mapping::Kind::kProportional;
+  opts.variant = Variant::kFanIn;
+  SymPackSolver solver(rt, opts);
+  const auto a = sparse::thermal_irregular(9, 9, 0.4, 3);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const auto b = sparse::rhs_for_ones(a);
+  const auto x = solver.solve(b);
+  EXPECT_LT(sparse::relative_residual(a, x, b), 1e-11);
+}
+
+}  // namespace
+}  // namespace sympack::core

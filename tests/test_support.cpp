@@ -1,0 +1,288 @@
+// Unit tests for the support utilities: timers, options parsing, RNG
+// determinism, statistics, and the ASCII table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "support/env.hpp"
+#include "support/options.hpp"
+#include "support/random.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace sympack::support {
+namespace {
+
+TEST(Timer, StartsStopped) {
+  Timer t;
+  EXPECT_FALSE(t.running());
+  EXPECT_DOUBLE_EQ(t.elapsed(), 0.0);
+  EXPECT_EQ(t.laps(), 0u);
+}
+
+TEST(Timer, AccumulatesAcrossLaps) {
+  Timer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.stop();
+  const double first = t.elapsed();
+  EXPECT_GT(first, 0.0);
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.stop();
+  EXPECT_GT(t.elapsed(), first);
+  EXPECT_EQ(t.laps(), 2u);
+}
+
+TEST(Timer, ElapsedWhileRunningIncludesInFlight) {
+  Timer t;
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(t.elapsed(), 0.0);
+  EXPECT_TRUE(t.running());
+}
+
+TEST(Timer, ResetClearsState) {
+  Timer t;
+  t.start();
+  t.stop();
+  t.reset();
+  EXPECT_DOUBLE_EQ(t.elapsed(), 0.0);
+  EXPECT_EQ(t.laps(), 0u);
+}
+
+TEST(Timer, DoubleStartIsIdempotent) {
+  Timer t;
+  t.start();
+  t.start();
+  t.stop();
+  EXPECT_EQ(t.laps(), 1u);
+}
+
+TEST(ScopedTimer, AddsToAccumulator) {
+  double acc = 0.0;
+  {
+    ScopedTimer st(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(acc, 0.0);
+}
+
+TEST(FormatDuration, PicksUnits) {
+  EXPECT_NE(format_duration(3e-9).find("ns"), std::string::npos);
+  EXPECT_NE(format_duration(3e-6).find("us"), std::string::npos);
+  EXPECT_NE(format_duration(3e-3).find("ms"), std::string::npos);
+  EXPECT_NE(format_duration(3.0).find("s"), std::string::npos);
+}
+
+TEST(Options, ParsesSpaceSeparated) {
+  const char* argv[] = {"prog", "--nodes", "8", "--matrix", "flan"};
+  Options o(5, argv);
+  EXPECT_EQ(o.get_int("nodes", 0), 8);
+  EXPECT_EQ(o.get_string("matrix", ""), "flan");
+}
+
+TEST(Options, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--alpha=0.5", "--name=x"};
+  Options o(3, argv);
+  EXPECT_DOUBLE_EQ(o.get_double("alpha", 0.0), 0.5);
+  EXPECT_EQ(o.get_string("name", ""), "x");
+}
+
+TEST(Options, BooleanFlags) {
+  const char* argv[] = {"prog", "--gpu", "--no-verbose"};
+  Options o(3, argv);
+  EXPECT_TRUE(o.get_bool("gpu", false));
+  EXPECT_FALSE(o.get_bool("verbose", true));
+}
+
+TEST(Options, BoolValueForms) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=off", "--d=1"};
+  Options o(5, argv);
+  EXPECT_FALSE(o.get_bool("a", true));
+  EXPECT_FALSE(o.get_bool("b", true));
+  EXPECT_FALSE(o.get_bool("c", true));
+  EXPECT_TRUE(o.get_bool("d", false));
+}
+
+TEST(Options, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  Options o(1, argv);
+  EXPECT_EQ(o.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(o.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(o.get_string("missing", "dflt"), "dflt");
+  EXPECT_TRUE(o.get_bool("missing", true));
+}
+
+TEST(Options, IntList) {
+  const char* argv[] = {"prog", "--nodes", "1,2,4,8,16"};
+  Options o(3, argv);
+  const auto list = o.get_int_list("nodes", {});
+  ASSERT_EQ(list.size(), 5u);
+  EXPECT_EQ(list[0], 1);
+  EXPECT_EQ(list[4], 16);
+}
+
+TEST(Options, PositionalArguments) {
+  const char* argv[] = {"prog", "input.mtx", "--n", "3", "other"};
+  Options o(5, argv);
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "input.mtx");
+  EXPECT_EQ(o.positional()[1], "other");
+}
+
+TEST(Options, SetOverridesAndHas) {
+  Options o;
+  EXPECT_FALSE(o.has("x"));
+  o.set("x", "7");
+  EXPECT_TRUE(o.has("x"));
+  EXPECT_EQ(o.get_int("x", 0), 7);
+}
+
+TEST(Random, Deterministic) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Random, NextBelowRespectsBound) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Random, NextInRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.next_in(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, EmptySummary) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SingleElement) {
+  const Summary s = summarize({5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0, 5.0}, 25.0), 2.0);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(Table, FormatsAndPrints) {
+  AsciiTable t({"name", "n", "nnz"});
+  t.add_row({"Flan_1565", AsciiTable::fmt_int(1564794),
+             AsciiTable::fmt_int(114165372)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1,564,794"), std::string::npos);
+  EXPECT_NE(s.find("114,165,372"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FmtBytes) {
+  EXPECT_EQ(AsciiTable::fmt_bytes(512), "512 B");
+  EXPECT_EQ(AsciiTable::fmt_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(AsciiTable::fmt_bytes(3u << 20), "3.0 MiB");
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(AsciiTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(AsciiTable::fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Env, ReadsTypedValues) {
+  ::setenv("SYMPACK_TEST_INT", "41", 1);
+  ::setenv("SYMPACK_TEST_DBL", "2.5", 1);
+  ::setenv("SYMPACK_TEST_BOOL", "false", 1);
+  EXPECT_EQ(env_int("SYMPACK_TEST_INT", 0), 41);
+  EXPECT_DOUBLE_EQ(env_double("SYMPACK_TEST_DBL", 0.0), 2.5);
+  EXPECT_FALSE(env_bool("SYMPACK_TEST_BOOL", true));
+  EXPECT_EQ(env_int("SYMPACK_TEST_ABSENT", 7), 7);
+  ::unsetenv("SYMPACK_TEST_INT");
+  ::unsetenv("SYMPACK_TEST_DBL");
+  ::unsetenv("SYMPACK_TEST_BOOL");
+}
+
+TEST(Env, MalformedFallsBack) {
+  ::setenv("SYMPACK_TEST_BAD", "12abc", 1);
+  EXPECT_EQ(env_int("SYMPACK_TEST_BAD", 3), 3);
+  ::unsetenv("SYMPACK_TEST_BAD");
+}
+
+}  // namespace
+}  // namespace sympack::support
+
+namespace sympack::support {
+namespace {
+
+TEST(Options, SingleDashFlagsLikeThePaperDriver) {
+  // The AD/AE command lines use single-dash flags: -in, -nrhs, -ordering.
+  const char* argv[] = {"prog", "-in", "m.rb", "-nrhs", "2", "-gpu_v"};
+  Options o(6, argv);
+  EXPECT_EQ(o.get_string("in", ""), "m.rb");
+  EXPECT_EQ(o.get_int("nrhs", 0), 2);
+  EXPECT_TRUE(o.get_bool("gpu_v", false));
+}
+
+TEST(Options, NegativeNumberIsValueNotOption) {
+  const char* argv[] = {"prog", "--shift", "-2.5"};
+  Options o(3, argv);
+  EXPECT_DOUBLE_EQ(o.get_double("shift", 0.0), -2.5);
+}
+
+TEST(Options, MixedDashStyles) {
+  const char* argv[] = {"prog", "-ordering", "SCOTCH", "--nodes=4"};
+  Options o(4, argv);
+  EXPECT_EQ(o.get_string("ordering", ""), "SCOTCH");
+  EXPECT_EQ(o.get_int("nodes", 0), 4);
+}
+
+}  // namespace
+}  // namespace sympack::support
