@@ -2,8 +2,12 @@
 // cross-vendor portability. Prints the analytically derived per-op
 // thresholds for three device vendor presets, then compares factor time
 // under hand-tuned defaults vs analytic thresholds on the flan proxy.
+// Finally sweeps the CPU kernel-engine cache-block sizes (measured, not
+// modeled) and prints the best TileConfig to plug into
+// SolverOptions::kernel_tiles or the SYMPACK_TILE_* environment.
 //
-// Options: --scale 1.0 --nodes 4 --ppn 4
+// Options: --scale 1.0 --nodes 4 --ppn 4 --tile-sweep --tile-problem 384
+//          --json PATH
 #include <cstdio>
 
 #include "common.hpp"
@@ -64,5 +68,33 @@ int main(int argc, char** argv) {
   std::printf("expected shape: analytic thresholds track the hand-tuned "
               "defaults within a few percent on every vendor, without any "
               "brute-force tuning pass.\n");
+
+  if (opts.get_bool("tile-sweep", true)) {
+    const int problem = static_cast<int>(opts.get_int("tile-problem", 384));
+    std::printf("\n-- CPU kernel-engine tile sweep (measured on this host, "
+                "%dx%dx%d GEMM, microkernel: %s) --\n",
+                problem, problem, problem,
+                blas::kernels::microkernel_variant());
+    const auto sweep = gpu::sweep_tile_configs(problem);
+    support::AsciiTable tiles({"MC", "KC", "NC", "GFLOP/s"});
+    bench::JsonReport report;
+    for (const auto& t : sweep) {
+      tiles.add_row({std::to_string(t.config.mc), std::to_string(t.config.kc),
+                     std::to_string(t.config.nc),
+                     support::AsciiTable::fmt(t.gflops, 2)});
+      report.add_row()
+          .set("mc", t.config.mc)
+          .set("kc", t.config.kc)
+          .set("nc", t.config.nc)
+          .set("gflops", t.gflops)
+          .set("microkernel", blas::kernels::microkernel_variant());
+    }
+    std::printf("%s", tiles.to_string().c_str());
+    const auto& best = sweep.front().config;
+    std::printf("best: SYMPACK_TILE_MC=%d SYMPACK_TILE_KC=%d "
+                "SYMPACK_TILE_NC=%d (or SolverOptions::kernel_tiles)\n",
+                best.mc, best.kc, best.nc);
+    if (!bench::maybe_write_json(opts, report)) return 1;
+  }
   return 0;
 }

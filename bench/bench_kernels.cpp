@@ -1,18 +1,34 @@
-// Kernel microbenchmarks (google-benchmark): throughput of the
-// hand-written GEMM/SYRK/TRSM/POTRF kernels across the block shapes the
-// supernodal factorization produces, plus the CPU-vs-GPU cost-model
-// crossover that motivates the paper's offload thresholds.
-#include <benchmark/benchmark.h>
-
+// Dense-kernel regression harness: throughput of the CPU BLAS kernels
+// across the block shapes the supernodal factorization produces (square
+// trailing updates, tall-skinny fan-out updates, panel solves), each in
+// two variants — the retained unblocked reference kernels ("naive") and
+// the cache-blocked packed engine ("tiled", src/blas/kernels/). The
+// side-by-side ratio is the regression signal: tiled GEMM/SYRK at
+// m=n=k>=256 is expected to stay >= 2x naive on AVX2 hardware.
+//
+// Options:
+//   --quick         fewer shapes, shorter timing (CI smoke mode)
+//   --min-time 0.2  seconds of work per measurement
+//   --json PATH     machine-readable output (see bench::JsonReport)
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "blas/blas.hpp"
-#include "gpu/device.hpp"
+#include "blas/kernels/tiling.hpp"
+#include "common.hpp"
+#include "support/options.hpp"
 #include "support/random.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
 using namespace sympack;
+using blas::kernels::TileConfig;
+using blas::kernels::TileConfigGuard;
 
 std::vector<double> random_matrix(int rows, int cols, std::uint64_t seed) {
   support::Xoshiro256 rng(seed);
@@ -21,127 +37,253 @@ std::vector<double> random_matrix(int rows, int cols, std::uint64_t seed) {
   return m;
 }
 
-void BM_GemmNT(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto a = random_matrix(n, n, 1);
-  auto b = random_matrix(n, n, 2);
-  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
-  for (auto _ : state) {
-    blas::gemm(blas::Trans::kNo, blas::Trans::kYes, n, n, n, 1.0, a.data(), n,
-               b.data(), n, 0.0, c.data(), n);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      static_cast<double>(blas::gemm_flops(n, n, n)) * state.iterations() /
-          1e9,
-      benchmark::Counter::kIsRate);
+/// Force all dispatch one way: the "naive" variant routes every call to
+/// the unblocked reference kernels, the "tiled" variant forces the
+/// blocked engine regardless of size.
+TileConfig variant_config(bool tiled) {
+  TileConfig cfg;  // default cache blocks
+  cfg.tiled_min_flops =
+      tiled ? 0 : std::numeric_limits<std::int64_t>::max();
+  return cfg;
 }
-BENCHMARK(BM_GemmNT)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_GemmTallSkinny(benchmark::State& state) {
-  // The fan-out update shape: tall source block times short pivot block.
-  const int m = static_cast<int>(state.range(0));
-  const int k = 32;  // supernode width
-  const int n = 24;  // pivot block rows
-  auto a = random_matrix(m, k, 3);
-  auto b = random_matrix(n, k, 4);
-  std::vector<double> c(static_cast<std::size_t>(m) * n, 0.0);
-  for (auto _ : state) {
-    blas::gemm(blas::Trans::kNo, blas::Trans::kYes, m, n, k, 1.0, a.data(), m,
-               b.data(), n, 0.0, c.data(), m);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      static_cast<double>(blas::gemm_flops(m, n, k)) * state.iterations() /
-          1e9,
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_GemmTallSkinny)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
-
-void BM_Syrk(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const int k = 48;
-  auto a = random_matrix(n, k, 5);
-  std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
-  for (auto _ : state) {
-    blas::syrk(blas::UpLo::kLower, blas::Trans::kNo, n, k, -1.0, a.data(), n,
-               1.0, c.data(), n);
-    benchmark::DoNotOptimize(c.data());
-  }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      static_cast<double>(blas::syrk_flops(n, k)) * state.iterations() / 1e9,
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_Syrk)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_TrsmRightLowerTrans(benchmark::State& state) {
-  // The panel-factorization TRSM: B := B * L^{-T}.
-  const int m = static_cast<int>(state.range(0));
-  const int n = 64;
-  auto l = random_matrix(n, n, 6);
-  for (int i = 0; i < n; ++i) l[i + static_cast<std::size_t>(i) * n] = 4.0;
-  auto b = random_matrix(m, n, 7);
-  for (auto _ : state) {
-    auto work = b;
-    blas::trsm(blas::Side::kRight, blas::UpLo::kLower, blas::Trans::kYes,
-               blas::Diag::kNonUnit, m, n, 1.0, l.data(), n, work.data(), m);
-    benchmark::DoNotOptimize(work.data());
-  }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      static_cast<double>(blas::trsm_flops(blas::Side::kRight, m, n)) *
-          state.iterations() / 1e9,
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_TrsmRightLowerTrans)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_Potrf(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  auto base = random_matrix(n, n, 8);
-  // SPD-ify.
-  for (int i = 0; i < n; ++i) {
-    base[i + static_cast<std::size_t>(i) * n] = n + 2.0;
-  }
-  for (int j = 0; j < n; ++j) {
-    for (int i = 0; i < j; ++i) {
-      base[i + static_cast<std::size_t>(j) * n] =
-          base[j + static_cast<std::size_t>(i) * n];
-    }
-  }
-  for (auto _ : state) {
-    auto work = base;
-    const int info = blas::potrf(blas::UpLo::kLower, n, work.data(), n);
-    if (info != 0) state.SkipWithError("potrf failed");
-    benchmark::DoNotOptimize(work.data());
-  }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      static_cast<double>(blas::potrf_flops(n)) * state.iterations() / 1e9,
-      benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_Potrf)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
-
-void BM_GpuModelCrossover(benchmark::State& state) {
-  // Not a compute benchmark: evaluates the cost model to locate the
-  // block size where GPU execution (incl. launch + staging) overtakes
-  // the CPU — the analytic version of the paper's threshold tuning.
-  const pgas::MachineModel model;
-  for (auto _ : state) {
-    int crossover = 0;
-    for (int n = 8; n <= 2048; n += 8) {
-      const double flops = static_cast<double>(blas::gemm_flops(n, n, n));
-      const double cpu = gpu::cpu_kernel_time(model, gpu::Op::kGemm, flops);
-      const double dev = model.gpu_launch_s +
-                         gpu::gpu_kernel_time(model, gpu::Op::kGemm, flops) +
-                         3.0 * model.hd_copy_time(sizeof(double) * n * n);
-      if (dev < cpu) {
-        crossover = n;
-        break;
+/// Adaptive repetition timing: grow the batch until one batch takes at
+/// least `min_time` seconds, then report seconds per call of the best
+/// batch (best-of filters scheduler noise).
+template <typename Fn>
+double time_per_call(Fn&& fn, double min_time) {
+  fn();  // warm up (packing arena, caches, page faults)
+  std::int64_t reps = 1;
+  for (;;) {
+    const double t0 = support::WallClock::now();
+    for (std::int64_t r = 0; r < reps; ++r) fn();
+    const double elapsed = support::WallClock::now() - t0;
+    if (elapsed >= min_time) {
+      double best = elapsed;
+      for (int batch = 0; batch < 2; ++batch) {
+        const double b0 = support::WallClock::now();
+        for (std::int64_t r = 0; r < reps; ++r) fn();
+        best = std::min(best, support::WallClock::now() - b0);
       }
+      return best / static_cast<double>(reps);
     }
-    benchmark::DoNotOptimize(crossover);
+    reps *= std::max<std::int64_t>(2, static_cast<std::int64_t>(
+                                          min_time / (elapsed + 1e-9)));
   }
 }
-BENCHMARK(BM_GpuModelCrossover);
+
+struct Measurement {
+  std::string kernel;
+  std::string shape;  // human label: "square", "tall-skinny", ...
+  int m = 0, n = 0, k = 0;
+  double naive_gflops = 0.0;
+  double tiled_gflops = 0.0;
+};
+
+/// Run `fn` under both dispatch variants and record GFLOP/s.
+template <typename Fn>
+Measurement measure(const std::string& kernel, const std::string& shape,
+                    int m, int n, int k, double flops, double min_time,
+                    Fn&& fn) {
+  Measurement ms;
+  ms.kernel = kernel;
+  ms.shape = shape;
+  ms.m = m;
+  ms.n = n;
+  ms.k = k;
+  {
+    TileConfigGuard guard(variant_config(/*tiled=*/false));
+    ms.naive_gflops = flops / time_per_call(fn, min_time) * 1e-9;
+  }
+  {
+    TileConfigGuard guard(variant_config(/*tiled=*/true));
+    ms.tiled_gflops = flops / time_per_call(fn, min_time) * 1e-9;
+  }
+  std::printf("  %-6s %-12s m=%-5d n=%-5d k=%-5d  naive %7.2f  tiled %7.2f "
+              "GFLOP/s  (%.2fx)\n",
+              kernel.c_str(), shape.c_str(), m, n, k, ms.naive_gflops,
+              ms.tiled_gflops, ms.tiled_gflops / ms.naive_gflops);
+  std::fflush(stdout);
+  return ms;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const support::Options opts(argc, argv);
+  const bool quick = opts.get_bool("quick", false);
+  const double min_time = opts.get_double("min-time", quick ? 0.05 : 0.25);
+
+  std::printf("== dense kernel regression harness ==\n");
+  std::printf("microkernel: %s; timing: best batch, >= %.2fs per point\n\n",
+              blas::kernels::microkernel_variant(), min_time);
+
+  std::vector<Measurement> results;
+
+  // --- GEMM, square trailing-update blocks. The >=2x acceptance gate
+  // lives at m=n=k in {256, 384}.
+  {
+    std::vector<int> sizes = quick ? std::vector<int>{64, 256}
+                                   : std::vector<int>{64, 128, 256, 384};
+    for (const int n : sizes) {
+      auto a = random_matrix(n, n, 1);
+      auto b = random_matrix(n, n, 2);
+      std::vector<double> c(static_cast<std::size_t>(n) * n, 0.0);
+      results.push_back(measure(
+          "gemm", "square", n, n, n,
+          static_cast<double>(blas::gemm_flops(n, n, n)), min_time, [&] {
+            blas::gemm(blas::Trans::kNo, blas::Trans::kYes, n, n, n, 1.0,
+                       a.data(), n, b.data(), n, 0.0, c.data(), n);
+          }));
+    }
+  }
+
+  // --- GEMM, the fan-out update shape: tall source block times short
+  // pivot block (supernode width 32, pivot block 24 rows).
+  {
+    std::vector<int> heights =
+        quick ? std::vector<int>{1024} : std::vector<int>{256, 1024, 4096};
+    const int k = 32, n = 24;
+    for (const int m : heights) {
+      auto a = random_matrix(m, k, 3);
+      auto b = random_matrix(n, k, 4);
+      std::vector<double> c(static_cast<std::size_t>(m) * n, 0.0);
+      results.push_back(measure(
+          "gemm", "tall-skinny", m, n, k,
+          static_cast<double>(blas::gemm_flops(m, n, k)), min_time, [&] {
+            blas::gemm(blas::Trans::kNo, blas::Trans::kYes, m, n, k, 1.0,
+                       a.data(), m, b.data(), n, 0.0, c.data(), m);
+          }));
+    }
+  }
+
+  // --- GEMM, panel-times-panel (the widest blocks the 2D distribution
+  // produces).
+  if (!quick) {
+    const int m = 512, n = 96, k = 96;
+    auto a = random_matrix(m, k, 9);
+    auto b = random_matrix(n, k, 10);
+    std::vector<double> c(static_cast<std::size_t>(m) * n, 0.0);
+    results.push_back(measure(
+        "gemm", "panel", m, n, k,
+        static_cast<double>(blas::gemm_flops(m, n, k)), min_time, [&] {
+          blas::gemm(blas::Trans::kNo, blas::Trans::kYes, m, n, k, 1.0,
+                     a.data(), m, b.data(), n, 0.0, c.data(), m);
+        }));
+  }
+
+  // --- SYRK, narrow accumulation (k = supernode width) and square.
+  {
+    struct SyrkShape { int n, k; const char* label; };
+    std::vector<SyrkShape> shapes =
+        quick ? std::vector<SyrkShape>{{256, 48, "narrow"}}
+              : std::vector<SyrkShape>{{128, 48, "narrow"},
+                                       {256, 48, "narrow"},
+                                       {256, 256, "square"},
+                                       {384, 384, "square"}};
+    for (const auto& s : shapes) {
+      auto a = random_matrix(s.n, s.k, 5);
+      std::vector<double> c(static_cast<std::size_t>(s.n) * s.n, 0.0);
+      results.push_back(measure(
+          "syrk", s.label, s.n, s.n, s.k,
+          static_cast<double>(blas::syrk_flops(s.n, s.k)), min_time, [&] {
+            blas::syrk(blas::UpLo::kLower, blas::Trans::kNo, s.n, s.k, -1.0,
+                       a.data(), s.n, 1.0, c.data(), s.n);
+          }));
+    }
+  }
+
+  // --- TRSM, the panel-factorization solve B := B * L^{-T}.
+  {
+    std::vector<int> heights =
+        quick ? std::vector<int>{256} : std::vector<int>{256, 1024};
+    const int n = 64;
+    auto l = random_matrix(n, n, 6);
+    for (int i = 0; i < n; ++i) l[i + static_cast<std::size_t>(i) * n] = 4.0;
+    for (const int m : heights) {
+      auto b = random_matrix(m, n, 7);
+      auto work = b;
+      results.push_back(measure(
+          "trsm", "right-lt", m, n, 0,
+          static_cast<double>(blas::trsm_flops(blas::Side::kRight, m, n)),
+          min_time, [&] {
+            work = b;
+            blas::trsm(blas::Side::kRight, blas::UpLo::kLower,
+                       blas::Trans::kYes, blas::Diag::kNonUnit, m, n, 1.0,
+                       l.data(), n, work.data(), m);
+          }));
+    }
+  }
+
+  // --- POTRF on diagonal-block sizes.
+  {
+    std::vector<int> sizes =
+        quick ? std::vector<int>{128} : std::vector<int>{128, 256, 384};
+    for (const int n : sizes) {
+      auto base = random_matrix(n, n, 8);
+      for (int i = 0; i < n; ++i) {
+        base[i + static_cast<std::size_t>(i) * n] = n + 2.0;
+      }
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < j; ++i) {
+          base[i + static_cast<std::size_t>(j) * n] =
+              base[j + static_cast<std::size_t>(i) * n];
+        }
+      }
+      auto work = base;
+      results.push_back(measure(
+          "potrf", "diag", n, n, 0,
+          static_cast<double>(blas::potrf_flops(n)), min_time, [&] {
+            work = base;
+            (void)blas::potrf(blas::UpLo::kLower, n, work.data(), n);
+          }));
+    }
+  }
+
+  // --- Summary table + JSON.
+  std::printf("\n");
+  support::AsciiTable table({"kernel", "shape", "m", "n", "k", "naive GF/s",
+                             "tiled GF/s", "speedup"});
+  bench::JsonReport report;
+  bool gate_ok = true;
+  for (const auto& ms : results) {
+    const double speedup = ms.tiled_gflops / ms.naive_gflops;
+    table.add_row({ms.kernel, ms.shape, std::to_string(ms.m),
+                   std::to_string(ms.n), std::to_string(ms.k),
+                   support::AsciiTable::fmt(ms.naive_gflops, 2),
+                   support::AsciiTable::fmt(ms.tiled_gflops, 2),
+                   support::AsciiTable::fmt(speedup, 2)});
+    for (const bool tiled : {false, true}) {
+      report.add_row()
+          .set("kernel", ms.kernel)
+          .set("shape", ms.shape)
+          .set("m", ms.m)
+          .set("n", ms.n)
+          .set("k", ms.k)
+          .set("variant", tiled ? "tiled" : "naive")
+          .set("gflops", tiled ? ms.tiled_gflops : ms.naive_gflops)
+          .set("microkernel",
+               tiled ? blas::kernels::microkernel_variant() : "reference");
+    }
+    // Regression gate: big square GEMM/SYRK must hold the 2x advantage.
+    if ((ms.kernel == "gemm" || ms.kernel == "syrk") && ms.shape != "narrow" &&
+        ms.m >= 256 && ms.n >= 256 && ms.k >= 256 && speedup < 2.0) {
+      gate_ok = false;
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+  if (!bench::maybe_write_json(opts, report)) return 1;
+
+  if (!gate_ok) {
+    std::fprintf(stderr, "REGRESSION: tiled GEMM/SYRK below 2x naive at "
+                         "m=n=k>=256 (microkernel: %s)\n",
+                 blas::kernels::microkernel_variant());
+    // Only fail hard where the fast microkernel is available: the
+    // portable fallback (non-x86 or pre-AVX2 hosts) legitimately sits
+    // below the 2x bar.
+    if (std::string(blas::kernels::microkernel_variant()) != "portable") {
+      return 1;
+    }
+  }
+  return 0;
+}

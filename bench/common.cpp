@@ -1,6 +1,8 @@
 #include "common.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
 
 #include "baseline/rightlooking.hpp"
@@ -13,6 +15,90 @@
 namespace sympack::bench {
 
 using sparse::CscMatrix;
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonReport::Row& JsonReport::Row::set(const std::string& key,
+                                      const std::string& value) {
+  fields_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::set(const std::string& key,
+                                      const char* value) {
+  return set(key, std::string(value));
+}
+
+JsonReport::Row& JsonReport::Row::set(const std::string& key, double value) {
+  if (!std::isfinite(value)) return set(key, std::string("nan"));  // JSON-safe
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::set(const std::string& key,
+                                      std::int64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+std::string JsonReport::to_string() const {
+  std::string out = "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += "  {";
+    const auto& fields = rows_[r].fields_;
+    for (std::size_t f = 0; f < fields.size(); ++f) {
+      out += "\"" + json_escape(fields[f].first) + "\": " + fields[f].second;
+      if (f + 1 < fields.size()) out += ", ";
+    }
+    out += r + 1 < rows_.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool JsonReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+bool maybe_write_json(const support::Options& opts, const JsonReport& report) {
+  const auto path = opts.get_string("json", "");
+  if (path.empty()) return true;
+  if (!report.write(path)) return false;
+  std::printf("[json] wrote %zu rows to %s\n", report.size(), path.c_str());
+  return true;
+}
 
 MatrixInfo make_matrix(const std::string& name, double scale) {
   MatrixInfo info;
@@ -176,6 +262,19 @@ int run_figure_main(int argc, const char* const* argv,
                (solve_phase ? "Solve times for " : "Factorization times for ") +
                    info.paper_name + " (proxy)",
                points, solve_phase);
+
+  JsonReport report;
+  for (const auto& pt : points) {
+    report.add_row()
+        .set("figure", figure)
+        .set("matrix", info.name)
+        .set("nodes", pt.nodes)
+        .set("phase", solve_phase ? "solve" : "factor")
+        .set("sympack_s", solve_phase ? pt.sympack_solve_s : pt.sympack_factor_s)
+        .set("pastix_s", solve_phase ? pt.pastix_solve_s : pt.pastix_factor_s)
+        .set("sympack_best_ppn", pt.sympack_best_ppn);
+  }
+  if (!maybe_write_json(opts, report)) return 1;
 
   if (opts.get_bool("validate", true)) {
     const double residual = validate_small(matrix_name, 0.05);

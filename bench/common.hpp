@@ -14,6 +14,42 @@
 
 namespace sympack::bench {
 
+/// Machine-readable benchmark output, shared by every bench driver via
+/// the `--json <path>` flag: a flat JSON array of row objects, one row
+/// per measurement, each an ordered set of key -> string/number fields.
+/// Kept deliberately schema-free so each bench can emit whatever columns
+/// it measures (CI archives the files as artifacts).
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& set(const std::string& key, const std::string& value);
+    Row& set(const std::string& key, const char* value);
+    Row& set(const std::string& key, double value);
+    Row& set(const std::string& key, std::int64_t value);
+    Row& set(const std::string& key, int value) {
+      return set(key, static_cast<std::int64_t>(value));
+    }
+
+   private:
+    friend class JsonReport;
+    // Values are stored pre-rendered as JSON tokens, insertion-ordered.
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& add_row() { return rows_.emplace_back(); }
+  [[nodiscard]] std::size_t size() const { return rows_.size(); }
+
+  /// Render the whole report as a JSON array (trailing newline included).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Write to `path`; returns false (and prints to stderr) on I/O error.
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<Row> rows_;
+};
+
 struct MatrixInfo {
   std::string name;          // proxy name
   std::string paper_name;    // SuiteSparse matrix it stands in for
@@ -59,9 +95,15 @@ void print_figure(const std::string& figure, const std::string& title,
 /// Prints the residual and returns it.
 double validate_small(const std::string& matrix_name, double scale);
 
+/// If the parsed options carry `--json <path>`, write the report there
+/// and print a one-line confirmation; no-op otherwise. Returns false on
+/// I/O failure.
+bool maybe_write_json(const support::Options& opts, const JsonReport& report);
+
 /// Complete driver for one scaling figure (Figures 7-12): parse CLI
-/// options (--nodes, --ppn, --scale, --numeric, --no-validate), build the
-/// proxy, run the sweep, print the series. Returns a process exit code.
+/// options (--nodes, --ppn, --scale, --numeric, --no-validate, --json),
+/// build the proxy, run the sweep, print the series. Returns a process
+/// exit code.
 int run_figure_main(int argc, const char* const* argv,
                     const std::string& figure, const std::string& matrix_name,
                     bool solve_phase);

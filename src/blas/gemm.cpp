@@ -2,6 +2,10 @@
 
 #include <cassert>
 
+#include "blas/kernels/dispatch.hpp"
+#include "blas/kernels/engine.hpp"
+#include "blas/reference.hpp"
+
 namespace sympack::blas {
 namespace {
 
@@ -117,6 +121,23 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, double alpha,
   if (m == 0 || n == 0) return;
   scale_c(m, n, beta, c, ldc);
   if (k == 0 || alpha == 0.0) return;
+  if (kernels::gemm_use_tiled(m, n, k)) {
+    kernels::gemm_accumulate(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
+                             c, ldc);
+    return;
+  }
+  naive::gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, 1.0, c, ldc);
+}
+
+namespace naive {
+
+void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, double alpha,
+          const double* a, int lda, const double* b, int ldb, double beta,
+          double* c, int ldc) {
+  assert(m >= 0 && n >= 0 && k >= 0);
+  if (m == 0 || n == 0) return;
+  scale_c(m, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0) return;
 
   if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
     gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
@@ -128,6 +149,8 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, double alpha,
     gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
   }
 }
+
+}  // namespace naive
 
 std::int64_t gemm_flops(int m, int n, int k) {
   return 2ll * m * n * k;

@@ -1,0 +1,39 @@
+// Per-thread packing arena for the tiled kernel engine.
+//
+// Packed A/B panels are written into buffers that live for the thread's
+// lifetime and only grow, so steady-state factorization packs into
+// cache-warm memory instead of re-mallocing per kernel call. Each PGAS
+// rank thread gets its own arena (thread_local), so concurrently
+// progressing ranks never share packing buffers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sympack::blas::kernels {
+
+class PackArena {
+ public:
+  /// Buffer for a packed A panel of at least `elems` doubles.
+  double* a_panel(std::size_t elems) { return grow(a_, elems); }
+  /// Buffer for a packed B panel of at least `elems` doubles.
+  double* b_panel(std::size_t elems) { return grow(b_, elems); }
+
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    return sizeof(double) * (a_.capacity() + b_.capacity());
+  }
+
+ private:
+  static double* grow(std::vector<double>& buf, std::size_t elems) {
+    if (buf.size() < elems) buf.resize(elems);
+    return buf.data();
+  }
+
+  std::vector<double> a_;
+  std::vector<double> b_;
+};
+
+/// The calling thread's arena.
+PackArena& thread_arena();
+
+}  // namespace sympack::blas::kernels

@@ -1,0 +1,31 @@
+// Size-threshold dispatch between the original unblocked kernels and the
+// cache-blocked engine.
+//
+// Every decision keys on the flop count of the call (the same counts the
+// performance model charges) against TileConfig::tiled_min_flops, so a
+// single knob moves all four routines between regimes: 0 forces the
+// tiled engine everywhere, INT64_MAX forces the naive paths (used by the
+// numerical cross-check tests). TRSM additionally requires the
+// triangular dimension to exceed the shared panel width — below that the
+// "blocked" algorithm would degenerate into one unblocked solve.
+#pragma once
+
+#include "blas/blas.hpp"
+#include "blas/kernels/tiling.hpp"
+
+namespace sympack::blas::kernels {
+
+inline bool gemm_use_tiled(int m, int n, int k) {
+  return use_tiled(gemm_flops(m, n, k));
+}
+
+inline bool syrk_use_blocked(int n, int k) {
+  return use_tiled(syrk_flops(n, k)) && n > config().panel;
+}
+
+inline bool trsm_use_blocked(Side side, int m, int n) {
+  const int tri = side == Side::kLeft ? m : n;
+  return use_tiled(trsm_flops(side, m, n)) && tri > config().panel;
+}
+
+}  // namespace sympack::blas::kernels

@@ -1,0 +1,120 @@
+#include "blas/kernels/engine.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "blas/kernels/arena.hpp"
+#include "blas/kernels/microkernel.hpp"
+#include "blas/kernels/tiling.hpp"
+
+namespace sympack::blas::kernels {
+namespace {
+
+inline double op_at(const double* a, int lda, Trans trans, int row, int col) {
+  return trans == Trans::kNo
+             ? a[row + static_cast<std::ptrdiff_t>(col) * lda]
+             : a[col + static_cast<std::ptrdiff_t>(row) * lda];
+}
+
+// Pack op(A)(ic:ic+mc, pc:pc+kc) into strips of kMR rows, zero-padded to
+// the full register tile. Strip s occupies kc*kMR contiguous doubles;
+// within a strip, column l holds the kMR rows of op(A)(:, pc+l).
+void pack_a(Trans trans, int mc, int kc, const double* a, int lda, int ic,
+            int pc, double* buf) {
+  for (int s = 0; s < mc; s += kMR) {
+    const int rows = std::min(kMR, mc - s);
+    if (trans == Trans::kNo && rows == kMR) {
+      // Hot case: contiguous column reads straight from A.
+      const double* src =
+          a + (ic + s) + static_cast<std::ptrdiff_t>(pc) * lda;
+      for (int l = 0; l < kc; ++l) {
+        const double* col = src + static_cast<std::ptrdiff_t>(l) * lda;
+        for (int i = 0; i < kMR; ++i) buf[i] = col[i];
+        buf += kMR;
+      }
+      continue;
+    }
+    for (int l = 0; l < kc; ++l) {
+      for (int i = 0; i < rows; ++i) {
+        buf[i] = op_at(a, lda, trans, ic + s + i, pc + l);
+      }
+      for (int i = rows; i < kMR; ++i) buf[i] = 0.0;
+      buf += kMR;
+    }
+  }
+}
+
+// Pack alpha * op(B)(pc:pc+kc, jc:jc+nc) into strips of kNR columns,
+// zero-padded. Strip s occupies kc*kNR doubles; within a strip, row l
+// holds the kNR entries of alpha * op(B)(pc+l, :).
+void pack_b(Trans trans, int kc, int nc, double alpha, const double* b,
+            int ldb, int pc, int jc, double* buf) {
+  for (int s = 0; s < nc; s += kNR) {
+    const int cols = std::min(kNR, nc - s);
+    if (trans == Trans::kYes && cols == kNR) {
+      // op(B)(l, j) = B(j, l): rows of the strip are contiguous in B.
+      const double* src =
+          b + (jc + s) + static_cast<std::ptrdiff_t>(pc) * ldb;
+      for (int l = 0; l < kc; ++l) {
+        const double* row = src + static_cast<std::ptrdiff_t>(l) * ldb;
+        for (int j = 0; j < kNR; ++j) buf[j] = alpha * row[j];
+        buf += kNR;
+      }
+      continue;
+    }
+    for (int l = 0; l < kc; ++l) {
+      for (int j = 0; j < cols; ++j) {
+        buf[j] = alpha * op_at(b, ldb, trans, pc + l, jc + s + j);
+      }
+      for (int j = cols; j < kNR; ++j) buf[j] = 0.0;
+      buf += kNR;
+    }
+  }
+}
+
+}  // namespace
+
+PackArena& thread_arena() {
+  thread_local PackArena arena;
+  return arena;
+}
+
+void gemm_accumulate(Trans trans_a, Trans trans_b, int m, int n, int k,
+                     double alpha, const double* a, int lda, const double* b,
+                     int ldb, double* c, int ldc) {
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  const TileConfig cfg = config();
+  static const MicroKernelFn mk = select_microkernel();
+  PackArena& arena = thread_arena();
+
+  for (int jc = 0; jc < n; jc += cfg.nc) {
+    const int ncb = std::min(cfg.nc, n - jc);
+    const int nc_padded = ((ncb + kNR - 1) / kNR) * kNR;
+    for (int pc = 0; pc < k; pc += cfg.kc) {
+      const int kcb = std::min(cfg.kc, k - pc);
+      double* bp = arena.b_panel(static_cast<std::size_t>(kcb) * nc_padded);
+      pack_b(trans_b, kcb, ncb, alpha, b, ldb, pc, jc, bp);
+      for (int ic = 0; ic < m; ic += cfg.mc) {
+        const int mcb = std::min(cfg.mc, m - ic);
+        const int mc_padded = ((mcb + kMR - 1) / kMR) * kMR;
+        double* ap = arena.a_panel(static_cast<std::size_t>(kcb) * mc_padded);
+        pack_a(trans_a, mcb, kcb, a, lda, ic, pc, ap);
+        for (int jr = 0; jr < ncb; jr += kNR) {
+          const int nr = std::min(kNR, ncb - jr);
+          const double* bs =
+              bp + static_cast<std::ptrdiff_t>(jr / kNR) * kcb * kNR;
+          for (int ir = 0; ir < mcb; ir += kMR) {
+            const int mr = std::min(kMR, mcb - ir);
+            const double* as =
+                ap + static_cast<std::ptrdiff_t>(ir / kMR) * kcb * kMR;
+            mk(kcb, as, bs,
+               c + (ic + ir) + static_cast<std::ptrdiff_t>(jc + jr) * ldc,
+               ldc, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace sympack::blas::kernels

@@ -1,0 +1,22 @@
+// The cache-blocked GEMM engine behind the dispatching blas:: routines.
+//
+// BLIS-style structure: loop over NC-wide column blocks of C, KC-deep
+// reduction blocks (B panel packed once per (jc, pc) pair), and MC-tall
+// row blocks (A panel packed per (ic, pc) pair), then sweep the packed
+// panels with the kMR x kNR register-tiled microkernel. Transposition is
+// absorbed by the packing step, so one microkernel serves all four
+// op(A)/op(B) combinations, and alpha is folded into the packed B panel.
+#pragma once
+
+#include "blas/blas.hpp"
+
+namespace sympack::blas::kernels {
+
+/// C(0:m, 0:n) += alpha * op(A) * op(B). Unlike blas::gemm, beta is NOT
+/// applied here — callers scale C first (or come from a path that
+/// already did).
+void gemm_accumulate(Trans trans_a, Trans trans_b, int m, int n, int k,
+                     double alpha, const double* a, int lda, const double* b,
+                     int ldb, double* c, int ldc);
+
+}  // namespace sympack::blas::kernels

@@ -1,0 +1,46 @@
+#include "blas/kernels/microkernel.hpp"
+
+#include <cstddef>
+
+#include "blas/kernels/tiling.hpp"
+
+namespace sympack::blas::kernels {
+namespace {
+
+#define SYMPACK_MK_TARGET
+#define SYMPACK_MK_NAME microkernel_portable
+#include "blas/kernels/microkernel_body.inc"
+#undef SYMPACK_MK_NAME
+#undef SYMPACK_MK_TARGET
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SYMPACK_HAS_AVX2_CLONE 1
+#define SYMPACK_MK_TARGET __attribute__((target("avx2,fma")))
+#define SYMPACK_MK_NAME microkernel_avx2
+#include "blas/kernels/microkernel_body.inc"
+#undef SYMPACK_MK_NAME
+#undef SYMPACK_MK_TARGET
+#endif
+
+bool cpu_has_avx2_fma() {
+#if defined(SYMPACK_HAS_AVX2_CLONE)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+MicroKernelFn select_microkernel() {
+#if defined(SYMPACK_HAS_AVX2_CLONE)
+  if (cpu_has_avx2_fma()) return microkernel_avx2;
+#endif
+  return microkernel_portable;
+}
+
+const char* microkernel_variant() {
+  return cpu_has_avx2_fma() ? "avx2+fma" : "portable";
+}
+
+}  // namespace sympack::blas::kernels

@@ -1,0 +1,26 @@
+// Register-tiled GEMM microkernel.
+//
+// Computes a kMR x kNR tile of C += Ap * Bp from packed panels:
+//   Ap: kc strips of kMR values (column l of the packed A panel),
+//   Bp: kc strips of kNR values (row l of the packed B panel, with
+//       alpha already folded in by the packing step).
+// Panels are zero-padded to the full register tile, so the accumulation
+// always runs the fully unrolled kMR x kNR body; partial tiles only
+// restrict the final store (the masked scalar path).
+//
+// The kernel body is plain C++ with manual unrolling — no intrinsics —
+// and is compiled twice: once with the translation unit's baseline ISA
+// and once per-function-targeted at AVX2+FMA. select_microkernel() picks
+// the best variant the CPU supports at runtime.
+#pragma once
+
+namespace sympack::blas::kernels {
+
+/// c(0:mr, 0:nr) += sum_l Ap[l*kMR + i] * Bp[l*kNR + j].
+using MicroKernelFn = void (*)(int kc, const double* ap, const double* bp,
+                               double* c, int ldc, int mr, int nr);
+
+/// The fastest variant this CPU can execute (resolved once).
+MicroKernelFn select_microkernel();
+
+}  // namespace sympack::blas::kernels

@@ -1,0 +1,46 @@
+#include "blas/kernels/tiling.hpp"
+
+#include <algorithm>
+
+#include "support/env.hpp"
+
+namespace sympack::blas::kernels {
+namespace {
+
+int round_up(int v, int multiple) {
+  return ((v + multiple - 1) / multiple) * multiple;
+}
+
+TileConfig sanitize(TileConfig cfg) {
+  cfg.mc = round_up(std::max(cfg.mc, kMR), kMR);
+  cfg.kc = std::max(cfg.kc, 4);
+  cfg.nc = round_up(std::max(cfg.nc, kNR), kNR);
+  cfg.panel = std::max(cfg.panel, 1);
+  cfg.tiled_min_flops = std::max<std::int64_t>(cfg.tiled_min_flops, 0);
+  return cfg;
+}
+
+TileConfig initial_config() {
+  TileConfig cfg;
+  cfg.mc = static_cast<int>(support::env_int("SYMPACK_TILE_MC", cfg.mc));
+  cfg.kc = static_cast<int>(support::env_int("SYMPACK_TILE_KC", cfg.kc));
+  cfg.nc = static_cast<int>(support::env_int("SYMPACK_TILE_NC", cfg.nc));
+  cfg.panel =
+      static_cast<int>(support::env_int("SYMPACK_TILE_PANEL", cfg.panel));
+  cfg.tiled_min_flops =
+      support::env_int("SYMPACK_TILED_MIN_FLOPS", cfg.tiled_min_flops);
+  return sanitize(cfg);
+}
+
+TileConfig& mutable_config() {
+  static TileConfig cfg = initial_config();
+  return cfg;
+}
+
+}  // namespace
+
+const TileConfig& config() { return mutable_config(); }
+
+void set_config(const TileConfig& cfg) { mutable_config() = sanitize(cfg); }
+
+}  // namespace sympack::blas::kernels

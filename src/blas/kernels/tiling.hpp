@@ -1,0 +1,77 @@
+// Tile-size configuration for the cache-blocked dense kernel engine.
+//
+// One process-wide TileConfig is the single source of truth for every
+// blocked kernel: the BLIS-style GEMM cache blocks (MC x KC x NC), the
+// panel width shared by the blocked POTRF/TRSM/SYRK drivers, and the
+// dispatch threshold that keeps tiny blocks on the original unblocked
+// paths. The register tile (MR x NR) is a compile-time property of the
+// microkernel and is exported here so packing and autotuning agree on it.
+//
+// The configuration may be replaced between factorizations (autotuning,
+// SolverOptions, tests) but must not be mutated while kernels are
+// running on other threads: the threaded PGAS ranks read it
+// concurrently.
+#pragma once
+
+#include <cstdint>
+
+namespace sympack::blas::kernels {
+
+/// Register tile of the microkernel (see microkernel.hpp). Packed panels
+/// are laid out in strips of kMR rows / kNR columns. 8x6 keeps the C
+/// tile in twelve 4-wide vector registers on AVX2 with the row dimension
+/// vectorized (contiguous in both the packed A panel and column-major C).
+inline constexpr int kMR = 8;
+inline constexpr int kNR = 6;
+
+struct TileConfig {
+  /// Cache blocks of the packed GEMM: A panels are MC x KC (sized for
+  /// L2), B panels are KC x NC (sized for L3).
+  int mc = 96;
+  int kc = 256;
+  int nc = 1024;
+  /// Panel width of the blocked POTRF/TRSM/SYRK drivers (the former
+  /// hard-coded kPanel in potrf.cpp).
+  int panel = 64;
+  /// Operations below this many flops stay on the unblocked paths
+  /// (packing overhead dominates tiny blocks). Compared against the
+  /// blas::*_flops() count of the call. Set to INT64_MAX to force the
+  /// naive kernels everywhere (used by tests), or 0 to force the tiled
+  /// engine.
+  std::int64_t tiled_min_flops = 2ll * 48 * 48 * 48;
+};
+
+/// The active process-wide configuration.
+const TileConfig& config();
+
+/// Replace the active configuration (values are clamped to sane minima;
+/// mc is rounded up to a multiple of kMR and nc to a multiple of kNR).
+void set_config(const TileConfig& cfg);
+
+/// True when an operation of `flops` floating-point operations should
+/// route through the tiled engine.
+inline bool use_tiled(std::int64_t flops) {
+  return flops >= config().tiled_min_flops;
+}
+
+/// RAII helper for tests and autotuning sweeps: swaps in a configuration
+/// and restores the previous one on destruction.
+class TileConfigGuard {
+ public:
+  explicit TileConfigGuard(const TileConfig& cfg) : saved_(config()) {
+    set_config(cfg);
+  }
+  TileConfigGuard(const TileConfigGuard&) = delete;
+  TileConfigGuard& operator=(const TileConfigGuard&) = delete;
+  ~TileConfigGuard() { set_config(saved_); }
+
+ private:
+  TileConfig saved_;
+};
+
+/// Name of the microkernel variant selected for this CPU ("avx2+fma" or
+/// "portable"); surfaced in benchmark output so perf records are
+/// attributable.
+const char* microkernel_variant();
+
+}  // namespace sympack::blas::kernels

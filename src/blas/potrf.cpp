@@ -5,10 +5,10 @@
 #include <cmath>
 #include <cstddef>
 
+#include "blas/kernels/tiling.hpp"
+
 namespace sympack::blas {
 namespace {
-
-constexpr int kPanel = 64;  // blocking factor for the recursive update
 
 // Unblocked lower Cholesky of the leading n-by-n block. Returns 0 or the
 // 1-based index of the first non-positive pivot.
@@ -38,8 +38,11 @@ int potrf_lower_unblocked(int n, double* a, int lda, int pivot_offset) {
 }
 
 int potrf_lower(int n, double* a, int lda) {
-  for (int k = 0; k < n; k += kPanel) {
-    const int nb = std::min(kPanel, n - k);
+  // Panel width comes from the shared tile configuration, so POTRF, the
+  // blocked TRSM/SYRK it calls, and the solver agree on one knob.
+  const int panel = kernels::config().panel;
+  for (int k = 0; k < n; k += panel) {
+    const int nb = std::min(panel, n - k);
     double* akk = a + k + static_cast<std::ptrdiff_t>(k) * lda;
     const int info = potrf_lower_unblocked(nb, akk, lda, k);
     if (info != 0) return info;

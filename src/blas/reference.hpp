@@ -1,0 +1,21 @@
+// The original unblocked (saxpy / dot-product) kernels, retained verbatim
+// as the numerical reference for the cache-blocked engine and as the
+// small-matrix paths of the dispatcher. Semantics are identical to the
+// corresponding blas:: routines.
+#pragma once
+
+#include "blas/blas.hpp"
+
+namespace sympack::blas::naive {
+
+void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, double alpha,
+          const double* a, int lda, const double* b, int ldb, double beta,
+          double* c, int ldc);
+
+void syrk(UpLo uplo, Trans trans, int n, int k, double alpha, const double* a,
+          int lda, double beta, double* c, int ldc);
+
+void trsm(Side side, UpLo uplo, Trans trans_a, Diag diag, int m, int n,
+          double alpha, const double* a, int lda, double* b, int ldb);
+
+}  // namespace sympack::blas::naive

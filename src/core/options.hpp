@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "blas/kernels/tiling.hpp"
 #include "ordering/ordering.hpp"
 #include "symbolic/mapping.hpp"
 #include "symbolic/symbolic.hpp"
@@ -61,6 +62,12 @@ struct SolverOptions {
   symbolic::Mapping::Kind mapping = symbolic::Mapping::Kind::k2dBlockCyclic;
   Policy policy = Policy::kFifo;
   GpuOptions gpu{};
+  /// Cache-block / panel sizes for the CPU dense kernels the tasks run
+  /// on (src/blas/kernels/). Defaults to the process-wide configuration
+  /// (environment overrides included), so leaving it untouched is a
+  /// no-op; bench_autotune and gpu::sweep_tile_configs() produce tuned
+  /// values to plug in here. Applied at solver construction.
+  blas::kernels::TileConfig kernel_tiles = blas::kernels::config();
   /// When false, numeric kernels and data movement are skipped while the
   /// full task/communication protocol and the simulated-time accounting
   /// still run. Used by the large strong-scaling sweeps where only the

@@ -44,7 +44,11 @@ std::string variant_name(Variant v) {
 }
 
 SymPackSolver::SymPackSolver(pgas::Runtime& rt, SolverOptions opts)
-    : rt_(&rt), opts_(opts) {}
+    : rt_(&rt), opts_(opts) {
+  // The dense-kernel tile configuration is process-wide (the blocked
+  // BLAS routines read it on every call); adopt this solver's choice.
+  blas::kernels::set_config(opts_.kernel_tiles);
+}
 
 SymPackSolver::~SymPackSolver() = default;
 

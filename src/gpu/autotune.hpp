@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "blas/kernels/tiling.hpp"
 #include "pgas/machine_model.hpp"
 
 namespace sympack::gpu {
@@ -25,5 +27,25 @@ struct Thresholds {
 
 /// Compute per-operation crossover thresholds from the machine model.
 Thresholds analytic_thresholds(const pgas::MachineModel& model);
+
+// --- CPU kernel tile autotuning -----------------------------------------
+// Unlike the offload thresholds above (derived from the machine model),
+// the cache-block sizes of the tiled CPU engine (blas/kernels/) are tuned
+// by measuring the real GEMM wall-clock on this host: cache topology is
+// not part of the simulated model.
+
+struct TileTiming {
+  blas::kernels::TileConfig config;
+  double gflops = 0.0;  // measured tiled-GEMM throughput
+};
+
+/// Time a candidate grid of MC/KC/NC cache-block configurations on a
+/// `problem`-cubed double-precision GEMM; returns candidates sorted
+/// best-first. `reps` timed repetitions per candidate.
+std::vector<TileTiming> sweep_tile_configs(int problem = 384, int reps = 3);
+
+/// The best configuration from sweep_tile_configs, ready to assign to
+/// SolverOptions::kernel_tiles (or kernels::set_config).
+blas::kernels::TileConfig best_tile_config(int problem = 384);
 
 }  // namespace sympack::gpu
