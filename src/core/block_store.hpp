@@ -2,6 +2,12 @@
 // granularity: every block (diagonal or below-diagonal) is a dense
 // column-major matrix allocated from its owner rank's shared segment, so
 // remote ranks can rget() it one-sidedly (paper §3.4).
+//
+// Thread-safety (audited; see DESIGN.md "Threading memory model"): all
+// geometry (owner_, base_, nrows_, ncols_, pointers) is immutable after
+// construction. Block *data* is written only by the owner's thread; a
+// consumer rgets it only after the owner's signal RPC, and the inbox
+// mutex release/acquire on that RPC orders the write before the read.
 #pragma once
 
 #include <vector>

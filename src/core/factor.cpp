@@ -45,7 +45,8 @@ FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
 }
 
 void FactorEngine::run() {
-  rt_->drive([this](pgas::Rank& rank) { return step(rank); });
+  rt_->drive([this](pgas::Rank& rank) { return step(rank); },
+             /*stall_limit=*/10000, opts_.interleave_seed);
 }
 
 pgas::Step FactorEngine::step(pgas::Rank& rank) {
@@ -145,9 +146,17 @@ void FactorEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
     rf.ref = FactorRef{nullptr, ready, on_device, bid};
   }
 
-  auto [it, inserted] =
-      per_rank_[me].cache.emplace(bid, std::move(rf));
-  (void)inserted;
+  // Duplicate signals are deduplicated at the sender (recipients() is
+  // sorted/unique), but a protocol bug must not silently shrink the
+  // shared device segment: if the block is already cached here, free the
+  // copy we just fetched and keep the original entry instead of leaking
+  // the device allocation and re-delivering.
+  const pgas::GlobalPtr fetched_device = rf.device;
+  auto [it, inserted] = per_rank_[me].cache.emplace(bid, std::move(rf));
+  if (!inserted) {
+    if (!fetched_device.is_null()) rank.deallocate(fetched_device);
+    return;
+  }
   deliver(rank, sig.k, sig.slot, it->second.ref);
 }
 
@@ -401,7 +410,29 @@ idx_t FactorEngine::task_depth(const Task& task) const {
   return snode_depth_[sn.blocks[task.ti - 1].target];
 }
 
+bool FactorEngine::heap_less(const Task& a, const Task& b) {
+  if (a.prio != b.prio) return a.prio < b.prio;
+  return a.seq > b.seq;  // equal priority: earlier insertion pops first
+}
+
 void FactorEngine::push_ready(PerRank& pr, Task task) {
+  // The priority policies keep the RTQ as a binary max-heap so pop_ready
+  // is O(log n) instead of a full linear scan (which went quadratic on
+  // the deep RTQs of irregular matrices, e.g. the thermal_proxy regime).
+  // kPriority: lowest supernode first (drains the bottom of the
+  // elimination tree, which feeds the critical path). kCriticalPath:
+  // deepest target supernode first (the task whose result feeds the
+  // longest remaining elimination-tree chain).
+  if (opts_.policy == Policy::kPriority ||
+      opts_.policy == Policy::kCriticalPath) {
+    task.prio = opts_.policy == Policy::kPriority
+                    ? -static_cast<std::int64_t>(task.k)
+                    : static_cast<std::int64_t>(task_depth(task));
+    task.seq = pr.next_seq++;
+    pr.rtq.push_back(task);
+    std::push_heap(pr.rtq.begin(), pr.rtq.end(), heap_less);
+    return;
+  }
   pr.rtq.push_back(task);
 }
 
@@ -417,31 +448,11 @@ FactorEngine::Task FactorEngine::pop_ready(PerRank& pr) {
       pr.rtq.pop_back();
       return t;
     }
-    case Policy::kPriority: {
-      // Lowest supernode first: drains the bottom of the elimination
-      // tree, which feeds the critical path.
-      auto best = pr.rtq.begin();
-      for (auto it = pr.rtq.begin(); it != pr.rtq.end(); ++it) {
-        if (it->k < best->k) best = it;
-      }
-      const Task t = *best;
-      pr.rtq.erase(best);
-      return t;
-    }
+    case Policy::kPriority:
     case Policy::kCriticalPath: {
-      // Deepest target supernode first: the task whose result feeds the
-      // longest remaining elimination-tree chain.
-      auto best = pr.rtq.begin();
-      idx_t best_depth = task_depth(*best);
-      for (auto it = std::next(pr.rtq.begin()); it != pr.rtq.end(); ++it) {
-        const idx_t d = task_depth(*it);
-        if (d > best_depth) {
-          best = it;
-          best_depth = d;
-        }
-      }
-      const Task t = *best;
-      pr.rtq.erase(best);
+      std::pop_heap(pr.rtq.begin(), pr.rtq.end(), heap_less);
+      const Task t = pr.rtq.back();
+      pr.rtq.pop_back();
       return t;
     }
   }

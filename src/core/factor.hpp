@@ -13,6 +13,18 @@
 // tasks are satisfied immediately and remote consumer ranks receive a
 // signal RPC. A rank is done when all of its statically assigned tasks
 // (its LTQ) have executed.
+//
+// Thread-safety (audited; see DESIGN.md "Threading memory model"): the
+// engine holds no locks because every mutable member is single-writer.
+// per_rank_[r] (RTQ, signals, caches, counters) is touched only by the
+// thread driving rank r — signal RPCs mutate the *target's* slot, but
+// RPC bodies execute inside the target's progress(), i.e. on the
+// target's own thread. remaining_[bid]/ready_[bid] are touched only by
+// the thread driving owner(bid): deliver() and complete_target_update()
+// run on the consuming rank, and in fan-out the consumer of every U/F
+// dependency is the block's owner. Reads of published factor-block data
+// after a signal are ordered by the inbox-mutex release/acquire pair in
+// Rank::rpc/progress.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +62,11 @@ class FactorEngine {
     BlockSlot slot = 0;  // block slot (F); unused for D
     idx_t si = 0, ti = 0;  // U: source/pivot block slots (>=1) in panel k
     double ready = 0.0;    // earliest simulated start
+    // Heap ordering for kPriority/kCriticalPath (unused by FIFO/LIFO):
+    // higher prio pops first, ties broken by lower seq (insertion order),
+    // reproducing the old linear-scan selection exactly.
+    std::int64_t prio = 0;
+    std::uint64_t seq = 0;
   };
 
   /// Reference to factor-block data available at this rank (either a
@@ -80,7 +97,10 @@ class FactorEngine {
   };
 
   struct PerRank {
+    // RTQ: plain FIFO/LIFO deque, or (for the priority policies) a
+    // binary max-heap maintained in place by push_ready/pop_ready.
     std::deque<Task> rtq;
+    std::uint64_t next_seq = 0;  // insertion counter for heap tie-breaks
     std::vector<Signal> signals;
     std::unordered_map<std::uint64_t, UpdateState> pending_updates;
     std::unordered_map<idx_t, RemoteFactor> cache;     // key: block id
@@ -113,6 +133,9 @@ class FactorEngine {
   void release_ref(pgas::Rank& rank, const FactorRef& ref);
   void push_ready(PerRank& pr, Task task);
   Task pop_ready(PerRank& pr);
+  /// Heap comparator for the priority policies ("less" for a max-heap at
+  /// the front): higher prio wins, ties go to the earlier insertion.
+  static bool heap_less(const Task& a, const Task& b);
 
   pgas::Runtime* rt_;
   const symbolic::Symbolic* sym_;
@@ -126,13 +149,22 @@ class FactorEngine {
   /// elimination-tree depth of the supernode the task feeds.
   [[nodiscard]] idx_t task_depth(const Task& task) const;
 
+  // Single-writer: slot r is read and written only by the thread driving
+  // rank r (RPC lambdas append to the target's `signals` from inside the
+  // target's own progress()).
   std::vector<PerRank> per_rank_;
-  // Per-block dependency state; each entry is touched only by the block's
-  // owner rank (safe in threaded mode).
+  // Per-block dependency state; each entry is touched only by the thread
+  // driving the block's owner rank (deliver/complete_target_update run on
+  // the consumer, and the consumer of a block's dependencies is its
+  // owner), so no atomics are needed in threaded mode.
   std::vector<int> remaining_;
   std::vector<double> ready_;
   // Supernode depth in the supernodal elimination tree (root = 0).
+  // Immutable after construction.
   std::vector<idx_t> snode_depth_;
+
+  /// White-box access for regression tests (duplicate-signal leak test).
+  friend struct FactorEngineTestPeer;
 };
 
 }  // namespace sympack::core

@@ -61,7 +61,8 @@ FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
 }
 
 void FanInEngine::run() {
-  rt_->drive([this](pgas::Rank& rank) { return step(rank); });
+  rt_->drive([this](pgas::Rank& rank) { return step(rank); },
+             /*stall_limit=*/10000, opts_.interleave_seed);
   // Sent aggregate buffers are consumed by their receivers before their
   // ranks report done; free them now.
   for (int r = 0; r < rt_->nranks(); ++r) {
@@ -153,8 +154,11 @@ void FanInEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
     rank.stats().bytes_from_host += bytes;
     rp.ref = PivotRef{nullptr, ready, bid};
   }
+  // Pivot signals are deduplicated at the sender; if a duplicate ever
+  // arrives the block is already cached, so drop the refetch instead of
+  // re-delivering (which would corrupt the dependency counters).
   auto [it, inserted] = pr.cache.emplace(bid, std::move(rp));
-  (void)inserted;
+  if (!inserted) return;
   deliver_pivot(rank, sig.k, sig.slot, it->second.ref);
 }
 

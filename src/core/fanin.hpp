@@ -13,6 +13,14 @@
 // The numerics are identical to the fan-out engine; the communication
 // pattern is what changes. bench_variant_ablation quantifies the
 // trade-off that made the paper choose fan-out.
+//
+// Thread-safety (audited; see DESIGN.md "Threading memory model"): like
+// the fan-out engine, lock-free by single-writer ownership — per_rank_[r]
+// (RTQ, signals, caches, aggregate buffers) only by rank r's thread, and
+// remaining_[bid]/ready_[bid] only by the thread driving owner(bid):
+// aggregates are *accumulated* at the producer but *applied* by the
+// target owner in apply_aggregate (after the kAggregate signal), so the
+// counters never see a remote writer.
 #pragma once
 
 #include <cstdint>

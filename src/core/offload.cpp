@@ -48,7 +48,7 @@ Offload::GpuPlan Offload::plan(pgas::Rank& rank, gpu::Op op,
       throw pgas::DeviceOom("device scratch allocation failed (" +
                             std::to_string(scratch_bytes) + " B)");
     }
-    ++fallbacks_;
+    fallbacks_.fetch_add(1, std::memory_order_relaxed);
     return p;  // use_gpu stays false -> CPU path
   }
   p.use_gpu = true;
@@ -276,7 +276,7 @@ OpCounts Offload::total_counts() const {
 
 void Offload::reset_counters() {
   for (auto& c : counts_) c = OpCounts{};
-  fallbacks_ = 0;
+  fallbacks_.store(0, std::memory_order_relaxed);
   devices_.reset();
 }
 

@@ -9,6 +9,7 @@
 // counted per rank to reproduce the paper's Fig. 6.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -73,7 +74,9 @@ class Offload {
     return counts_[rank];
   }
   [[nodiscard]] OpCounts total_counts() const;
-  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+  [[nodiscard]] std::uint64_t fallbacks() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] gpu::DeviceManager& devices() { return devices_; }
   void reset_counters();
 
@@ -95,7 +98,10 @@ class Offload {
   gpu::DeviceManager devices_;
   bool numeric_;
   std::vector<OpCounts> counts_;
-  std::uint64_t fallbacks_ = 0;
+  // Incremented from any rank's thread when a device-OOM fallback fires
+  // (plan() runs on the thread driving the requesting rank), so unlike
+  // the per-rank counts_ slots it is genuinely shared — hence atomic.
+  std::atomic<std::uint64_t> fallbacks_{0};
 };
 
 }  // namespace sympack::core

@@ -73,6 +73,12 @@ struct SolverOptions {
   /// still run. Used by the large strong-scaling sweeps where only the
   /// schedule matters; correctness runs use numeric = true.
   bool numeric = true;
+  /// Interleaving-fuzzer seed for the sequential (cooperative) driver:
+  /// nonzero permutes the rank stepping order every sweep from a
+  /// xoshiro256** stream seeded with this value, exploring adversarial
+  /// schedules deterministically. A driver failure logs the seed so the
+  /// exact schedule can be replayed. 0 = plain round-robin.
+  std::uint64_t interleave_seed = 0;
 };
 
 }  // namespace sympack::core

@@ -116,9 +116,9 @@ void SolveEngine::reset_phase(bool backward) {
 
 void SolveEngine::run_phase(bool backward) {
   reset_phase(backward);
-  rt_->drive([this, backward](pgas::Rank& rank) {
-    return step(rank, backward);
-  });
+  rt_->drive(
+      [this, backward](pgas::Rank& rank) { return step(rank, backward); },
+      /*stall_limit=*/10000, opts_.interleave_seed);
 }
 
 pgas::Step SolveEngine::step(pgas::Rank& rank, bool backward) {

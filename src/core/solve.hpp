@@ -12,6 +12,16 @@
 //   backward: the owner of supernode s broadcasts x_s to the owners of
 //             blocks *targeting* s; each computes w = B_{s,k}^T x_s|rows
 //             and fans it in to the owner of panel k.
+//
+// Thread-safety (audited; see DESIGN.md "Threading memory model"): no
+// locks because every mutable member is single-writer. per_rank_[r] is
+// touched only by the thread driving rank r (RPC bodies run inside the
+// target's progress()). seg_[k], remaining_[k], and seg_ready_[k] are
+// touched only by the thread driving the segment owner mapping(k, k):
+// remote contributions arrive as messages and are folded in by the owner
+// itself in apply_contribution. Published segments and contribution
+// buffers are written before the signal RPC is enqueued and read after
+// it is dequeued, so the inbox mutex orders the data transfer.
 #pragma once
 
 #include <cstdint>

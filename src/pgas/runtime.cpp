@@ -1,10 +1,15 @@
 #include "pgas/runtime.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <exception>
+#include <sstream>
 #include <thread>
 
 #include "support/logging.hpp"
+#include "support/random.hpp"
 
 namespace sympack::pgas {
 
@@ -22,26 +27,41 @@ int Rank::device() const {
 
 GlobalPtr Rank::allocate_host(std::size_t bytes) {
   auto* addr = new std::byte[bytes];
-  runtime_->register_allocation(addr, {bytes, MemKind::kHost, -1});
+  runtime_->register_allocation(addr, {bytes, MemKind::kHost, -1, id_});
   return GlobalPtr{addr, id_, MemKind::kHost};
+}
+
+std::size_t Rank::device_share_bytes() const {
+  const int sharers = runtime_->ranks_per_device_[device()];
+  return runtime_->config().device_memory_bytes /
+         static_cast<std::size_t>(sharers > 0 ? sharers : 1);
 }
 
 GlobalPtr Rank::allocate_device(std::size_t bytes, bool nothrow) {
   const int dev = device();
-  const std::size_t device_cap = runtime_->config().device_memory_bytes;
+  // Paper §4.2: all processes mapped to a device allocate an *equal
+  // portion* of its memory — cap each rank at its share so one rank
+  // cannot consume the whole segment and starve co-located ranks.
+  const std::size_t share = device_share_bytes();
   {
     std::lock_guard<std::mutex> lock(runtime_->device_mutex_);
-    if (runtime_->device_used_[dev] + bytes > device_cap) {
+    if (runtime_->rank_device_used_[id_] + bytes > share) {
       if (nothrow) return GlobalPtr{nullptr, id_, MemKind::kDevice};
-      throw DeviceOom("device " + std::to_string(dev) + " out of memory (" +
-                      std::to_string(bytes) + " B requested, " +
-                      std::to_string(device_cap - runtime_->device_used_[dev]) +
-                      " B free)");
+      throw DeviceOom(
+          "rank " + std::to_string(id_) + " exhausted its share of device " +
+          std::to_string(dev) + " (" + std::to_string(bytes) +
+          " B requested, " +
+          std::to_string(share - runtime_->rank_device_used_[id_]) +
+          " B free of the " + std::to_string(share) +
+          " B equal per-rank share; " +
+          std::to_string(runtime_->ranks_per_device_[dev]) +
+          " ranks share the device)");
     }
+    runtime_->rank_device_used_[id_] += bytes;
     runtime_->device_used_[dev] += bytes;
   }
   auto* addr = new std::byte[bytes];
-  runtime_->register_allocation(addr, {bytes, MemKind::kDevice, dev});
+  runtime_->register_allocation(addr, {bytes, MemKind::kDevice, dev, id_});
   return GlobalPtr{addr, id_, MemKind::kDevice};
 }
 
@@ -51,6 +71,7 @@ void Rank::deallocate(GlobalPtr ptr) {
   if (alloc.kind == MemKind::kDevice) {
     std::lock_guard<std::mutex> lock(runtime_->device_mutex_);
     runtime_->device_used_[alloc.device] -= alloc.bytes;
+    runtime_->rank_device_used_[alloc.rank] -= alloc.bytes;
   }
   delete[] ptr.addr;
 }
@@ -83,6 +104,11 @@ int Rank::progress() {
 bool Rank::has_pending_rpcs() const {
   std::lock_guard<std::mutex> lock(inbox_mutex_);
   return !inbox_.empty();
+}
+
+std::size_t Rank::pending_rpc_count() const {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  return inbox_.size();
 }
 
 double Rank::transfer_completion(std::size_t bytes, int peer,
@@ -154,6 +180,11 @@ Runtime::Runtime(Config config) : config_(config) {
   }
   device_used_.assign(static_cast<std::size_t>(nodes()) * config_.gpus_per_node,
                       0);
+  rank_device_used_.assign(config_.nranks, 0);
+  ranks_per_device_.assign(device_used_.size(), 0);
+  for (int r = 0; r < config_.nranks; ++r) {
+    ++ranks_per_device_[ranks_[r]->device()];
+  }
   nic_busy_.assign(static_cast<std::size_t>(nodes()) * config_.nics_per_node,
                    0.0);
 }
@@ -178,35 +209,58 @@ bool Runtime::same_node(int a, int b) const {
   return a / config_.ranks_per_node == b / config_.ranks_per_node;
 }
 
-void Runtime::drive(const std::function<Step(Rank&)>& step, int stall_limit) {
-  const int n = nranks();
+std::string Runtime::dump_rank_states(const std::vector<char>& done) const {
+  std::ostringstream os;
+  for (int r = 0; r < nranks(); ++r) {
+    const Rank& rk = *ranks_[r];
+    os << "\n  rank " << r << ": "
+       << (r < static_cast<int>(done.size()) && done[r] ? "done" : "not done")
+       << ", inbox=" << rk.pending_rpc_count() << ", clock=" << rk.now()
+       << "s, rpcs_sent=" << rk.stats().rpcs_sent
+       << ", rpcs_executed=" << rk.stats().rpcs_executed
+       << ", gets=" << rk.stats().gets;
+  }
+  return os.str();
+}
+
+void Runtime::drive(const std::function<Step(Rank&)>& step, int stall_limit,
+                    std::uint64_t interleave_seed) {
   if (config_.threaded) {
-    std::vector<std::thread> threads;
-    threads.reserve(n);
-    for (int r = 0; r < n; ++r) {
-      threads.emplace_back([&, r] {
-        Rank& self = rank(r);
-        while (true) {
-          const Step s = step(self);
-          if (s == Step::kDone) break;
-          if (s == Step::kIdle) std::this_thread::yield();
-        }
-      });
-    }
-    for (auto& t : threads) t.join();
+    drive_threaded(step);
     return;
   }
+  const std::uint64_t seed =
+      interleave_seed != 0 ? interleave_seed : config_.interleave_seed;
+  drive_sequential(step, stall_limit, seed);
+}
 
-  std::vector<bool> done(n, false);
+void Runtime::drive_sequential(const std::function<Step(Rank&)>& step,
+                               int stall_limit, std::uint64_t seed) {
+  const int n = nranks();
+  std::vector<char> done(n, 0);
   int remaining = n;
   int stalled_sweeps = 0;
+  // Interleaving fuzzer: with a nonzero seed, the per-sweep stepping
+  // order is a fresh Fisher-Yates permutation drawn from a deterministic
+  // xoshiro256** stream, so adversarial schedules are explored and any
+  // failure is replayable from the seed alone.
+  support::Xoshiro256 rng(seed);
+  std::vector<int> order(n);
+  for (int r = 0; r < n; ++r) order[r] = r;
   while (remaining > 0) {
+    if (seed != 0) {
+      for (int i = n - 1; i > 0; --i) {
+        const int j = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(i) + 1));
+        std::swap(order[i], order[j]);
+      }
+    }
     bool any_work = false;
-    for (int r = 0; r < n; ++r) {
+    for (int r : order) {
       if (done[r]) continue;
       const Step s = step(rank(r));
       if (s == Step::kDone) {
-        done[r] = true;
+        done[r] = 1;
         --remaining;
         any_work = true;
       } else if (s == Step::kWorked) {
@@ -216,10 +270,104 @@ void Runtime::drive(const std::function<Step(Rank&)>& step, int stall_limit) {
     if (any_work) {
       stalled_sweeps = 0;
     } else if (++stalled_sweeps > stall_limit) {
-      throw std::runtime_error(
+      const std::string msg =
           "Runtime::drive: no rank made progress for " +
-          std::to_string(stall_limit) + " sweeps (deadlock?)");
+          std::to_string(stall_limit) +
+          " sweeps (deadlock?); interleave_seed=" + std::to_string(seed) +
+          dump_rank_states(done);
+      SYMPACK_LOG_ERROR("%s", msg.c_str());
+      throw std::runtime_error(msg);
     }
+  }
+}
+
+void Runtime::drive_threaded(const std::function<Step(Rank&)>& step) {
+  const int n = nranks();
+  // Shared progress telemetry for the watchdog: `epoch` bumps on every
+  // productive step, `done_count` on every finished rank. The watchdog
+  // fires only when the epoch has been flat for the whole window while
+  // ranks are still running — i.e. every live rank is idle (a lost
+  // dependency), which would otherwise be an un-diagnosable CI timeout.
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<int> done_count{0};
+  std::atomic<bool> abort{false};
+  std::vector<char> done(n, 0);  // written by rank r's thread only
+  std::exception_ptr step_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      Rank& self = rank(r);
+      while (!abort.load(std::memory_order_relaxed)) {
+        Step s;
+        try {
+          s = step(self);
+        } catch (...) {
+          // Capture the first failure and wind the phase down instead of
+          // letting the exception terminate the process.
+          {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!step_error) step_error = std::current_exception();
+          }
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (s == Step::kDone) {
+          done[r] = 1;
+          done_count.fetch_add(1, std::memory_order_relaxed);
+          epoch.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (s == Step::kWorked) {
+          epoch.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  bool watchdog_fired = false;
+  std::thread watchdog;
+  if (config_.threaded_watchdog_ms > 0) {
+    watchdog = std::thread([&] {
+      using clock = std::chrono::steady_clock;
+      const auto window =
+          std::chrono::milliseconds(config_.threaded_watchdog_ms);
+      std::uint64_t last_epoch = epoch.load(std::memory_order_relaxed);
+      auto last_change = clock::now();
+      while (!abort.load(std::memory_order_relaxed) &&
+             done_count.load(std::memory_order_relaxed) < n) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        const std::uint64_t cur = epoch.load(std::memory_order_relaxed);
+        if (cur != last_epoch) {
+          last_epoch = cur;
+          last_change = clock::now();
+        } else if (clock::now() - last_change > window) {
+          watchdog_fired = true;
+          abort.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+
+  for (auto& t : threads) t.join();
+  abort.store(true, std::memory_order_relaxed);  // release the watchdog
+  if (watchdog.joinable()) watchdog.join();
+
+  if (step_error) std::rethrow_exception(step_error);
+  if (watchdog_fired) {
+    const std::string msg =
+        "Runtime::drive(threaded): all ranks idle for " +
+        std::to_string(config_.threaded_watchdog_ms) +
+        " ms with " + std::to_string(n - done_count.load()) +
+        " of " + std::to_string(n) +
+        " ranks unfinished (lost dependency?)" + dump_rank_states(done);
+    SYMPACK_LOG_ERROR("%s", msg.c_str());
+    throw std::runtime_error(msg);
   }
 }
 

@@ -16,7 +16,20 @@
 // body of the solver's "while (!done) { poll(); run a ready task; }"
 // loop. The default driver steps ranks round-robin on one thread
 // (deterministic); drive() can also run one OS thread per rank to
-// exercise real concurrency (used by stress tests).
+// exercise real concurrency (used by stress tests and the TSan CI job).
+// The sequential driver additionally supports seeded interleaving
+// fuzzing: a nonzero seed permutes the rank stepping order every sweep
+// (deterministically, from a xoshiro256** stream), so adversarial
+// schedules are explored reproducibly — a failure logs the seed and the
+// exact schedule can be replayed from it.
+//
+// Threading memory model (audited; see DESIGN.md "Threading memory
+// model"): the runtime itself guards every piece of genuinely shared
+// state with a mutex (per-rank RPC inboxes, NIC channels, device-segment
+// accounting, the allocation registry). Everything else — a rank's
+// clock, its CommStats — is single-writer: only the thread driving that
+// rank touches it, and cross-rank visibility is established by the
+// inbox-mutex release/acquire pair on RPC delivery.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -76,10 +90,16 @@ class Rank {
 
   // --- Memory.
   GlobalPtr allocate_host(std::size_t bytes);
-  /// Allocate from this rank's share of its device's segment. On
-  /// exhaustion returns a null pointer if `nothrow`, else throws
-  /// DeviceOom. (Mirrors upcxx::device_allocator::allocate.)
+  /// Allocate from this rank's share of its device's segment. Every rank
+  /// bound to a device owns an equal fraction of it (paper §4.2: "All
+  /// processes mapped to a given device allocate an equal portion of
+  /// memory on the device"), so one rank can never starve co-located
+  /// ranks. On exhaustion of the *per-rank share* returns a null pointer
+  /// if `nothrow`, else throws DeviceOom. (Mirrors
+  /// upcxx::device_allocator::allocate.)
   GlobalPtr allocate_device(std::size_t bytes, bool nothrow = true);
+  /// This rank's equal share of its device's segment, in bytes.
+  [[nodiscard]] std::size_t device_share_bytes() const;
   void deallocate(GlobalPtr ptr);
 
   // --- RPC (Fig. 4 step 1): enqueue `fn` for execution on `target`
@@ -91,6 +111,10 @@ class Rank {
 
   /// True if RPCs are waiting in this rank's inbox.
   [[nodiscard]] bool has_pending_rpcs() const;
+
+  /// Number of RPCs waiting in this rank's inbox (diagnostics / the
+  /// deadlock-watchdog dump).
+  [[nodiscard]] std::size_t pending_rpc_count() const;
 
   /// Simulated completion time of a one-sided transfer of `bytes`
   /// between this rank and `peer`, honoring memory kinds and NIC channel
@@ -151,9 +175,18 @@ class Runtime {
     int nics_per_node = 4;
     /// Per-device memory. All co-located ranks share it equally
     /// (paper §4.2: "All processes mapped to a given device allocate an
-    /// equal portion of memory on the device").
+    /// equal portion of memory on the device"); allocate_device enforces
+    /// the equal per-rank share.
     std::size_t device_memory_bytes = 512ull << 20;
     bool threaded = false;
+    /// Threaded-mode deadlock guard: if no rank reports kWorked/kDone for
+    /// this long, drive() aborts the phase and throws with a per-rank
+    /// queue/counter dump instead of hanging CI forever. <= 0 disables.
+    int threaded_watchdog_ms = 10000;
+    /// Default interleaving-fuzzer seed for the sequential driver
+    /// (overridden per call by drive()'s seed argument). 0 = plain
+    /// deterministic round-robin.
+    std::uint64_t interleave_seed = 0;
     MachineModel model{};
   };
 
@@ -172,10 +205,22 @@ class Runtime {
 
   /// Run a phase: call `step` on every rank until all report kDone.
   /// Sequential round-robin when config.threaded is false (deterministic),
-  /// one thread per rank otherwise. Throws std::runtime_error if every
-  /// rank is idle-and-not-done for `stall_limit` consecutive sweeps
-  /// (deadlock guard, sequential mode only).
-  void drive(const std::function<Step(Rank&)>& step, int stall_limit = 10000);
+  /// one thread per rank otherwise.
+  ///
+  /// Deadlock guards: sequentially, throws std::runtime_error (with a
+  /// per-rank dump and the interleave seed) if every rank is
+  /// idle-and-not-done for `stall_limit` consecutive sweeps; threaded, a
+  /// watchdog aborts the phase after config.threaded_watchdog_ms of
+  /// all-ranks-idle and throws with the same dump. An exception escaping
+  /// `step` on a worker thread is captured, the phase is aborted, and the
+  /// exception is rethrown on the calling thread.
+  ///
+  /// `interleave_seed` (sequential mode only): nonzero permutes the rank
+  /// stepping order each sweep from a xoshiro256** stream seeded with it,
+  /// deterministically — rerunning with the same seed replays the exact
+  /// schedule. 0 falls back to config.interleave_seed, then round-robin.
+  void drive(const std::function<Step(Rank&)>& step, int stall_limit = 10000,
+             std::uint64_t interleave_seed = 0);
 
   /// Largest simulated clock across ranks — the phase's parallel time.
   [[nodiscard]] double max_clock() const;
@@ -203,14 +248,19 @@ class Runtime {
   // NIC channel availability (simulated time), per global NIC id.
   mutable std::mutex nic_mutex_;
   std::vector<double> nic_busy_;
-  // Device segments: used bytes per global device id.
+  // Device segments: used bytes per global device id, plus the per-rank
+  // equal-share accounting (used bytes per rank; the share itself is
+  // device_memory_bytes / #ranks bound to that device).
   mutable std::mutex device_mutex_;
   std::vector<std::size_t> device_used_;
+  std::vector<std::size_t> rank_device_used_;
+  std::vector<int> ranks_per_device_;
   // Allocation registry for leak detection and kind lookup on free.
   struct Allocation {
     std::size_t bytes;
     MemKind kind;
     int device;
+    int rank;  // allocating rank (device-share refund on free)
   };
   mutable std::mutex alloc_mutex_;
   std::unordered_map<std::byte*, Allocation> allocations_;
@@ -219,6 +269,14 @@ class Runtime {
 
   void register_allocation(std::byte* addr, Allocation a);
   Allocation unregister_allocation(std::byte* addr);
+
+  void drive_sequential(const std::function<Step(Rank&)>& step,
+                        int stall_limit, std::uint64_t seed);
+  void drive_threaded(const std::function<Step(Rank&)>& step);
+  /// Per-rank state dump for deadlock diagnostics (clock, inbox depth,
+  /// comm counters, done flag).
+  [[nodiscard]] std::string dump_rank_states(
+      const std::vector<char>& done) const;
 };
 
 }  // namespace sympack::pgas

@@ -151,14 +151,39 @@ TEST(Runtime, DeviceOomThrowingFallbackOption) {
 }
 
 TEST(Runtime, RanksShareDeviceSegment) {
-  // Ranks 0 and 2 share device 0 under 4 ranks/node, 2 gpus/node.
+  // Ranks 0 and 2 share device 0 under 4 ranks/node, 2 gpus/node, and
+  // each owns an *equal* half of the 1 MiB segment (paper §4.2).
   Runtime::Config cfg = small_config(4, 4);
   cfg.gpus_per_node = 2;
   Runtime rt(cfg);
-  auto a = rt.rank(0).allocate_device(600 << 10);
-  auto b = rt.rank(2).allocate_device(600 << 10, /*nothrow=*/true);
-  EXPECT_TRUE(b.is_null());  // combined demand exceeds the shared segment
+  EXPECT_EQ(rt.rank(0).device_share_bytes(), (1u << 20) / 2);
+  EXPECT_EQ(rt.rank(2).device_share_bytes(), (1u << 20) / 2);
+  // A rank cannot exceed its share even when the device as a whole has
+  // room — so one rank can never starve its co-located peer.
+  auto over = rt.rank(0).allocate_device(600 << 10, /*nothrow=*/true);
+  EXPECT_TRUE(over.is_null());
+  auto a = rt.rank(0).allocate_device(500 << 10);
+  ASSERT_FALSE(a.is_null());
+  auto b = rt.rank(2).allocate_device(500 << 10, /*nothrow=*/true);
+  ASSERT_FALSE(b.is_null());  // peer's share is untouched by rank 0's use
   rt.rank(0).deallocate(a);
+  rt.rank(2).deallocate(b);
+  EXPECT_EQ(rt.device_bytes_in_use(0), 0u);
+}
+
+TEST(Runtime, DeviceShareOomMessageNamesTheShare) {
+  Runtime::Config cfg = small_config(4, 4);
+  cfg.gpus_per_node = 2;
+  Runtime rt(cfg);
+  try {
+    rt.rank(0).allocate_device(600 << 10, /*nothrow=*/false);
+    FAIL() << "expected DeviceOom";
+  } catch (const DeviceOom& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("equal per-rank share"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 ranks share the device"), std::string::npos)
+        << what;
+  }
 }
 
 TEST(Runtime, DeallocateUnknownPointerThrows) {
@@ -323,6 +348,132 @@ TEST(Drive, DeadlockGuardThrows) {
   EXPECT_THROW(
       rt.drive([](Rank&) { return Step::kIdle; }, /*stall_limit=*/50),
       std::runtime_error);
+}
+
+TEST(Drive, DeadlockMessageCarriesSeedAndRankDump) {
+  // A stall under the interleaving fuzzer must log the seed (so the
+  // schedule can be replayed) and the per-rank state dump.
+  Runtime rt(small_config(2));
+  try {
+    rt.drive([](Rank&) { return Step::kIdle; }, /*stall_limit=*/20,
+             /*interleave_seed=*/777);
+    FAIL() << "expected stall";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("interleave_seed=777"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0:"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1:"), std::string::npos) << what;
+    EXPECT_NE(what.find("inbox="), std::string::npos) << what;
+  }
+}
+
+namespace {
+
+// Record the exact order ranks are stepped in until each has been
+// stepped `per_rank` times.
+std::vector<int> stepping_order(Runtime& rt, std::uint64_t seed,
+                                int per_rank) {
+  std::vector<int> order;
+  std::vector<int> counts(rt.nranks(), 0);
+  rt.drive(
+      [&](Rank& self) {
+        order.push_back(self.id());
+        if (++counts[self.id()] >= per_rank) return Step::kDone;
+        return Step::kWorked;
+      },
+      /*stall_limit=*/100, seed);
+  return order;
+}
+
+}  // namespace
+
+TEST(Drive, InterleaveSeedReplaysIdenticalSchedule) {
+  Runtime rt_a(small_config(6, 2));
+  Runtime rt_b(small_config(6, 2));
+  const auto order_a = stepping_order(rt_a, 12345, 8);
+  const auto order_b = stepping_order(rt_b, 12345, 8);
+  EXPECT_EQ(order_a, order_b);  // same seed -> bitwise-identical schedule
+
+  Runtime rt_c(small_config(6, 2));
+  const auto order_c = stepping_order(rt_c, 54321, 8);
+  EXPECT_NE(order_a, order_c);  // different seed -> different interleaving
+}
+
+TEST(Drive, SeedZeroIsPlainRoundRobin) {
+  Runtime rt(small_config(4, 2));
+  const auto order = stepping_order(rt, 0, 3);
+  const std::vector<int> expect{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Drive, ConfigSeedAppliesWhenCallSeedIsZero) {
+  Runtime::Config cfg = small_config(6, 2);
+  cfg.interleave_seed = 999;
+  Runtime rt_cfg(cfg);
+  const auto order_cfg = stepping_order(rt_cfg, 0, 8);
+
+  Runtime rt_arg(small_config(6, 2));
+  const auto order_arg = stepping_order(rt_arg, 999, 8);
+  EXPECT_EQ(order_cfg, order_arg);
+}
+
+TEST(Drive, FuzzedInterleavingStillCompletesPingPong) {
+  // The RPC protocol must be schedule-independent: fuzz a handful of
+  // adversarial stepping orders over the ping-pong exchange.
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 0xdeadbeefull}) {
+    Runtime rt(small_config(4, 2));
+    std::vector<int> tokens(4, 0);
+    std::vector<bool> sent(4, false);
+    rt.drive(
+        [&](Rank& self) {
+          const int me = self.id();
+          self.progress();
+          if (!sent[me]) {
+            sent[me] = true;
+            self.rpc((me + 1) % 4, [&, me](Rank&) { tokens[me]++; });
+            return Step::kWorked;
+          }
+          if (tokens[me] > 0 && !self.has_pending_rpcs()) {
+            return Step::kDone;
+          }
+          return Step::kIdle;
+        },
+        /*stall_limit=*/10000, seed);
+    for (int r = 0; r < 4; ++r) EXPECT_EQ(tokens[r], 1) << "seed " << seed;
+  }
+}
+
+TEST(Drive, ThreadedWatchdogThrowsOnAllIdle) {
+  Runtime::Config cfg = small_config(2);
+  cfg.threaded = true;
+  cfg.threaded_watchdog_ms = 50;
+  Runtime rt(cfg);
+  try {
+    rt.drive([](Rank&) { return Step::kIdle; });
+    FAIL() << "expected watchdog";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("all ranks idle"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 0:"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 1:"), std::string::npos) << what;
+  }
+}
+
+TEST(Drive, ThreadedWorkerExceptionPropagates) {
+  // An exception escaping step() on a worker thread must surface on the
+  // calling thread instead of std::terminate-ing the process.
+  Runtime::Config cfg = small_config(4, 2);
+  cfg.threaded = true;
+  Runtime rt(cfg);
+  try {
+    rt.drive([](Rank& self) -> Step {
+      if (self.id() == 2) throw std::logic_error("boom on rank 2");
+      return Step::kIdle;
+    });
+    FAIL() << "expected propagated exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "boom on rank 2");
+  }
 }
 
 TEST(Drive, ThreadedModeCompletes) {
