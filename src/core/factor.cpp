@@ -12,8 +12,20 @@ FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                            Offload& offload, const SolverOptions& opts,
                            Tracer* tracer)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
-      opts_(opts), tracer_(tracer) {
+      opts_(opts), tracer_(tracer), recovery_(rt.fault_injection_enabled()) {
   per_rank_.resize(rt.nranks());
+  if (recovery_) {
+    const std::uint64_t fseed = rt.config().faults.seed;
+    for (int r = 0; r < rt.nranks(); ++r) {
+      PerRank& pr = per_rank_[r];
+      pr.link.init(rt.nranks());
+      // Decorrelated from the injector's own streams (different mixing
+      // constant), still replayable from the fault seed alone.
+      pr.retry_rng = support::Xoshiro256(
+          fseed ^ (0xd1b54a32d192ed03ull * (static_cast<std::uint64_t>(r) + 1)));
+      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
+    }
+  }
   // Supernodal elimination-tree depths for the critical-path policy.
   // The parent of a supernode holds its first below-row; parents have
   // larger indices, so a descending sweep resolves all depths.
@@ -66,14 +78,83 @@ pgas::Step FactorEngine::step(pgas::Rank& rank) {
     ++worked;
   }
 
-  if (worked > 0) return pgas::Step::kWorked;
+  if (worked > 0) {
+    if (recovery_) {
+      pr.idle_streak = 0;
+      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
+    }
+    return pgas::Step::kWorked;
+  }
 
   const int me = rank.id();
   const bool done = pr.done_factor == tg_->owned_factor_tasks(me) &&
                     pr.done_update == tg_->owned_update_tasks(me) &&
                     pr.rtq.empty() && pr.signals.empty() &&
                     !rank.has_pending_rpcs();
-  return done ? pgas::Step::kDone : pgas::Step::kIdle;
+  if (done) return pgas::Step::kDone;
+  if (recovery_ && ++pr.idle_streak >= pr.rerequest_threshold &&
+      pr.rerequest_rounds < opts_.fault.max_rerequest_rounds) {
+    // Suspected lost signal: pull-re-request from every peer, then back
+    // off geometrically so a merely-slow producer is not stormed. The
+    // round cap lets the driver's stall guard fire on unrecoverable bugs
+    // (re-request RPCs would otherwise count as work forever).
+    pr.idle_streak = 0;
+    if (pr.rerequest_threshold < (1 << 20)) pr.rerequest_threshold *= 2;
+    ++pr.rerequest_rounds;
+    request_retransmits(rank);
+  }
+  return pgas::Step::kIdle;
+}
+
+void FactorEngine::post_signal(pgas::Rank& rank, int to, std::uint64_t seq,
+                               const Signal& sig) {
+  const int from = rank.id();
+  rank.rpc(to, [this, from, seq, sig](pgas::Rank& target) {
+    PerRank& tpr = per_rank_[target.id()];
+    tpr.link.admit(from, seq, sig, tpr.signals, target.stats());
+  });
+}
+
+void FactorEngine::send_signal(pgas::Rank& rank, int to, const Signal& sig) {
+  if (!recovery_) {
+    const idx_t k = sig.k;
+    const BlockSlot slot = sig.slot;
+    rank.rpc(to, [this, k, slot](pgas::Rank& target) {
+      per_rank_[target.id()].signals.push_back(Signal{k, slot});
+    });
+    return;
+  }
+  const std::uint64_t seq = per_rank_[rank.id()].link.record(to, sig);
+  post_signal(rank, to, seq, sig);
+}
+
+void FactorEngine::request_retransmits(pgas::Rank& rank) {
+  const int me = rank.id();
+  PerRank& pr = per_rank_[me];
+  ++rank.stats().dropped_detected;
+  if (tracer_ != nullptr) {
+    tracer_->record(me, "re-request", rank.now(), rank.now());
+  }
+  for (int p = 0; p < rt_->nranks(); ++p) {
+    if (p == me) continue;
+    const std::uint64_t want = pr.link.next_expected(p);
+    rank.rpc(p, [this, me, want](pgas::Rank& producer) {
+      resend_from(producer, me, want);
+    });
+  }
+}
+
+void FactorEngine::resend_from(pgas::Rank& producer, int consumer,
+                               std::uint64_t from_seq) {
+  const auto& log = per_rank_[producer.id()].link.sent(consumer);
+  for (std::uint64_t s = from_seq; s < log.size(); ++s) {
+    ++producer.stats().retransmits;
+    if (tracer_ != nullptr) {
+      tracer_->record(producer.id(), "retransmit", producer.now(),
+                      producer.now());
+    }
+    post_signal(producer, consumer, s, log[s]);
+  }
 }
 
 int FactorEngine::local_uses(int rank, idx_t k, BlockSlot slot) const {
@@ -119,17 +200,31 @@ void FactorEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
       // host staging hop (paper §4.2). Falls back to a host buffer when
       // the device segment is full.
       rf.device = rank.allocate_device(bytes, /*nothrow=*/true);
-      if (rf.device.is_null()) on_device = false;
+      if (rf.device.is_null()) {
+        on_device = false;
+        // Device share exhausted (or denied by the injector): take the
+        // host staging path instead. Counted either way; traced only
+        // under fault injection so fault-free traces stay byte-identical.
+        ++rank.stats().oom_fallbacks;
+        if (recovery_ && tracer_ != nullptr) {
+          tracer_->record(me, "oom-fallback", rank.now(), rank.now());
+        }
+      }
     }
+    support::Xoshiro256& rng = per_rank_[me].retry_rng;
     if (on_device) {
-      ready = rank.rget(store_->gptr(bid), rf.device.addr, bytes,
-                        pgas::MemKind::kDevice);
+      ready = with_rma_retry(rank, opts_.fault.rma_backoff, rng, tracer_, [&] {
+        return rank.rget(store_->gptr(bid), rf.device.addr, bytes,
+                         pgas::MemKind::kDevice);
+      });
       data = rf.device.local<double>();
     } else {
       rf.host.resize(static_cast<std::size_t>(elems));
-      ready = rank.rget(store_->gptr(bid),
-                        reinterpret_cast<std::byte*>(rf.host.data()), bytes,
-                        pgas::MemKind::kHost);
+      ready = with_rma_retry(rank, opts_.fault.rma_backoff, rng, tracer_, [&] {
+        return rank.rget(store_->gptr(bid),
+                         reinterpret_cast<std::byte*>(rf.host.data()), bytes,
+                         pgas::MemKind::kHost);
+      });
       data = rf.host.data();
     }
     rf.ref = FactorRef{data, ready, on_device, bid};
@@ -231,9 +326,7 @@ void FactorEngine::publish(pgas::Rank& rank, idx_t k, BlockSlot slot) {
   // Remote consumers get a signal RPC (Fig. 4 step 1); they will pull
   // the block with a one-sided get when they next poll.
   for (int r : tg_->recipients(k, slot)) {
-    rank.rpc(r, [this, k, slot](pgas::Rank& target) {
-      per_rank_[target.id()].signals.push_back(Signal{k, slot});
-    });
+    send_signal(rank, r, Signal{k, slot});
   }
 }
 

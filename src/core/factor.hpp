@@ -36,8 +36,10 @@
 #include "core/block_store.hpp"
 #include "core/offload.hpp"
 #include "core/options.hpp"
+#include "core/reliable.hpp"
 #include "core/trace.hpp"
 #include "pgas/runtime.hpp"
+#include "support/random.hpp"
 #include "symbolic/taskgraph.hpp"
 
 namespace sympack::core {
@@ -107,6 +109,14 @@ class FactorEngine {
     std::unordered_map<idx_t, FactorRef> diag_ref;     // key: supernode
     idx_t done_factor = 0;
     idx_t done_update = 0;
+    // --- Recovery state (touched only when the runtime has a fault
+    // injector; see FaultToleranceOptions). Same single-writer rule as
+    // the rest of the slot.
+    ReliableLink<Signal> link;          // seq ledger/stash per peer
+    support::Xoshiro256 retry_rng{0};   // jitter stream for RMA backoff
+    int idle_streak = 0;                // consecutive kIdle steps
+    int rerequest_threshold = 0;        // idle steps before re-request
+    int rerequest_rounds = 0;           // re-request rounds fired so far
   };
 
   static std::uint64_t ukey(idx_t j, idx_t si, idx_t ti) {
@@ -117,6 +127,20 @@ class FactorEngine {
 
   pgas::Step step(pgas::Rank& rank);
   void handle_signal(pgas::Rank& rank, const Signal& sig);
+  /// Send `sig` to `to`: plain RPC with faults off; sequenced through the
+  /// ReliableLink ledger (record + post_signal) under fault injection.
+  void send_signal(pgas::Rank& rank, int to, const Signal& sig);
+  /// Deliver one sequenced signal; the RPC body runs link.admit at the
+  /// target (dedup/stash/run).
+  void post_signal(pgas::Rank& rank, int to, std::uint64_t seq,
+                   const Signal& sig);
+  /// Consumer side of loss recovery: broadcast a pull re-request carrying
+  /// next_expected to every peer (fired from step() after an idle streak).
+  void request_retransmits(pgas::Rank& rank);
+  /// Producer side: replay the ledger suffix [from_seq, end) for
+  /// `consumer`. Runs inside the producer's progress().
+  void resend_from(pgas::Rank& producer, int consumer,
+                   std::uint64_t from_seq);
   /// Count the U/F tasks at `rank` that consume factor block (k, slot).
   int local_uses(int rank, idx_t k, BlockSlot slot) const;
   /// Make factor block (k, slot) available at `rank` via `ref`.
@@ -144,6 +168,11 @@ class FactorEngine {
   Offload* offload_;
   SolverOptions opts_;
   Tracer* tracer_ = nullptr;
+  /// True when the runtime has a fault injector attached: signals go
+  /// through the sequence-number protocol and idle ranks fire pull
+  /// re-requests. False (default) leaves every original code path —
+  /// and the schedules — byte-identical.
+  bool recovery_ = false;
 
   /// Scheduling priority of a ready task (kCriticalPath policy): the
   /// elimination-tree depth of the supernode the task feeds.

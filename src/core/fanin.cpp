@@ -12,8 +12,18 @@ FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                          const symbolic::TaskGraph& tg, BlockStore& store,
                          Offload& offload, const SolverOptions& opts)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
-      opts_(opts) {
+      opts_(opts), recovery_(rt.fault_injection_enabled()) {
   per_rank_.resize(rt.nranks());
+  if (recovery_) {
+    const std::uint64_t fseed = rt.config().faults.seed;
+    for (int r = 0; r < rt.nranks(); ++r) {
+      PerRank& pr = per_rank_[r];
+      pr.link.init(rt.nranks());
+      pr.retry_rng = support::Xoshiro256(
+          fseed ^ (0xd1b54a32d192ed03ull * (static_cast<std::uint64_t>(r) + 1)));
+      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
+    }
+  }
   owned_u_.assign(rt.nranks(), 0);
   const idx_t nb = store.num_blocks();
   remaining_.assign(nb, 0);
@@ -86,12 +96,68 @@ pgas::Step FanInEngine::step(pgas::Rank& rank) {
     execute(rank, task);
     ++worked;
   }
-  if (worked > 0) return pgas::Step::kWorked;
+  if (worked > 0) {
+    if (recovery_) {
+      pr.idle_streak = 0;
+      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
+    }
+    return pgas::Step::kWorked;
+  }
   const int me = rank.id();
   const bool done = pr.done_factor == tg_->owned_factor_tasks(me) &&
                     pr.done_update == owned_u_[me] && pr.rtq.empty() &&
                     pr.signals.empty() && !rank.has_pending_rpcs();
-  return done ? pgas::Step::kDone : pgas::Step::kIdle;
+  if (done) return pgas::Step::kDone;
+  if (recovery_ && ++pr.idle_streak >= pr.rerequest_threshold &&
+      pr.rerequest_rounds < opts_.fault.max_rerequest_rounds) {
+    pr.idle_streak = 0;
+    if (pr.rerequest_threshold < (1 << 20)) pr.rerequest_threshold *= 2;
+    ++pr.rerequest_rounds;
+    request_retransmits(rank);
+  }
+  return pgas::Step::kIdle;
+}
+
+void FanInEngine::post_signal(pgas::Rank& rank, int to, std::uint64_t seq,
+                              const Signal& sig) {
+  const int from = rank.id();
+  rank.rpc(to, [this, from, seq, sig](pgas::Rank& target) {
+    PerRank& tpr = per_rank_[target.id()];
+    tpr.link.admit(from, seq, sig, tpr.signals, target.stats());
+  });
+}
+
+void FanInEngine::send_signal(pgas::Rank& rank, int to, const Signal& sig) {
+  if (!recovery_) {
+    rank.rpc(to, [this, sig](pgas::Rank& target) {
+      per_rank_[target.id()].signals.push_back(sig);
+    });
+    return;
+  }
+  const std::uint64_t seq = per_rank_[rank.id()].link.record(to, sig);
+  post_signal(rank, to, seq, sig);
+}
+
+void FanInEngine::request_retransmits(pgas::Rank& rank) {
+  const int me = rank.id();
+  PerRank& pr = per_rank_[me];
+  ++rank.stats().dropped_detected;
+  for (int p = 0; p < rt_->nranks(); ++p) {
+    if (p == me) continue;
+    const std::uint64_t want = pr.link.next_expected(p);
+    rank.rpc(p, [this, me, want](pgas::Rank& producer) {
+      resend_from(producer, me, want);
+    });
+  }
+}
+
+void FanInEngine::resend_from(pgas::Rank& producer, int consumer,
+                              std::uint64_t from_seq) {
+  const auto& log = per_rank_[producer.id()].link.sent(consumer);
+  for (std::uint64_t s = from_seq; s < log.size(); ++s) {
+    ++producer.stats().retransmits;
+    post_signal(producer, consumer, s, log[s]);
+  }
 }
 
 std::pair<idx_t, BlockSlot> FanInEngine::locate(idx_t bid) const {
@@ -141,9 +207,12 @@ void FanInEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
   double ready;
   if (store_->numeric()) {
     rp.host.resize(bytes / sizeof(double));
-    ready = rank.rget(store_->gptr(bid),
-                      reinterpret_cast<std::byte*>(rp.host.data()), bytes,
-                      pgas::MemKind::kHost);
+    ready = with_rma_retry(
+        rank, opts_.fault.rma_backoff, pr.retry_rng, /*tracer=*/nullptr, [&] {
+          return rank.rget(store_->gptr(bid),
+                           reinterpret_cast<std::byte*>(rp.host.data()), bytes,
+                           pgas::MemKind::kHost);
+        });
     rp.ref = PivotRef{rp.host.data(), ready, bid};
   } else {
     ready = rank.transfer_completion(bytes, store_->owner(bid),
@@ -243,10 +312,7 @@ void FanInEngine::publish_factor(pgas::Rank& rank, idx_t k, BlockSlot slot) {
                      recipients.end());
     for (int r : recipients) {
       if (r == me) continue;
-      rank.rpc(r, [this, k](pgas::Rank& target) {
-        per_rank_[target.id()].signals.push_back(
-            Signal{Signal::Type::kPivot, k, 0, -1, nullptr, 0.0});
-      });
+      send_signal(rank, r, Signal{Signal::Type::kPivot, k, 0, -1, nullptr, 0.0});
     }
     return;
   }
@@ -275,10 +341,8 @@ void FanInEngine::publish_factor(pgas::Rank& rank, idx_t k, BlockSlot slot) {
   recipients.erase(std::unique(recipients.begin(), recipients.end()),
                    recipients.end());
   for (int r : recipients) {
-    rank.rpc(r, [this, k, slot](pgas::Rank& target) {
-      per_rank_[target.id()].signals.push_back(
-          Signal{Signal::Type::kPivot, k, slot, -1, nullptr, 0.0});
-    });
+    send_signal(rank, r,
+                Signal{Signal::Type::kPivot, k, slot, -1, nullptr, 0.0});
   }
 }
 
@@ -413,10 +477,8 @@ void FanInEngine::flush_aggregate(pgas::Rank& rank, idx_t bid) {
     payload = g.local<double>();
   }
   const double sent = rank.now();
-  rank.rpc(owner, [this, bid, payload, sent, me](pgas::Rank& target) {
-    per_rank_[target.id()].signals.push_back(Signal{
-        Signal::Type::kAggregate, me, 0, bid, payload, sent});
-  });
+  send_signal(rank, owner,
+              Signal{Signal::Type::kAggregate, me, 0, bid, payload, sent});
 }
 
 void FanInEngine::apply_aggregate(pgas::Rank& rank, idx_t bid,

@@ -31,7 +31,9 @@
 #include "core/block_store.hpp"
 #include "core/offload.hpp"
 #include "core/options.hpp"
+#include "core/reliable.hpp"
 #include "pgas/runtime.hpp"
+#include "support/random.hpp"
 #include "symbolic/taskgraph.hpp"
 
 namespace sympack::core {
@@ -91,6 +93,16 @@ class FanInEngine {
     std::vector<pgas::GlobalPtr> out_buffers;       // sent aggregates
     idx_t done_factor = 0;
     idx_t done_update = 0;
+    // Recovery state, active only under fault injection (single-writer,
+    // like everything else in the slot). The sequence protocol matters
+    // doubly here: kAggregate application is NOT idempotent (it
+    // decrements remaining_ and adds the payload), so duplicate delivery
+    // must be filtered by the link's dedup, not by the handler.
+    ReliableLink<Signal> link;
+    support::Xoshiro256 retry_rng{0};
+    int idle_streak = 0;
+    int rerequest_threshold = 0;
+    int rerequest_rounds = 0;
   };
 
   static std::uint64_t ukey(idx_t j, idx_t si, idx_t ti) {
@@ -101,6 +113,13 @@ class FanInEngine {
 
   pgas::Step step(pgas::Rank& rank);
   void handle_signal(pgas::Rank& rank, const Signal& sig);
+  /// Plain RPC with faults off; ledgered + sequenced under injection.
+  void send_signal(pgas::Rank& rank, int to, const Signal& sig);
+  void post_signal(pgas::Rank& rank, int to, std::uint64_t seq,
+                   const Signal& sig);
+  void request_retransmits(pgas::Rank& rank);
+  void resend_from(pgas::Rank& producer, int consumer,
+                   std::uint64_t from_seq);
   void deliver_pivot(pgas::Rank& rank, idx_t k, BlockSlot slot,
                      const PivotRef& ref);
   void satisfy_update(pgas::Rank& rank, idx_t j, idx_t si, idx_t ti,
@@ -121,6 +140,7 @@ class FanInEngine {
   BlockStore* store_;
   Offload* offload_;
   SolverOptions opts_;
+  bool recovery_ = false;  // runtime has a fault injector attached
 
   std::vector<PerRank> per_rank_;
   std::vector<int> remaining_;   // per target block: aggregates (+ diag)

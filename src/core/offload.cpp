@@ -49,6 +49,7 @@ Offload::GpuPlan Offload::plan(pgas::Rank& rank, gpu::Op op,
                             std::to_string(scratch_bytes) + " B)");
     }
     fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    ++rank.stats().oom_fallbacks;
     return p;  // use_gpu stays false -> CPU path
   }
   p.use_gpu = true;

@@ -6,6 +6,7 @@
 
 #include "blas/kernels/tiling.hpp"
 #include "ordering/ordering.hpp"
+#include "support/backoff.hpp"
 #include "symbolic/mapping.hpp"
 #include "symbolic/symbolic.hpp"
 
@@ -55,6 +56,27 @@ enum class Variant { kFanOut, kFanIn };
 Variant parse_variant(const std::string& name);
 std::string variant_name(Variant v);
 
+/// Recovery-protocol tuning. Only consulted when the runtime has a fault
+/// injector attached (Runtime::fault_injection_enabled()); with faults
+/// off the engines never touch these and the schedules are byte-identical
+/// to a build without the recovery machinery.
+struct FaultToleranceOptions {
+  /// Consecutive idle step() calls on a rank before it suspects a lost
+  /// signal and broadcasts a pull re-request to every producer. The
+  /// threshold doubles after each re-request round (reset on progress),
+  /// so a rank that is merely slow does not storm the wire.
+  int rerequest_idle_limit = 32;
+  /// Hard cap on re-request rounds per rank per phase. After this many
+  /// rounds the rank stops re-requesting and lets the driver's stall
+  /// guard / watchdog fire — an unrecoverable bug must still abort
+  /// instead of re-requesting forever (which would count as work and
+  /// defeat the stall detection).
+  int max_rerequest_rounds = 1000;
+  /// Backoff schedule for transient one-sided transfer failures
+  /// (pgas::TransferError from rget/copy).
+  support::BackoffPolicy rma_backoff{};
+};
+
 struct SolverOptions {
   ordering::Method ordering = ordering::Method::kNestedDissection;
   Variant variant = Variant::kFanOut;
@@ -79,6 +101,9 @@ struct SolverOptions {
   /// schedules deterministically. A driver failure logs the seed so the
   /// exact schedule can be replayed. 0 = plain round-robin.
   std::uint64_t interleave_seed = 0;
+  /// Self-healing knobs for runs under fault injection (see
+  /// FaultToleranceOptions; no-op when the runtime has no injector).
+  FaultToleranceOptions fault{};
 };
 
 }  // namespace sympack::core

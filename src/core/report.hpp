@@ -46,7 +46,10 @@ struct Report {
   OpCounts rank0_ops;
   OpCounts total_ops;
 
-  // Communication (aggregated over ranks, factorization + solve).
+  // Communication (aggregated over ranks, factorization + solve). Also
+  // carries the recovery counters (retries/retransmits/dropped_detected/
+  // duplicates_dropped/out_of_order/rpcs_deferred/oom_fallbacks) — all
+  // zero unless the run had fault injection enabled.
   pgas::CommStats comm;
 
   // GPU fallback events (device OOM handled by running on the CPU).

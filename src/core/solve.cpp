@@ -10,7 +10,7 @@ SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                          const symbolic::TaskGraph& tg, BlockStore& store,
                          Offload& offload, const SolverOptions& opts)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
-      opts_(opts) {
+      opts_(opts), recovery_(rt.fault_injection_enabled()) {
   const idx_t ns = sym.num_snodes();
   target_blocks_.resize(ns);
   owned_diag_.assign(rt.nranks(), 0);
@@ -33,6 +33,16 @@ SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
   remaining_.assign(ns, 0);
   seg_ready_.assign(ns, 0.0);
   per_rank_.resize(rt.nranks());
+  if (recovery_) {
+    const std::uint64_t fseed = rt.config().faults.seed;
+    for (int r = 0; r < rt.nranks(); ++r) {
+      PerRank& pr = per_rank_[r];
+      pr.link.init(rt.nranks());
+      pr.retry_rng = support::Xoshiro256(
+          fseed ^ (0xd1b54a32d192ed03ull * (static_cast<std::uint64_t>(r) + 1)));
+      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
+    }
+  }
 }
 
 SolveEngine::~SolveEngine() { free_buffers(); }
@@ -103,6 +113,14 @@ void SolveEngine::reset_phase(bool backward) {
     pr.msgs.clear();
     pr.done_diag = 0;
     pr.done_contrib = 0;
+    if (recovery_) {
+      // Sequence numbers restart per sweep (the forward ledger must not
+      // satisfy backward-sweep re-requests).
+      pr.link.reset();
+      pr.idle_streak = 0;
+      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
+      pr.rerequest_rounds = 0;
+    }
   }
   // Seed the sweep with supernodes that have no outstanding
   // contributions (leaves forward, roots backward).
@@ -141,7 +159,13 @@ pgas::Step SolveEngine::step(pgas::Rank& rank, bool backward) {
     }
     ++worked;
   }
-  if (worked > 0) return pgas::Step::kWorked;
+  if (worked > 0) {
+    if (recovery_) {
+      pr.idle_streak = 0;
+      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
+    }
+    return pgas::Step::kWorked;
+  }
 
   const int me = rank.id();
   const idx_t owned_contrib =
@@ -149,7 +173,57 @@ pgas::Step SolveEngine::step(pgas::Rank& rank, bool backward) {
   const bool done = pr.done_diag == owned_diag_[me] &&
                     pr.done_contrib == owned_contrib && pr.tasks.empty() &&
                     pr.msgs.empty() && !rank.has_pending_rpcs();
-  return done ? pgas::Step::kDone : pgas::Step::kIdle;
+  if (done) return pgas::Step::kDone;
+  if (recovery_ && ++pr.idle_streak >= pr.rerequest_threshold &&
+      pr.rerequest_rounds < opts_.fault.max_rerequest_rounds) {
+    pr.idle_streak = 0;
+    if (pr.rerequest_threshold < (1 << 20)) pr.rerequest_threshold *= 2;
+    ++pr.rerequest_rounds;
+    request_retransmits(rank);
+  }
+  return pgas::Step::kIdle;
+}
+
+void SolveEngine::post_msg(pgas::Rank& rank, int to, std::uint64_t seq,
+                           const Msg& msg) {
+  const int from = rank.id();
+  rank.rpc(to, [this, from, seq, msg](pgas::Rank& target) {
+    PerRank& tpr = per_rank_[target.id()];
+    tpr.link.admit(from, seq, msg, tpr.msgs, target.stats());
+  });
+}
+
+void SolveEngine::send_msg(pgas::Rank& rank, int to, const Msg& msg) {
+  if (!recovery_) {
+    rank.rpc(to, [this, msg](pgas::Rank& target) {
+      per_rank_[target.id()].msgs.push_back(msg);
+    });
+    return;
+  }
+  const std::uint64_t seq = per_rank_[rank.id()].link.record(to, msg);
+  post_msg(rank, to, seq, msg);
+}
+
+void SolveEngine::request_retransmits(pgas::Rank& rank) {
+  const int me = rank.id();
+  PerRank& pr = per_rank_[me];
+  ++rank.stats().dropped_detected;
+  for (int p = 0; p < rt_->nranks(); ++p) {
+    if (p == me) continue;
+    const std::uint64_t want = pr.link.next_expected(p);
+    rank.rpc(p, [this, me, want](pgas::Rank& producer) {
+      resend_from(producer, me, want);
+    });
+  }
+}
+
+void SolveEngine::resend_from(pgas::Rank& producer, int consumer,
+                              std::uint64_t from_seq) {
+  const auto& log = per_rank_[producer.id()].link.sent(consumer);
+  for (std::uint64_t s = from_seq; s < log.size(); ++s) {
+    ++producer.stats().retransmits;
+    post_msg(producer, consumer, s, log[s]);
+  }
 }
 
 void SolveEngine::execute_diag(pgas::Rank& rank, idx_t k, bool backward) {
@@ -222,10 +296,7 @@ void SolveEngine::publish_solution(pgas::Rank& rank, idx_t k, bool backward) {
       enqueue_local(me, store_->numeric() ? seg_[k].data() : nullptr,
                     rank.now());
     } else {
-      rank.rpc(r, [this, k, src, bytes](pgas::Rank& target) {
-        per_rank_[target.id()].msgs.push_back(
-            Msg{Msg::Type::kX, k, 0, 0, src, bytes});
-      });
+      send_msg(rank, r, Msg{Msg::Type::kX, k, 0, 0, src, bytes});
     }
   }
 }
@@ -242,7 +313,12 @@ void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
     if (store_->numeric()) {
       auto buf = rank.allocate_host(msg.bytes);
       pr.owned_buffers.push_back(buf);
-      ready = rank.rget(msg.data, buf.addr, msg.bytes, pgas::MemKind::kHost);
+      ready = with_rma_retry(
+          rank, opts_.fault.rma_backoff, pr.retry_rng, /*tracer=*/nullptr,
+          [&] {
+            return rank.rget(msg.data, buf.addr, msg.bytes,
+                             pgas::MemKind::kHost);
+          });
       operand = buf.local<double>();
     } else {
       ready = rank.transfer_completion(msg.bytes, tg_->mapping()(msg.k, msg.k),
@@ -280,8 +356,11 @@ void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
   std::vector<double> tmp;
   if (store_->numeric()) {
     tmp.resize(msg.bytes / sizeof(double));
-    ready = rank.rget(msg.data, reinterpret_cast<std::byte*>(tmp.data()),
-                      msg.bytes, pgas::MemKind::kHost);
+    ready = with_rma_retry(
+        rank, opts_.fault.rma_backoff, pr.retry_rng, /*tracer=*/nullptr, [&] {
+          return rank.rget(msg.data, reinterpret_cast<std::byte*>(tmp.data()),
+                           msg.bytes, pgas::MemKind::kHost);
+        });
     z = tmp.data();
   } else {
     const auto& blk = sym_->snode(msg.panel).blocks[msg.slot - 1];
@@ -355,10 +434,7 @@ void SolveEngine::execute_contrib(pgas::Rank& rank, const Task& task,
     std::memcpy(buf.addr, z.data(), bytes);
     pr.owned_buffers.push_back(buf);
   }
-  rank.rpc(dest_owner, [this, panel, slot, buf, bytes](pgas::Rank& target) {
-    per_rank_[target.id()].msgs.push_back(
-        Msg{Msg::Type::kContrib, 0, panel, slot, buf, bytes});
-  });
+  send_msg(rank, dest_owner, Msg{Msg::Type::kContrib, 0, panel, slot, buf, bytes});
 }
 
 void SolveEngine::apply_contribution(pgas::Rank& rank, idx_t panel,

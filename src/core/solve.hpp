@@ -33,7 +33,9 @@
 #include "core/block_store.hpp"
 #include "core/offload.hpp"
 #include "core/options.hpp"
+#include "core/reliable.hpp"
 #include "pgas/runtime.hpp"
+#include "support/random.hpp"
 #include "symbolic/taskgraph.hpp"
 
 namespace sympack::core {
@@ -75,10 +77,24 @@ class SolveEngine {
     idx_t done_diag = 0;
     idx_t done_contrib = 0;
     std::vector<pgas::GlobalPtr> owned_buffers;  // freed at phase end
+    // Recovery state (fault injection only; single-writer). Dedup is
+    // load-bearing: kX enqueues contribution tasks and kContrib
+    // decrements remaining_, neither of which is idempotent. The link is
+    // reset between the forward and backward sweeps.
+    ReliableLink<Msg> link;
+    support::Xoshiro256 retry_rng{0};
+    int idle_streak = 0;
+    int rerequest_threshold = 0;
+    int rerequest_rounds = 0;
   };
 
   pgas::Step step(pgas::Rank& rank, bool backward);
   void handle_msg(pgas::Rank& rank, const Msg& msg, bool backward);
+  /// Plain RPC with faults off; ledgered + sequenced under injection.
+  void send_msg(pgas::Rank& rank, int to, const Msg& msg);
+  void post_msg(pgas::Rank& rank, int to, std::uint64_t seq, const Msg& msg);
+  void request_retransmits(pgas::Rank& rank);
+  void resend_from(pgas::Rank& producer, int consumer, std::uint64_t from_seq);
   void execute_diag(pgas::Rank& rank, idx_t k, bool backward);
   void execute_contrib(pgas::Rank& rank, const Task& task, bool backward);
   void publish_solution(pgas::Rank& rank, idx_t k, bool backward);
@@ -94,6 +110,7 @@ class SolveEngine {
   BlockStore* store_;
   Offload* offload_;
   SolverOptions opts_;
+  bool recovery_ = false;  // runtime has a fault injector attached
   int nrhs_ = 1;
 
   // (panel, slot) pairs targeting each supernode (transpose structure).

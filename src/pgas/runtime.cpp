@@ -39,6 +39,16 @@ std::size_t Rank::device_share_bytes() const {
 
 GlobalPtr Rank::allocate_device(std::size_t bytes, bool nothrow) {
   const int dev = device();
+  // Device-memory pressure injection: deny nothrow allocations with the
+  // configured probability so every §4.2 host-fallback path is exercised.
+  // Throwing (fallback = kThrow) call sites are left alone — they model
+  // the user's explicit "abort on OOM" choice, not a transient condition.
+  if (nothrow) {
+    if (FaultInjector* inj = runtime_->injector();
+        inj != nullptr && inj->deny_device(id_)) {
+      return GlobalPtr{nullptr, id_, MemKind::kDevice};
+    }
+  }
   // Paper §4.2: all processes mapped to a device allocate an *equal
   // portion* of its memory — cap each rank at its share so one rank
   // cannot consume the whole segment and starve co-located ranks.
@@ -81,8 +91,32 @@ void Rank::rpc(int target, std::function<void(Rank&)> fn) {
   const double arrival = clock_ + runtime_->model().rpc_overhead_s;
   advance(runtime_->model().rpc_overhead_s * 0.5);  // injection cost
   ++stats_.rpcs_sent;
+  FaultInjector* inj = runtime_->injector();
+  if (inj == nullptr) {
+    // Fault-free fast path: identical to the historical behavior.
+    std::lock_guard<std::mutex> lock(t.inbox_mutex_);
+    t.inbox_.push_back({arrival, 0.0, std::move(fn)});
+    return;
+  }
+  const FaultInjector::RpcPlan plan = inj->plan_rpc(id_);
+  if (plan.drop) return;  // the signal vanishes on the wire
+  InboxEntry entry{arrival, 0.0, std::move(fn)};
+  if (plan.delay) {
+    // A delayed entry carries its true (late) arrival and a hold: the
+    // receiver's progress() must not execute it before that time.
+    entry.arrival += plan.delay_s;
+    entry.held_until = entry.arrival;
+  }
   std::lock_guard<std::mutex> lock(t.inbox_mutex_);
-  t.inbox_.push_back({arrival, std::move(fn)});
+  if (plan.duplicate) t.inbox_.push_back(entry);  // copy, then the original
+  if (plan.reorder && !t.inbox_.empty()) {
+    const std::size_t pos =
+        plan.reorder_slot % (t.inbox_.size() + 1);
+    t.inbox_.insert(t.inbox_.begin() + static_cast<std::ptrdiff_t>(pos),
+                    std::move(entry));
+  } else {
+    t.inbox_.push_back(std::move(entry));
+  }
 }
 
 int Rank::progress() {
@@ -91,14 +125,49 @@ int Rank::progress() {
     std::lock_guard<std::mutex> lock(inbox_mutex_);
     drained.swap(inbox_);
   }
-  for (auto& entry : drained) {
-    // The callback cannot run before the RPC arrived.
-    merge_clock(entry.arrival);
-    advance(runtime_->model().rpc_overhead_s * 0.5);  // execution cost
-    entry.fn(*this);
-    ++stats_.rpcs_executed;
+  if (drained.empty()) return 0;
+  int executed = 0;
+  std::vector<InboxEntry> held;
+  auto run_batch = [&](std::vector<InboxEntry>& batch) {
+    for (auto& entry : batch) {
+      // Honor the injected arrival: an entry held for the future must
+      // not execute early. held_until is 0 for every normally-delivered
+      // RPC (clock_ >= 0 always), so zero-fault schedules take the
+      // historical path byte-for-byte.
+      if (entry.held_until > clock_) {
+        ++stats_.rpcs_deferred;
+        held.push_back(std::move(entry));
+        continue;
+      }
+      // The callback cannot run before the RPC arrived.
+      merge_clock(entry.arrival);
+      advance(runtime_->model().rpc_overhead_s * 0.5);  // execution cost
+      entry.fn(*this);
+      ++stats_.rpcs_executed;
+      ++executed;
+    }
+    batch.clear();
+  };
+  run_batch(drained);
+  if (executed == 0 && !held.empty()) {
+    // Everything drained was delay-held. A rank whose only remaining
+    // inputs are delayed must not deadlock waiting for a clock nothing
+    // will advance: warp to the earliest injected arrival and re-scan.
+    double earliest = held.front().held_until;
+    for (const auto& e : held) earliest = std::min(earliest, e.held_until);
+    merge_clock(earliest);
+    std::vector<InboxEntry> retry;
+    retry.swap(held);
+    run_batch(retry);
   }
-  return static_cast<int>(drained.size());
+  if (!held.empty()) {
+    // Still-held entries return to the inbox front, preserving their
+    // order relative to anything enqueued while we ran.
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    inbox_.insert(inbox_.begin(), std::make_move_iterator(held.begin()),
+                  std::make_move_iterator(held.end()));
+  }
+  return executed;
 }
 
 bool Rank::has_pending_rpcs() const {
@@ -129,6 +198,12 @@ double Rank::transfer_completion(std::size_t bytes, int peer,
 
 double Rank::rget(const GlobalPtr& src, std::byte* dst, std::size_t bytes,
                   MemKind dst_kind) {
+  if (FaultInjector* inj = runtime_->injector();
+      inj != nullptr && inj->fail_transfer(id_)) {
+    throw TransferError("rget: transient transfer failure injected at rank " +
+                        std::to_string(id_) + " (" + std::to_string(bytes) +
+                        " B from rank " + std::to_string(src.rank) + ")");
+  }
   std::memcpy(dst, src.addr, bytes);
   const double t = transfer_completion(bytes, src.rank, src.kind, dst_kind);
   advance(runtime_->model().rma_issue_s);
@@ -144,6 +219,12 @@ double Rank::rget(const GlobalPtr& src, std::byte* dst, std::size_t bytes,
 
 double Rank::copy(const GlobalPtr& src, const GlobalPtr& dst,
                   std::size_t bytes) {
+  if (FaultInjector* inj = runtime_->injector();
+      inj != nullptr && inj->fail_transfer(id_)) {
+    throw TransferError("copy: transient transfer failure injected at rank " +
+                        std::to_string(id_) + " (" + std::to_string(bytes) +
+                        " B)");
+  }
   std::memcpy(dst.addr, src.addr, bytes);
   const int peer = (src.rank == id_) ? dst.rank : src.rank;
   const double t = transfer_completion(bytes, peer, src.kind, dst.kind);
@@ -170,6 +251,15 @@ Runtime::Runtime(Config config) : config_(config) {
   if (config_.nranks < 1 || config_.ranks_per_node < 1 ||
       config_.gpus_per_node < 1) {
     throw std::invalid_argument("Runtime: invalid configuration");
+  }
+  // SYMPACK_FAULT_* environment knobs overlay the programmatic fault
+  // config; the injector is only attached when enabled, so a disabled
+  // config leaves every code path bitwise identical to the fault-free
+  // runtime.
+  config_.faults = env_fault_config(config_.faults);
+  if (config_.faults.enabled) {
+    injector_ = std::make_unique<FaultInjector>(config_.faults,
+                                                config_.nranks);
   }
   ranks_.reserve(config_.nranks);
   for (int r = 0; r < config_.nranks; ++r) {
@@ -219,8 +309,27 @@ std::string Runtime::dump_rank_states(const std::vector<char>& done) const {
        << "s, rpcs_sent=" << rk.stats().rpcs_sent
        << ", rpcs_executed=" << rk.stats().rpcs_executed
        << ", gets=" << rk.stats().gets;
+    // Recovery activity, shown whenever any happened (fault runs): which
+    // rank was retrying/re-requesting is the first thing to look at in a
+    // chaos-job watchdog dump.
+    const CommStats& s = rk.stats();
+    if (s.retries + s.retransmits + s.dropped_detected + s.rpcs_deferred +
+            s.oom_fallbacks >
+        0) {
+      os << ", retries=" << s.retries << ", retransmits=" << s.retransmits
+         << ", rerequests=" << s.dropped_detected
+         << ", deferred=" << s.rpcs_deferred
+         << ", oom_fallbacks=" << s.oom_fallbacks;
+    }
   }
   return os.str();
+}
+
+void Runtime::purge_inboxes() {
+  for (auto& r : ranks_) {
+    std::lock_guard<std::mutex> lock(r->inbox_mutex_);
+    r->inbox_.clear();
+  }
 }
 
 void Runtime::drive(const std::function<Step(Rank&)>& step, int stall_limit,
@@ -257,7 +366,16 @@ void Runtime::drive_sequential(const std::function<Step(Rank&)>& step,
     }
     bool any_work = false;
     for (int r : order) {
-      if (done[r]) continue;
+      if (done[r]) {
+        // Under fault injection, finished ranks keep draining their
+        // inboxes: a consumer's pull re-request may still arrive and the
+        // retransmission happens inside the RPC body, so no step() is
+        // needed — but the RPC must execute. Without an injector a done
+        // rank's inbox is provably empty (kDone requires it), so this
+        // path is skipped entirely and schedules stay byte-identical.
+        if (injector_ != nullptr && rank(r).progress() > 0) any_work = true;
+        continue;
+      }
       const Step s = step(rank(r));
       if (s == Step::kDone) {
         done[r] = 1;
@@ -279,6 +397,10 @@ void Runtime::drive_sequential(const std::function<Step(Rank&)>& step,
       throw std::runtime_error(msg);
     }
   }
+  // Injected duplicates/retransmissions can leave already-discarded
+  // entries in flight when the phase completes; drop them so their
+  // lambdas (which capture this phase's engine) never execute later.
+  if (injector_ != nullptr) purge_inboxes();
 }
 
 void Runtime::drive_threaded(const std::function<Step(Rank&)>& step) {
@@ -318,6 +440,22 @@ void Runtime::drive_threaded(const std::function<Step(Rank&)>& step) {
           done[r] = 1;
           done_count.fetch_add(1, std::memory_order_relaxed);
           epoch.fetch_add(1, std::memory_order_relaxed);
+          // Under fault injection a finished rank must keep serving its
+          // inbox: laggards may still pull re-requests from it, and the
+          // retransmission runs inside the RPC body. Poll until every
+          // rank is done (mirrors the done-rank branch in the sequential
+          // drive). Without an injector kDone guarantees an empty inbox,
+          // so returning immediately keeps the fault-free fast path.
+          if (injector_ != nullptr) {
+            while (!abort.load(std::memory_order_relaxed) &&
+                   done_count.load(std::memory_order_relaxed) < n) {
+              if (self.progress() > 0) {
+                epoch.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                std::this_thread::yield();
+              }
+            }
+          }
           return;
         }
         if (s == Step::kWorked) {
@@ -369,6 +507,9 @@ void Runtime::drive_threaded(const std::function<Step(Rank&)>& step) {
     SYMPACK_LOG_ERROR("%s", msg.c_str());
     throw std::runtime_error(msg);
   }
+  // Same cross-phase hygiene as the sequential drive: injected
+  // duplicates may still sit in inboxes after a successful phase.
+  if (injector_ != nullptr) purge_inboxes();
 }
 
 double Runtime::max_clock() const {
@@ -395,6 +536,13 @@ CommStats Runtime::total_stats() const {
     total.bytes_from_device += s.bytes_from_device;
     total.bytes_to_device += s.bytes_to_device;
     total.hd_copies += s.hd_copies;
+    total.retries += s.retries;
+    total.retransmits += s.retransmits;
+    total.dropped_detected += s.dropped_detected;
+    total.duplicates_dropped += s.duplicates_dropped;
+    total.out_of_order += s.out_of_order;
+    total.rpcs_deferred += s.rpcs_deferred;
+    total.oom_fallbacks += s.oom_fallbacks;
   }
   return total;
 }

@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pgas/fault.hpp"
 #include "pgas/global_ptr.hpp"
 #include "pgas/machine_model.hpp"
 
@@ -56,7 +57,20 @@ class DeviceOom : public std::runtime_error {
   explicit DeviceOom(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Per-rank communication statistics.
+/// Thrown by rget/copy when the fault injector fails a transfer
+/// transiently (a dropped NIC packet / cancelled RMA in a real conduit).
+/// No bytes have moved and no statistics were charged; the caller may
+/// simply retry (the engines do, with bounded exponential backoff).
+class TransferError : public std::runtime_error {
+ public:
+  explicit TransferError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Per-rank communication statistics. The recovery block counts what the
+/// self-healing protocol survived; with fault injection off every one of
+/// those counters stays 0 except oom_fallbacks (genuine device-share
+/// exhaustion also lands there).
 struct CommStats {
   std::uint64_t rpcs_sent = 0;
   std::uint64_t rpcs_executed = 0;
@@ -66,6 +80,15 @@ struct CommStats {
   std::uint64_t bytes_from_device = 0;  // transfers whose source is device
   std::uint64_t bytes_to_device = 0;    // transfers landing in device mem
   std::uint64_t hd_copies = 0;          // local host<->device copies
+
+  // --- Recovery counters (fault-tolerance protocol).
+  std::uint64_t retries = 0;            // RMA retried after TransferError
+  std::uint64_t retransmits = 0;        // ledger messages replayed (producer)
+  std::uint64_t dropped_detected = 0;   // re-request rounds fired (consumer)
+  std::uint64_t duplicates_dropped = 0; // stale-seq signals discarded
+  std::uint64_t out_of_order = 0;       // signals stashed ahead of a gap
+  std::uint64_t rpcs_deferred = 0;      // inbox entries held for arrival
+  std::uint64_t oom_fallbacks = 0;      // device denials taken to host path
 
   [[nodiscard]] std::uint64_t total_bytes() const {
     return bytes_from_host + bytes_from_device;
@@ -144,6 +167,13 @@ class Rank {
   friend class Runtime;
   struct InboxEntry {
     double arrival;
+    /// Earliest simulated time progress() may execute this entry. 0 for
+    /// every normally-delivered RPC (always eligible — the historical
+    /// merge_clock(arrival) semantics apply unchanged, so zero-fault
+    /// schedules are byte-identical by construction); set to the delayed
+    /// arrival by delay injection, making progress() defer the entry
+    /// until the rank's clock catches up.
+    double held_until = 0.0;
     std::function<void(Rank&)> fn;
   };
 
@@ -187,6 +217,10 @@ class Runtime {
     /// (overridden per call by drive()'s seed argument). 0 = plain
     /// deterministic round-robin.
     std::uint64_t interleave_seed = 0;
+    /// Deterministic fault injection (pgas/fault.hpp). Disabled by
+    /// default; the constructor overlays SYMPACK_FAULT_* environment
+    /// variables, so any binary can be chaos-tested without a rebuild.
+    FaultConfig faults{};
     MachineModel model{};
   };
 
@@ -202,6 +236,17 @@ class Runtime {
   [[nodiscard]] Rank& rank(int r) { return *ranks_.at(r); }
 
   [[nodiscard]] bool same_node(int a, int b) const;
+
+  /// The attached fault injector, or nullptr when config.faults.enabled
+  /// is false (the common case: every injection point takes its original
+  /// code path untouched).
+  [[nodiscard]] FaultInjector* injector() { return injector_.get(); }
+  [[nodiscard]] const FaultInjector* injector() const {
+    return injector_.get();
+  }
+  [[nodiscard]] bool fault_injection_enabled() const {
+    return injector_ != nullptr;
+  }
 
   /// Run a phase: call `step` on every rank until all report kDone.
   /// Sequential round-robin when config.threaded is false (deterministic),
@@ -245,6 +290,8 @@ class Runtime {
 
   Config config_;
   std::vector<std::unique_ptr<Rank>> ranks_;
+  // Attached only when config_.faults.enabled (after env overlay).
+  std::unique_ptr<FaultInjector> injector_;
   // NIC channel availability (simulated time), per global NIC id.
   mutable std::mutex nic_mutex_;
   std::vector<double> nic_busy_;
@@ -273,6 +320,12 @@ class Runtime {
   void drive_sequential(const std::function<Step(Rank&)>& step,
                         int stall_limit, std::uint64_t seed);
   void drive_threaded(const std::function<Step(Rank&)>& step);
+  /// Drop any RPC entries left in the inboxes after a successful drive.
+  /// Only reachable under fault injection (a retransmitted duplicate can
+  /// still be in flight to an already-done rank when the phase ends);
+  /// purging keeps the stale lambdas — which capture the phase's engine —
+  /// from ever executing inside a later phase's progress().
+  void purge_inboxes();
   /// Per-rank state dump for deadlock diagnostics (clock, inbox depth,
   /// comm counters, done flag).
   [[nodiscard]] std::string dump_rank_states(

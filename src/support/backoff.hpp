@@ -1,0 +1,57 @@
+// Bounded exponential backoff with deterministic jitter, used by the
+// engines to retry transient RMA failures (pgas::TransferError). The
+// jitter is drawn from a caller-owned Xoshiro256 stream so retry
+// schedules are bitwise-reproducible per seed — the same property the
+// interleaving fuzzer and the fault injector rely on.
+#pragma once
+
+#include "support/random.hpp"
+
+namespace sympack::support {
+
+struct BackoffPolicy {
+  /// First retry delay (simulated seconds).
+  double base_s = 2e-6;
+  /// Geometric growth factor between consecutive retries.
+  double multiplier = 2.0;
+  /// Delay ceiling: base_s * multiplier^k saturates here.
+  double cap_s = 1e-3;
+  /// Jitter amplitude as a fraction of the computed delay: the actual
+  /// delay is d * (1 + jitter * u) with u uniform in [-1, 1). 0 disables.
+  double jitter = 0.5;
+  /// Retry budget: after this many failed attempts the caller gives up
+  /// and propagates the error.
+  int max_retries = 10;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(const BackoffPolicy& policy) : policy_(policy) {}
+
+  /// True once the retry budget is spent; the caller should rethrow.
+  [[nodiscard]] bool exhausted() const {
+    return attempts_ >= policy_.max_retries;
+  }
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+  /// Delay (simulated seconds) before the next retry: bounded geometric
+  /// growth with deterministic jitter from `rng`. Advances the attempt
+  /// counter. Always >= 0.
+  double next_delay(Xoshiro256& rng) {
+    double d = policy_.base_s;
+    for (int i = 0; i < attempts_ && d < policy_.cap_s; ++i) {
+      d *= policy_.multiplier;
+    }
+    d = d < policy_.cap_s ? d : policy_.cap_s;
+    ++attempts_;
+    const double u = 2.0 * rng.next_double() - 1.0;  // [-1, 1)
+    const double jittered = d * (1.0 + policy_.jitter * u);
+    return jittered > 0.0 ? jittered : 0.0;
+  }
+
+ private:
+  BackoffPolicy policy_;
+  int attempts_ = 0;
+};
+
+}  // namespace sympack::support

@@ -1,4 +1,12 @@
 // Environment-variable helpers (typed reads with defaults).
+//
+// Knob families read through these helpers:
+//   SYMPACK_TILE_* / SYMPACK_PANEL_*  dense-kernel tiling (blas/kernels)
+//   SYMPACK_FAULT_*                   fault injection (pgas/fault.hpp):
+//     ENABLED, SEED, DROP, DUP, DELAY, DELAY_S, REORDER, TRANSFER, DEVICE
+//   SYMPACK_FAULT_SEED_BASE           chaos-CI base seed, read only by
+//                                     tests/test_faults.cpp (mixed into its
+//                                     per-case seeds, never by the runtime)
 #pragma once
 
 #include <cstdint>

@@ -3,9 +3,13 @@
 // simulated clocks, and the cooperative/threaded drivers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
 
+#include "pgas/fault.hpp"
 #include "pgas/global_ptr.hpp"
 #include "pgas/machine_model.hpp"
 #include "pgas/runtime.hpp"
@@ -530,6 +534,296 @@ TEST(Stats, TotalsAggregateAndReset) {
 
 namespace sympack::pgas {
 namespace {
+
+// ------------------------------------------------------------------
+// Fault injection (pgas/fault.hpp): determinism of the decision streams,
+// the per-class runtime effects, and the satellite invariant that an
+// *enabled* injector with all rates at zero is byte-identical to no
+// injector at all.
+
+FaultConfig all_zero_rates(std::uint64_t seed) {
+  FaultConfig fc;
+  fc.enabled = true;
+  fc.seed = seed;
+  return fc;
+}
+
+TEST(Fault, InjectorReplaysBitwiseFromSeed) {
+  FaultConfig fc = all_zero_rates(42);
+  fc.drop_rate = 0.3;
+  fc.duplicate_rate = 0.2;
+  fc.delay_rate = 0.2;
+  fc.reorder_rate = 0.2;
+  FaultInjector a(fc, 4), b(fc, 4);
+  for (int i = 0; i < 200; ++i) {
+    for (int r = 0; r < 4; ++r) {
+      const auto pa = a.plan_rpc(r);
+      const auto pb = b.plan_rpc(r);
+      EXPECT_EQ(pa.drop, pb.drop);
+      EXPECT_EQ(pa.duplicate, pb.duplicate);
+      EXPECT_EQ(pa.delay, pb.delay);
+      EXPECT_EQ(pa.reorder, pb.reorder);
+      EXPECT_EQ(pa.reorder_slot, pb.reorder_slot);
+      EXPECT_EQ(a.fail_transfer(r), b.fail_transfer(r));
+      EXPECT_EQ(a.deny_device(r), b.deny_device(r));
+    }
+  }
+  const auto ta = a.total(), tb = b.total();
+  EXPECT_EQ(ta.drops, tb.drops);
+  EXPECT_EQ(ta.duplicates, tb.duplicates);
+  EXPECT_EQ(ta.transfer_failures, tb.transfer_failures);
+
+  // A different seed must give a different decision stream.
+  FaultConfig other = fc;
+  other.seed = 43;
+  FaultInjector c(fc, 4), d(other, 4);
+  int diffs = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (c.plan_rpc(0).drop != d.plan_rpc(0).drop) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Fault, FixedDrawCountKeepsStreamsAligned) {
+  // The drop decisions must be identical whether or not the other fault
+  // classes are active: plan_rpc always draws the same number of randoms,
+  // so enabling duplication cannot shear the drop stream.
+  FaultConfig drop_only = all_zero_rates(7);
+  drop_only.drop_rate = 0.5;
+  FaultConfig drop_and_more = drop_only;
+  drop_and_more.duplicate_rate = 0.9;
+  drop_and_more.delay_rate = 0.9;
+  drop_and_more.reorder_rate = 0.9;
+  FaultInjector a(drop_only, 2), b(drop_and_more, 2);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.plan_rpc(0).drop, b.plan_rpc(0).drop) << i;
+  }
+}
+
+namespace {
+
+struct ScriptedRun {
+  std::vector<int> order;
+  std::vector<double> clocks;
+  CommStats stats;
+};
+
+// A fixed cross-rank RPC workload under the round-robin driver: every
+// rank pings its neighbor 8 times, then drains. Captures everything a
+// schedule could perturb.
+ScriptedRun scripted_rpc_run(Runtime& rt) {
+  ScriptedRun out;
+  const int n = rt.nranks();
+  std::vector<int> sent(n, 0), got(n, 0);
+  rt.drive([&](Rank& self) {
+    const int me = self.id();
+    out.order.push_back(me);
+    int worked = self.progress();
+    if (sent[me] < 8) {
+      ++sent[me];
+      self.rpc((me + 1) % n, [&got](Rank& t) { ++got[t.id()]; });
+      ++worked;
+    }
+    if (worked > 0) return Step::kWorked;
+    if (got[me] == 8 && !self.has_pending_rpcs()) return Step::kDone;
+    return Step::kIdle;
+  });
+  for (int r = 0; r < n; ++r) out.clocks.push_back(rt.rank(r).now());
+  out.stats = rt.total_stats();
+  return out;
+}
+
+}  // namespace
+
+TEST(Fault, ZeroRatesEnabledIsByteIdenticalToDisabled) {
+  // Satellite invariant: attaching an injector whose rates are all zero
+  // must not perturb anything observable — same stepping order, same
+  // simulated clocks, same statistics, bit for bit.
+  Runtime plain(small_config(4, 2));
+  Runtime::Config cfg = small_config(4, 2);
+  cfg.faults = all_zero_rates(123);
+  Runtime injected(cfg);
+  ASSERT_TRUE(injected.fault_injection_enabled());
+
+  const ScriptedRun a = scripted_rpc_run(plain);
+  const ScriptedRun b = scripted_rpc_run(injected);
+  EXPECT_EQ(a.order, b.order);
+  ASSERT_EQ(a.clocks.size(), b.clocks.size());
+  for (std::size_t r = 0; r < a.clocks.size(); ++r) {
+    EXPECT_DOUBLE_EQ(a.clocks[r], b.clocks[r]) << "rank " << r;
+  }
+  EXPECT_EQ(a.stats.rpcs_sent, b.stats.rpcs_sent);
+  EXPECT_EQ(a.stats.rpcs_executed, b.stats.rpcs_executed);
+  EXPECT_EQ(a.stats.rpcs_deferred, b.stats.rpcs_deferred);
+  EXPECT_EQ(b.stats.rpcs_deferred, 0u);
+  EXPECT_EQ(b.stats.duplicates_dropped, 0u);
+  EXPECT_EQ(b.stats.retries, 0u);
+}
+
+TEST(Fault, DropSwallowsRpc) {
+  Runtime::Config cfg = small_config(2);
+  cfg.faults = all_zero_rates(5);
+  cfg.faults.drop_rate = 1.0;
+  Runtime rt(cfg);
+  int hits = 0;
+  rt.rank(0).rpc(1, [&](Rank&) { ++hits; });
+  EXPECT_FALSE(rt.rank(1).has_pending_rpcs());
+  EXPECT_EQ(rt.rank(1).progress(), 0);
+  EXPECT_EQ(hits, 0);
+  // The sender is still charged (it does not know the message died).
+  EXPECT_EQ(rt.rank(0).stats().rpcs_sent, 1u);
+  EXPECT_EQ(rt.injector()->counters(0).drops, 1u);
+}
+
+TEST(Fault, DuplicateDeliversTwice) {
+  Runtime::Config cfg = small_config(2);
+  cfg.faults = all_zero_rates(5);
+  cfg.faults.duplicate_rate = 1.0;
+  Runtime rt(cfg);
+  int hits = 0;
+  rt.rank(0).rpc(1, [&](Rank&) { ++hits; });
+  EXPECT_EQ(rt.rank(1).progress(), 2);
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(rt.injector()->counters(0).duplicates, 1u);
+}
+
+TEST(Fault, DelayDefersUntilClockCatchesUp) {
+  Runtime::Config cfg = small_config(2);
+  cfg.faults = all_zero_rates(5);
+  cfg.faults.delay_rate = 1.0;
+  cfg.faults.delay_s = 1e-3;
+  Runtime rt(cfg);
+  int hits = 0;
+  rt.rank(0).rpc(1, [&](Rank&) { ++hits; });
+  // The receiver's clock is far behind the injected arrival; progress()
+  // defers the entry once, then (as it is the only input) warps to the
+  // injected arrival instead of deadlocking.
+  EXPECT_EQ(rt.rank(1).progress(), 1);
+  EXPECT_EQ(hits, 1);
+  EXPECT_GE(rt.rank(1).now(), 1e-3);
+  EXPECT_GE(rt.rank(1).stats().rpcs_deferred, 1u);
+  EXPECT_EQ(rt.injector()->counters(0).delays, 1u);
+}
+
+TEST(Fault, DelayedEntryWaitsWhenOtherWorkExists) {
+  Runtime::Config cfg = small_config(2);
+  cfg.faults = all_zero_rates(9);
+  cfg.faults.delay_rate = 0.5;  // seed 9: decided per message below
+  cfg.faults.delay_s = 1e-3;
+  Runtime rt(cfg);
+  // Send messages until at least one is delayed and one is not.
+  int delayed = 0, prompt = 0;
+  for (int i = 0; i < 32; ++i) {
+    rt.rank(0).rpc(1, [](Rank&) {});
+  }
+  delayed = static_cast<int>(rt.injector()->counters(0).delays);
+  prompt = 32 - delayed;
+  ASSERT_GT(delayed, 0);
+  ASSERT_GT(prompt, 0);
+  // Repeated progress() executes everything: prompt entries first
+  // (charging the clock), held ones as the clock catches up or via the
+  // idle warp (each warp only reaches the earliest still-held arrival).
+  int total = 0;
+  for (int i = 0; i < 64 && total < 32; ++i) total += rt.rank(1).progress();
+  EXPECT_EQ(total, 32);
+  EXPECT_GE(rt.rank(1).stats().rpcs_deferred, 1u);
+}
+
+TEST(Fault, ReorderStillDeliversAll) {
+  Runtime::Config cfg = small_config(2);
+  cfg.faults = all_zero_rates(11);
+  cfg.faults.reorder_rate = 1.0;
+  Runtime rt(cfg);
+  std::vector<int> seen;
+  for (int i = 0; i < 16; ++i) {
+    rt.rank(0).rpc(1, [&seen, i](Rank&) { seen.push_back(i); });
+  }
+  int total = 0;
+  for (int i = 0; i < 8 && total < 16; ++i) total += rt.rank(1).progress();
+  EXPECT_EQ(total, 16);
+  std::vector<int> sorted = seen;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> expect(16);
+  for (int i = 0; i < 16; ++i) expect[i] = i;
+  EXPECT_EQ(sorted, expect);      // nothing lost or duplicated
+  EXPECT_NE(seen, expect);        // but the order was scrambled
+  EXPECT_GT(rt.injector()->counters(0).reorders, 0u);
+}
+
+TEST(Fault, TransferErrorFromRgetAndCopy) {
+  Runtime::Config cfg = small_config(4, 2);
+  cfg.faults = all_zero_rates(3);
+  cfg.faults.transfer_fail_rate = 1.0;
+  Runtime rt(cfg);
+  auto src = rt.rank(2).allocate_host(64);
+  std::vector<std::byte> dst(64);
+  EXPECT_THROW(rt.rank(0).rget(src, dst.data(), 64, MemKind::kHost),
+               TransferError);
+  auto remote = rt.rank(3).allocate_host(64);
+  EXPECT_THROW(rt.rank(0).copy(src, remote, 64), TransferError);
+  EXPECT_GE(rt.injector()->counters(0).transfer_failures, 2u);
+  // No bytes were charged for the failed attempts.
+  EXPECT_EQ(rt.rank(0).stats().gets, 0u);
+  EXPECT_EQ(rt.rank(0).stats().bytes_from_host, 0u);
+  rt.rank(2).deallocate(src);
+  rt.rank(3).deallocate(remote);
+}
+
+TEST(Fault, DeviceDenialOnlyAffectsNothrowPath) {
+  Runtime::Config cfg = small_config(2);
+  cfg.faults = all_zero_rates(3);
+  cfg.faults.device_deny_rate = 1.0;
+  Runtime rt(cfg);
+  auto denied = rt.rank(0).allocate_device(1024, /*nothrow=*/true);
+  EXPECT_TRUE(denied.is_null());
+  EXPECT_EQ(rt.injector()->counters(0).device_denials, 1u);
+  // The throwing path models the user's explicit abort-on-OOM choice, so
+  // pressure injection leaves it alone.
+  auto ok = rt.rank(0).allocate_device(1024, /*nothrow=*/false);
+  ASSERT_FALSE(ok.is_null());
+  rt.rank(0).deallocate(ok);
+}
+
+TEST(Fault, EnvKnobsAttachInjectorWithoutRebuild) {
+  ASSERT_EQ(setenv("SYMPACK_FAULT_ENABLED", "1", 1), 0);
+  ASSERT_EQ(setenv("SYMPACK_FAULT_DROP", "0.25", 1), 0);
+  ASSERT_EQ(setenv("SYMPACK_FAULT_SEED", "99", 1), 0);
+  Runtime rt(small_config(2));
+  unsetenv("SYMPACK_FAULT_ENABLED");
+  unsetenv("SYMPACK_FAULT_DROP");
+  unsetenv("SYMPACK_FAULT_SEED");
+  ASSERT_TRUE(rt.fault_injection_enabled());
+  EXPECT_DOUBLE_EQ(rt.injector()->config().drop_rate, 0.25);
+  EXPECT_EQ(rt.injector()->config().seed, 99u);
+  // And a fresh runtime without the env vars attaches nothing.
+  Runtime clean(small_config(2));
+  EXPECT_FALSE(clean.fault_injection_enabled());
+}
+
+TEST(Fault, DriveSurvivesDropsWithRerequestingStep) {
+  // Runtime-level mini recovery protocol: a consumer that notices it is
+  // missing messages re-requests them; the drive completes despite a 30%
+  // drop rate. (The solver engines implement the full ledger version of
+  // this; here the step function itself retries.)
+  Runtime::Config cfg = small_config(2);
+  cfg.faults = all_zero_rates(21);
+  cfg.faults.drop_rate = 0.3;
+  Runtime rt(cfg);
+  int got = 0;
+  int idle = 0;
+  rt.drive([&](Rank& self) {
+    if (self.id() == 1) return got >= 1 ? Step::kDone : Step::kIdle;
+    self.progress();
+    if (got >= 1) return Step::kDone;
+    if (++idle % 4 == 1) {
+      self.rpc(1, [](Rank&) {});  // may be dropped...
+      rt.rank(1).rpc(0, [&](Rank&) { ++got; });  // ...so keep resending
+      return Step::kWorked;
+    }
+    return Step::kIdle;
+  }, /*stall_limit=*/100000);
+  EXPECT_GE(got, 1);
+}
 
 TEST(Memory, PeakTrackingFollowsAllocations) {
   Runtime rt(small_config(2));

@@ -114,6 +114,13 @@ void expect_stats_equal(const pgas::CommStats& a, const pgas::CommStats& b) {
   EXPECT_EQ(a.bytes_from_device, b.bytes_from_device);
   EXPECT_EQ(a.bytes_to_device, b.bytes_to_device);
   EXPECT_EQ(a.hd_copies, b.hd_copies);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.dropped_detected, b.dropped_detected);
+  EXPECT_EQ(a.duplicates_dropped, b.duplicates_dropped);
+  EXPECT_EQ(a.out_of_order, b.out_of_order);
+  EXPECT_EQ(a.rpcs_deferred, b.rpcs_deferred);
+  EXPECT_EQ(a.oom_fallbacks, b.oom_fallbacks);
 }
 
 // ------------------------------------------------------------------
