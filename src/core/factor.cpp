@@ -1,7 +1,6 @@
 #include "core/factor.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <stdexcept>
 #include <string>
 
@@ -12,20 +11,10 @@ FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                            Offload& offload, const SolverOptions& opts,
                            Tracer* tracer)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
-      opts_(opts), tracer_(tracer), recovery_(rt.fault_injection_enabled()) {
+      opts_(opts), stats_(tracer) {
   per_rank_.resize(rt.nranks());
-  if (recovery_) {
-    const std::uint64_t fseed = rt.config().faults.seed;
-    for (int r = 0; r < rt.nranks(); ++r) {
-      PerRank& pr = per_rank_[r];
-      pr.link.init(rt.nranks());
-      // Decorrelated from the injector's own streams (different mixing
-      // constant), still replayable from the fault seed alone.
-      pr.retry_rng = support::Xoshiro256(
-          fseed ^ (0xd1b54a32d192ed03ull * (static_cast<std::uint64_t>(r) + 1)));
-      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
-    }
-  }
+  for (PerRank& pr : per_rank_) pr.rtq.set_policy(opts_.policy);
+  net_.init(rt, opts_.fault, tracer);
   // Supernodal elimination-tree depths for the critical-path policy.
   // The parent of a supernode holds its first below-row; parents have
   // larger indices, so a descending sweep resolves all depths.
@@ -38,19 +27,18 @@ FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
     }
   }
   const idx_t nb = store.num_blocks();
-  remaining_.resize(nb);
-  ready_.assign(nb, 0.0);
+  deps_.init(nb);
   for (idx_t k = 0; k < sym.num_snodes(); ++k) {
     const idx_t nslots = 1 + static_cast<idx_t>(sym.snode(k).blocks.size());
     for (BlockSlot slot = 0; slot < nslots; ++slot) {
       const idx_t bid = store.block_id(k, slot);
       // F tasks additionally wait for the panel's diagonal factor.
-      remaining_[bid] = static_cast<int>(tg.update_count(k, slot)) +
-                        (slot == 0 ? 0 : 1);
+      deps_.set_count(bid, static_cast<int>(tg.update_count(k, slot)) +
+                               (slot == 0 ? 0 : 1));
       // Seed the RTQ: diagonal blocks with no incoming updates.
-      if (slot == 0 && remaining_[bid] == 0) {
-        push_ready(per_rank_[store.owner(bid)],
-                   Task{TaskType::kDiag, k, 0, 0, 0, 0.0});
+      if (slot == 0 && deps_.count(bid) == 0) {
+        enqueue(per_rank_[store.owner(bid)],
+                Task{TaskType::kDiag, k, 0, 0, 0, 0.0});
       }
     }
   }
@@ -65,96 +53,28 @@ pgas::Step FactorEngine::step(pgas::Rank& rank) {
   PerRank& pr = per_rank_[rank.id()];
   int worked = rank.progress();
 
-  if (!pr.signals.empty()) {
-    std::vector<Signal> sigs;
-    sigs.swap(pr.signals);
-    for (const Signal& sig : sigs) handle_signal(rank, sig);
-    worked += static_cast<int>(sigs.size());
-  }
+  const std::vector<Signal> sigs = net_.drain(rank.id());
+  for (const Signal& sig : sigs) handle_signal(rank, sig);
+  worked += static_cast<int>(sigs.size());
 
   if (!pr.rtq.empty()) {
-    const Task task = pop_ready(pr);
-    execute(rank, task);
+    execute(rank, pr.rtq.pop());
     ++worked;
   }
 
   if (worked > 0) {
-    if (recovery_) {
-      pr.idle_streak = 0;
-      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
-    }
+    net_.on_worked(rank.id());
     return pgas::Step::kWorked;
   }
 
   const int me = rank.id();
   const bool done = pr.done_factor == tg_->owned_factor_tasks(me) &&
                     pr.done_update == tg_->owned_update_tasks(me) &&
-                    pr.rtq.empty() && pr.signals.empty() &&
+                    pr.rtq.empty() && !net_.has_pending(me) &&
                     !rank.has_pending_rpcs();
   if (done) return pgas::Step::kDone;
-  if (recovery_ && ++pr.idle_streak >= pr.rerequest_threshold &&
-      pr.rerequest_rounds < opts_.fault.max_rerequest_rounds) {
-    // Suspected lost signal: pull-re-request from every peer, then back
-    // off geometrically so a merely-slow producer is not stormed. The
-    // round cap lets the driver's stall guard fire on unrecoverable bugs
-    // (re-request RPCs would otherwise count as work forever).
-    pr.idle_streak = 0;
-    if (pr.rerequest_threshold < (1 << 20)) pr.rerequest_threshold *= 2;
-    ++pr.rerequest_rounds;
-    request_retransmits(rank);
-  }
+  net_.on_idle(rank);
   return pgas::Step::kIdle;
-}
-
-void FactorEngine::post_signal(pgas::Rank& rank, int to, std::uint64_t seq,
-                               const Signal& sig) {
-  const int from = rank.id();
-  rank.rpc(to, [this, from, seq, sig](pgas::Rank& target) {
-    PerRank& tpr = per_rank_[target.id()];
-    tpr.link.admit(from, seq, sig, tpr.signals, target.stats());
-  });
-}
-
-void FactorEngine::send_signal(pgas::Rank& rank, int to, const Signal& sig) {
-  if (!recovery_) {
-    const idx_t k = sig.k;
-    const BlockSlot slot = sig.slot;
-    rank.rpc(to, [this, k, slot](pgas::Rank& target) {
-      per_rank_[target.id()].signals.push_back(Signal{k, slot});
-    });
-    return;
-  }
-  const std::uint64_t seq = per_rank_[rank.id()].link.record(to, sig);
-  post_signal(rank, to, seq, sig);
-}
-
-void FactorEngine::request_retransmits(pgas::Rank& rank) {
-  const int me = rank.id();
-  PerRank& pr = per_rank_[me];
-  ++rank.stats().dropped_detected;
-  if (tracer_ != nullptr) {
-    tracer_->record(me, "re-request", rank.now(), rank.now());
-  }
-  for (int p = 0; p < rt_->nranks(); ++p) {
-    if (p == me) continue;
-    const std::uint64_t want = pr.link.next_expected(p);
-    rank.rpc(p, [this, me, want](pgas::Rank& producer) {
-      resend_from(producer, me, want);
-    });
-  }
-}
-
-void FactorEngine::resend_from(pgas::Rank& producer, int consumer,
-                               std::uint64_t from_seq) {
-  const auto& log = per_rank_[producer.id()].link.sent(consumer);
-  for (std::uint64_t s = from_seq; s < log.size(); ++s) {
-    ++producer.stats().retransmits;
-    if (tracer_ != nullptr) {
-      tracer_->record(producer.id(), "retransmit", producer.now(),
-                      producer.now());
-    }
-    post_signal(producer, consumer, s, log[s]);
-  }
 }
 
 int FactorEngine::local_uses(int rank, idx_t k, BlockSlot slot) const {
@@ -190,7 +110,6 @@ void FactorEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
       static_cast<std::int64_t>(store_->nrows(bid)) * store_->ncols(bid);
 
   RemoteFactor rf;
-  rf.remaining_uses = uses;
   bool on_device = offload_->device_resident(elems);
   double ready;
   if (store_->numeric()) {
@@ -206,21 +125,20 @@ void FactorEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
         // host staging path instead. Counted either way; traced only
         // under fault injection so fault-free traces stay byte-identical.
         ++rank.stats().oom_fallbacks;
-        if (recovery_ && tracer_ != nullptr) {
-          tracer_->record(me, "oom-fallback", rank.now(), rank.now());
+        if (net_.recovery()) {
+          stats_.mark(me, taskrt::kTrace_oom_fallbacks, rank.now());
         }
       }
     }
-    support::Xoshiro256& rng = per_rank_[me].retry_rng;
     if (on_device) {
-      ready = with_rma_retry(rank, opts_.fault.rma_backoff, rng, tracer_, [&] {
+      ready = net_.with_retry(rank, [&] {
         return rank.rget(store_->gptr(bid), rf.device.addr, bytes,
                          pgas::MemKind::kDevice);
       });
       data = rf.device.local<double>();
     } else {
       rf.host.resize(static_cast<std::size_t>(elems));
-      ready = with_rma_retry(rank, opts_.fault.rma_backoff, rng, tracer_, [&] {
+      ready = net_.with_retry(rank, [&] {
         return rank.rget(store_->gptr(bid),
                          reinterpret_cast<std::byte*>(rf.host.data()), bytes,
                          pgas::MemKind::kHost);
@@ -243,16 +161,16 @@ void FactorEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
 
   // Duplicate signals are deduplicated at the sender (recipients() is
   // sorted/unique), but a protocol bug must not silently shrink the
-  // shared device segment: if the block is already cached here, free the
-  // copy we just fetched and keep the original entry instead of leaking
-  // the device allocation and re-delivering.
+  // shared device segment: UseCache::insert keeps the original entry, so
+  // free the copy we just fetched instead of leaking the device
+  // allocation and re-delivering.
   const pgas::GlobalPtr fetched_device = rf.device;
-  auto [it, inserted] = per_rank_[me].cache.emplace(bid, std::move(rf));
+  auto [entry, inserted] = per_rank_[me].cache.insert(bid, std::move(rf), uses);
   if (!inserted) {
     if (!fetched_device.is_null()) rank.deallocate(fetched_device);
     return;
   }
-  deliver(rank, sig.k, sig.slot, it->second.ref);
+  deliver(rank, sig.k, sig.slot, entry->ref);
 }
 
 void FactorEngine::deliver(pgas::Rank& rank, idx_t k, BlockSlot slot,
@@ -269,9 +187,8 @@ void FactorEngine::deliver(pgas::Rank& rank, idx_t k, BlockSlot slot,
     for (idx_t fs = 1; fs <= nb; ++fs) {
       if (map(sn.blocks[fs - 1].target, k) != me) continue;
       const idx_t bid = store_->block_id(k, fs);
-      ready_[bid] = std::max(ready_[bid], ref.ready);
-      if (--remaining_[bid] == 0) {
-        push_ready(pr, Task{TaskType::kFactor, k, fs, 0, 0, ready_[bid]});
+      if (deps_.satisfy(bid, ref.ready)) {
+        enqueue(pr, Task{TaskType::kFactor, k, fs, 0, 0, deps_.ready(bid)});
       }
     }
     return;
@@ -311,7 +228,7 @@ void FactorEngine::satisfy_update(pgas::Rank& rank, idx_t j, idx_t si,
   }
   if (--st.remaining == 0) {
     const double ready = std::max(st.src.ready, st.piv.ready);
-    push_ready(pr, Task{TaskType::kUpdate, j, 0, si, ti, ready});
+    enqueue(pr, Task{TaskType::kUpdate, j, 0, si, ti, ready});
   }
 }
 
@@ -326,7 +243,7 @@ void FactorEngine::publish(pgas::Rank& rank, idx_t k, BlockSlot slot) {
   // Remote consumers get a signal RPC (Fig. 4 step 1); they will pull
   // the block with a one-sided get when they next poll.
   for (int r : tg_->recipients(k, slot)) {
-    send_signal(rank, r, Signal{k, slot});
+    net_.send(rank, r, Signal{k, slot});
   }
 }
 
@@ -338,26 +255,21 @@ void FactorEngine::execute(pgas::Rank& rank, const Task& task) {
     case TaskType::kFactor: execute_factor(rank, task); break;
     case TaskType::kUpdate: execute_update(rank, task); break;
   }
-  if (tracer_ != nullptr) {
-    char name[48];
+  if (stats_.tracing()) {
     switch (task.type) {
       case TaskType::kDiag:
-        std::snprintf(name, sizeof name, "D %lld",
-                      static_cast<long long>(task.k));
+        stats_.task_span(rank.id(), taskrt::TaskTag::kDiag, task.k, 0, 0,
+                         begin, rank.now());
         break;
       case TaskType::kFactor:
-        std::snprintf(name, sizeof name, "F %lld:%lld",
-                      static_cast<long long>(task.k),
-                      static_cast<long long>(task.slot));
+        stats_.task_span(rank.id(), taskrt::TaskTag::kFactor, task.k,
+                         task.slot, 0, begin, rank.now());
         break;
       case TaskType::kUpdate:
-        std::snprintf(name, sizeof name, "U %lld:%lld:%lld",
-                      static_cast<long long>(task.k),
-                      static_cast<long long>(task.si),
-                      static_cast<long long>(task.ti));
+        stats_.task_span(rank.id(), taskrt::TaskTag::kUpdate, task.k, task.si,
+                         task.ti, begin, rank.now());
         break;
     }
-    tracer_->record(rank.id(), name, begin, rank.now());
   }
 }
 
@@ -478,23 +390,18 @@ void FactorEngine::execute_update(pgas::Rank& rank, const Task& task) {
 void FactorEngine::complete_target_update(pgas::Rank& rank, idx_t t,
                                           BlockSlot slot) {
   const idx_t bid = store_->block_id(t, slot);
-  ready_[bid] = std::max(ready_[bid], rank.now());
-  if (--remaining_[bid] == 0) {
-    push_ready(per_rank_[rank.id()],
-               Task{slot == 0 ? TaskType::kDiag : TaskType::kFactor, t, slot,
-                    0, 0, ready_[bid]});
+  if (deps_.satisfy(bid, rank.now())) {
+    enqueue(per_rank_[rank.id()],
+            Task{slot == 0 ? TaskType::kDiag : TaskType::kFactor, t, slot,
+                 0, 0, deps_.ready(bid)});
   }
 }
 
 void FactorEngine::release_ref(pgas::Rank& rank, const FactorRef& ref) {
   if (ref.cache_bid < 0) return;
-  PerRank& pr = per_rank_[rank.id()];
-  const auto it = pr.cache.find(ref.cache_bid);
-  if (it == pr.cache.end()) return;
-  if (--it->second.remaining_uses == 0) {
-    if (!it->second.device.is_null()) rank.deallocate(it->second.device);
-    pr.cache.erase(it);
-  }
+  per_rank_[rank.id()].cache.release(ref.cache_bid, [&rank](RemoteFactor& rf) {
+    if (!rf.device.is_null()) rank.deallocate(rf.device);
+  });
 }
 
 idx_t FactorEngine::task_depth(const Task& task) const {
@@ -503,55 +410,19 @@ idx_t FactorEngine::task_depth(const Task& task) const {
   return snode_depth_[sn.blocks[task.ti - 1].target];
 }
 
-bool FactorEngine::heap_less(const Task& a, const Task& b) {
-  if (a.prio != b.prio) return a.prio < b.prio;
-  return a.seq > b.seq;  // equal priority: earlier insertion pops first
-}
-
-void FactorEngine::push_ready(PerRank& pr, Task task) {
-  // The priority policies keep the RTQ as a binary max-heap so pop_ready
-  // is O(log n) instead of a full linear scan (which went quadratic on
-  // the deep RTQs of irregular matrices, e.g. the thermal_proxy regime).
+void FactorEngine::enqueue(PerRank& pr, const Task& task) {
   // kPriority: lowest supernode first (drains the bottom of the
   // elimination tree, which feeds the critical path). kCriticalPath:
   // deepest target supernode first (the task whose result feeds the
-  // longest remaining elimination-tree chain).
-  if (opts_.policy == Policy::kPriority ||
-      opts_.policy == Policy::kCriticalPath) {
-    task.prio = opts_.policy == Policy::kPriority
-                    ? -static_cast<std::int64_t>(task.k)
-                    : static_cast<std::int64_t>(task_depth(task));
-    task.seq = pr.next_seq++;
-    pr.rtq.push_back(task);
-    std::push_heap(pr.rtq.begin(), pr.rtq.end(), heap_less);
-    return;
+  // longest remaining elimination-tree chain). The queue itself only
+  // orders by this number (core/taskrt/ready_queue.hpp).
+  std::int64_t prio = 0;
+  if (opts_.policy == Policy::kPriority) {
+    prio = -static_cast<std::int64_t>(task.k);
+  } else if (opts_.policy == Policy::kCriticalPath) {
+    prio = static_cast<std::int64_t>(task_depth(task));
   }
-  pr.rtq.push_back(task);
-}
-
-FactorEngine::Task FactorEngine::pop_ready(PerRank& pr) {
-  switch (opts_.policy) {
-    case Policy::kFifo: {
-      const Task t = pr.rtq.front();
-      pr.rtq.pop_front();
-      return t;
-    }
-    case Policy::kLifo: {
-      const Task t = pr.rtq.back();
-      pr.rtq.pop_back();
-      return t;
-    }
-    case Policy::kPriority:
-    case Policy::kCriticalPath: {
-      std::pop_heap(pr.rtq.begin(), pr.rtq.end(), heap_less);
-      const Task t = pr.rtq.back();
-      pr.rtq.pop_back();
-      return t;
-    }
-  }
-  const Task t = pr.rtq.front();
-  pr.rtq.pop_front();
-  return t;
+  pr.rtq.push(task, prio);
 }
 
 }  // namespace sympack::core

@@ -14,21 +14,26 @@
 // signal RPC. A rank is done when all of its statically assigned tasks
 // (its LTQ) have executed.
 //
-// Thread-safety (audited; see DESIGN.md "Threading memory model"): the
-// engine holds no locks because every mutable member is single-writer.
-// per_rank_[r] (RTQ, signals, caches, counters) is touched only by the
-// thread driving rank r — signal RPCs mutate the *target's* slot, but
-// RPC bodies execute inside the target's progress(), i.e. on the
-// target's own thread. remaining_[bid]/ready_[bid] are touched only by
-// the thread driving owner(bid): deliver() and complete_target_update()
-// run on the consuming rank, and in fan-out the consumer of every U/F
-// dependency is the block's owner. Reads of published factor-block data
-// after a signal are ordered by the inbox-mutex release/acquire pair in
-// Rank::rpc/progress.
+// The engine owns only the *algorithm*: which tasks exist, what unlocks
+// them, and what executing one does. The task-runtime substrate —
+// policy-driven ready queue, dependency counters, signal transport with
+// the full recovery protocol, use-counted fetch cache, tracer hook —
+// lives in core/taskrt/ and is shared with the fan-in and solve engines.
+//
+// Thread-safety (audited; see DESIGN.md "Threading memory model" and
+// §4d): the engine holds no locks because every mutable member is
+// single-writer. per_rank_[r] (RTQ, caches, counters) and the endpoint's
+// slot r are touched only by the thread driving rank r — signal RPCs
+// mutate the *target's* slot, but RPC bodies execute inside the target's
+// progress(), i.e. on the target's own thread. deps_[bid] is touched
+// only by the thread driving owner(bid): deliver() and
+// complete_target_update() run on the consuming rank, and in fan-out the
+// consumer of every U/F dependency is the block's owner. Reads of
+// published factor-block data after a signal are ordered by the
+// inbox-mutex release/acquire pair in Rank::rpc/progress.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -36,10 +41,13 @@
 #include "core/block_store.hpp"
 #include "core/offload.hpp"
 #include "core/options.hpp"
-#include "core/reliable.hpp"
+#include "core/taskrt/dep_tracker.hpp"
+#include "core/taskrt/endpoint.hpp"
+#include "core/taskrt/ready_queue.hpp"
+#include "core/taskrt/stats.hpp"
+#include "core/taskrt/use_cache.hpp"
 #include "core/trace.hpp"
 #include "pgas/runtime.hpp"
-#include "support/random.hpp"
 #include "symbolic/taskgraph.hpp"
 
 namespace sympack::core {
@@ -64,11 +72,6 @@ class FactorEngine {
     BlockSlot slot = 0;  // block slot (F); unused for D
     idx_t si = 0, ti = 0;  // U: source/pivot block slots (>=1) in panel k
     double ready = 0.0;    // earliest simulated start
-    // Heap ordering for kPriority/kCriticalPath (unused by FIFO/LIFO):
-    // higher prio pops first, ties broken by lower seq (insertion order),
-    // reproducing the old linear-scan selection exactly.
-    std::int64_t prio = 0;
-    std::uint64_t seq = 0;
   };
 
   /// Reference to factor-block data available at this rank (either a
@@ -84,7 +87,6 @@ class FactorEngine {
     std::vector<double> host;  // host copy (when not device resident)
     pgas::GlobalPtr device;    // device copy (when resident)
     FactorRef ref;
-    int remaining_uses = 0;
   };
 
   struct UpdateState {
@@ -99,24 +101,12 @@ class FactorEngine {
   };
 
   struct PerRank {
-    // RTQ: plain FIFO/LIFO deque, or (for the priority policies) a
-    // binary max-heap maintained in place by push_ready/pop_ready.
-    std::deque<Task> rtq;
-    std::uint64_t next_seq = 0;  // insertion counter for heap tie-breaks
-    std::vector<Signal> signals;
+    taskrt::ReadyQueue<Task> rtq;
     std::unordered_map<std::uint64_t, UpdateState> pending_updates;
-    std::unordered_map<idx_t, RemoteFactor> cache;     // key: block id
-    std::unordered_map<idx_t, FactorRef> diag_ref;     // key: supernode
+    taskrt::UseCache<RemoteFactor> cache;           // key: block id
+    std::unordered_map<idx_t, FactorRef> diag_ref;  // key: supernode
     idx_t done_factor = 0;
     idx_t done_update = 0;
-    // --- Recovery state (touched only when the runtime has a fault
-    // injector; see FaultToleranceOptions). Same single-writer rule as
-    // the rest of the slot.
-    ReliableLink<Signal> link;          // seq ledger/stash per peer
-    support::Xoshiro256 retry_rng{0};   // jitter stream for RMA backoff
-    int idle_streak = 0;                // consecutive kIdle steps
-    int rerequest_threshold = 0;        // idle steps before re-request
-    int rerequest_rounds = 0;           // re-request rounds fired so far
   };
 
   static std::uint64_t ukey(idx_t j, idx_t si, idx_t ti) {
@@ -127,20 +117,6 @@ class FactorEngine {
 
   pgas::Step step(pgas::Rank& rank);
   void handle_signal(pgas::Rank& rank, const Signal& sig);
-  /// Send `sig` to `to`: plain RPC with faults off; sequenced through the
-  /// ReliableLink ledger (record + post_signal) under fault injection.
-  void send_signal(pgas::Rank& rank, int to, const Signal& sig);
-  /// Deliver one sequenced signal; the RPC body runs link.admit at the
-  /// target (dedup/stash/run).
-  void post_signal(pgas::Rank& rank, int to, std::uint64_t seq,
-                   const Signal& sig);
-  /// Consumer side of loss recovery: broadcast a pull re-request carrying
-  /// next_expected to every peer (fired from step() after an idle streak).
-  void request_retransmits(pgas::Rank& rank);
-  /// Producer side: replay the ledger suffix [from_seq, end) for
-  /// `consumer`. Runs inside the producer's progress().
-  void resend_from(pgas::Rank& producer, int consumer,
-                   std::uint64_t from_seq);
   /// Count the U/F tasks at `rank` that consume factor block (k, slot).
   int local_uses(int rank, idx_t k, BlockSlot slot) const;
   /// Make factor block (k, slot) available at `rank` via `ref`.
@@ -155,11 +131,9 @@ class FactorEngine {
   void execute_update(pgas::Rank& rank, const Task& task);
   void complete_target_update(pgas::Rank& rank, idx_t t, BlockSlot slot);
   void release_ref(pgas::Rank& rank, const FactorRef& ref);
-  void push_ready(PerRank& pr, Task task);
-  Task pop_ready(PerRank& pr);
-  /// Heap comparator for the priority policies ("less" for a max-heap at
-  /// the front): higher prio wins, ties go to the earlier insertion.
-  static bool heap_less(const Task& a, const Task& b);
+  /// Push a task with its policy priority (kPriority: -supernode;
+  /// kCriticalPath: elimination-tree depth; queue order otherwise).
+  void enqueue(PerRank& pr, const Task& task);
 
   pgas::Runtime* rt_;
   const symbolic::Symbolic* sym_;
@@ -167,27 +141,22 @@ class FactorEngine {
   BlockStore* store_;
   Offload* offload_;
   SolverOptions opts_;
-  Tracer* tracer_ = nullptr;
-  /// True when the runtime has a fault injector attached: signals go
-  /// through the sequence-number protocol and idle ranks fire pull
-  /// re-requests. False (default) leaves every original code path —
-  /// and the schedules — byte-identical.
-  bool recovery_ = false;
+  taskrt::EngineStats stats_;
 
   /// Scheduling priority of a ready task (kCriticalPath policy): the
   /// elimination-tree depth of the supernode the task feeds.
   [[nodiscard]] idx_t task_depth(const Task& task) const;
 
   // Single-writer: slot r is read and written only by the thread driving
-  // rank r (RPC lambdas append to the target's `signals` from inside the
-  // target's own progress()).
+  // rank r (see the taskrt::Endpoint contract for the signal path).
   std::vector<PerRank> per_rank_;
+  /// Signal transport + recovery protocol (shared task-runtime layer).
+  taskrt::Endpoint<Signal> net_;
   // Per-block dependency state; each entry is touched only by the thread
   // driving the block's owner rank (deliver/complete_target_update run on
   // the consumer, and the consumer of a block's dependencies is its
   // owner), so no atomics are needed in threaded mode.
-  std::vector<int> remaining_;
-  std::vector<double> ready_;
+  taskrt::DepTracker deps_;
   // Supernode depth in the supernodal elimination tree (root = 0).
   // Immutable after construction.
   std::vector<idx_t> snode_depth_;

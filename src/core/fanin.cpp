@@ -12,22 +12,12 @@ FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                          const symbolic::TaskGraph& tg, BlockStore& store,
                          Offload& offload, const SolverOptions& opts)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
-      opts_(opts), recovery_(rt.fault_injection_enabled()) {
+      opts_(opts) {
   per_rank_.resize(rt.nranks());
-  if (recovery_) {
-    const std::uint64_t fseed = rt.config().faults.seed;
-    for (int r = 0; r < rt.nranks(); ++r) {
-      PerRank& pr = per_rank_[r];
-      pr.link.init(rt.nranks());
-      pr.retry_rng = support::Xoshiro256(
-          fseed ^ (0xd1b54a32d192ed03ull * (static_cast<std::uint64_t>(r) + 1)));
-      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
-    }
-  }
+  net_.init(rt, opts_.fault);
   owned_u_.assign(rt.nranks(), 0);
   const idx_t nb = store.num_blocks();
-  remaining_.assign(nb, 0);
-  ready_.assign(nb, 0.0);
+  deps_.init(nb);
   bid_snode_.resize(nb);
 
   const auto& map = tg.mapping();
@@ -60,10 +50,10 @@ FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
     const idx_t nslots = 1 + static_cast<idx_t>(sym.snode(k).blocks.size());
     for (BlockSlot slot = 0; slot < nslots; ++slot) {
       const idx_t bid = store.block_id(k, slot);
-      remaining_[bid] = static_cast<int>(producers[bid].size()) +
-                        (slot == 0 ? 0 : 1);
-      if (slot == 0 && remaining_[bid] == 0) {
-        per_rank_[store.owner(bid)].rtq.push_back(
+      deps_.set_count(bid, static_cast<int>(producers[bid].size()) +
+                               (slot == 0 ? 0 : 1));
+      if (slot == 0 && deps_.count(bid) == 0) {
+        per_rank_[store.owner(bid)].rtq.push(
             Task{TaskType::kDiag, k, 0, 0, 0, 0.0});
       }
     }
@@ -84,80 +74,26 @@ void FanInEngine::run() {
 pgas::Step FanInEngine::step(pgas::Rank& rank) {
   PerRank& pr = per_rank_[rank.id()];
   int worked = rank.progress();
-  if (!pr.signals.empty()) {
-    std::vector<Signal> sigs;
-    sigs.swap(pr.signals);
-    for (const Signal& sig : sigs) handle_signal(rank, sig);
-    worked += static_cast<int>(sigs.size());
-  }
+
+  const std::vector<Signal> sigs = net_.drain(rank.id());
+  for (const Signal& sig : sigs) handle_signal(rank, sig);
+  worked += static_cast<int>(sigs.size());
+
   if (!pr.rtq.empty()) {
-    const Task task = pr.rtq.front();
-    pr.rtq.pop_front();
-    execute(rank, task);
+    execute(rank, pr.rtq.pop());
     ++worked;
   }
   if (worked > 0) {
-    if (recovery_) {
-      pr.idle_streak = 0;
-      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
-    }
+    net_.on_worked(rank.id());
     return pgas::Step::kWorked;
   }
   const int me = rank.id();
   const bool done = pr.done_factor == tg_->owned_factor_tasks(me) &&
                     pr.done_update == owned_u_[me] && pr.rtq.empty() &&
-                    pr.signals.empty() && !rank.has_pending_rpcs();
+                    !net_.has_pending(me) && !rank.has_pending_rpcs();
   if (done) return pgas::Step::kDone;
-  if (recovery_ && ++pr.idle_streak >= pr.rerequest_threshold &&
-      pr.rerequest_rounds < opts_.fault.max_rerequest_rounds) {
-    pr.idle_streak = 0;
-    if (pr.rerequest_threshold < (1 << 20)) pr.rerequest_threshold *= 2;
-    ++pr.rerequest_rounds;
-    request_retransmits(rank);
-  }
+  net_.on_idle(rank);
   return pgas::Step::kIdle;
-}
-
-void FanInEngine::post_signal(pgas::Rank& rank, int to, std::uint64_t seq,
-                              const Signal& sig) {
-  const int from = rank.id();
-  rank.rpc(to, [this, from, seq, sig](pgas::Rank& target) {
-    PerRank& tpr = per_rank_[target.id()];
-    tpr.link.admit(from, seq, sig, tpr.signals, target.stats());
-  });
-}
-
-void FanInEngine::send_signal(pgas::Rank& rank, int to, const Signal& sig) {
-  if (!recovery_) {
-    rank.rpc(to, [this, sig](pgas::Rank& target) {
-      per_rank_[target.id()].signals.push_back(sig);
-    });
-    return;
-  }
-  const std::uint64_t seq = per_rank_[rank.id()].link.record(to, sig);
-  post_signal(rank, to, seq, sig);
-}
-
-void FanInEngine::request_retransmits(pgas::Rank& rank) {
-  const int me = rank.id();
-  PerRank& pr = per_rank_[me];
-  ++rank.stats().dropped_detected;
-  for (int p = 0; p < rt_->nranks(); ++p) {
-    if (p == me) continue;
-    const std::uint64_t want = pr.link.next_expected(p);
-    rank.rpc(p, [this, me, want](pgas::Rank& producer) {
-      resend_from(producer, me, want);
-    });
-  }
-}
-
-void FanInEngine::resend_from(pgas::Rank& producer, int consumer,
-                              std::uint64_t from_seq) {
-  const auto& log = per_rank_[producer.id()].link.sent(consumer);
-  for (std::uint64_t s = from_seq; s < log.size(); ++s) {
-    ++producer.stats().retransmits;
-    post_signal(producer, consumer, s, log[s]);
-  }
 }
 
 std::pair<idx_t, BlockSlot> FanInEngine::locate(idx_t bid) const {
@@ -203,16 +139,14 @@ void FanInEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
   const idx_t bid = store_->block_id(sig.k, sig.slot);
   const std::size_t bytes = store_->bytes(bid);
   RemotePivot rp;
-  rp.remaining_uses = uses;
   double ready;
   if (store_->numeric()) {
     rp.host.resize(bytes / sizeof(double));
-    ready = with_rma_retry(
-        rank, opts_.fault.rma_backoff, pr.retry_rng, /*tracer=*/nullptr, [&] {
-          return rank.rget(store_->gptr(bid),
-                           reinterpret_cast<std::byte*>(rp.host.data()), bytes,
-                           pgas::MemKind::kHost);
-        });
+    ready = net_.with_retry(rank, [&] {
+      return rank.rget(store_->gptr(bid),
+                       reinterpret_cast<std::byte*>(rp.host.data()), bytes,
+                       pgas::MemKind::kHost);
+    });
     rp.ref = PivotRef{rp.host.data(), ready, bid};
   } else {
     ready = rank.transfer_completion(bytes, store_->owner(bid),
@@ -226,9 +160,9 @@ void FanInEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
   // Pivot signals are deduplicated at the sender; if a duplicate ever
   // arrives the block is already cached, so drop the refetch instead of
   // re-delivering (which would corrupt the dependency counters).
-  auto [it, inserted] = pr.cache.emplace(bid, std::move(rp));
+  auto [entry, inserted] = pr.cache.insert(bid, std::move(rp), uses);
   if (!inserted) return;
-  deliver_pivot(rank, sig.k, sig.slot, it->second.ref);
+  deliver_pivot(rank, sig.k, sig.slot, entry->ref);
 }
 
 void FanInEngine::deliver_pivot(pgas::Rank& rank, idx_t k, BlockSlot slot,
@@ -241,14 +175,13 @@ void FanInEngine::deliver_pivot(pgas::Rank& rank, idx_t k, BlockSlot slot,
 
   if (slot == 0) {
     // Diagonal factor: enables local F tasks of panel k (counted in the
-    // target block's `remaining_`, exactly as in the fan-out engine).
+    // target block's dependency tracker, exactly as in fan-out).
     pr.diag_ref[k] = ref;
     for (idx_t fs = 1; fs <= nbk; ++fs) {
       if (map(sn.blocks[fs - 1].target, k) != me) continue;
       const idx_t bid = store_->block_id(k, fs);
-      ready_[bid] = std::max(ready_[bid], ref.ready);
-      if (--remaining_[bid] == 0) {
-        pr.rtq.push_back(Task{TaskType::kFactor, k, fs, 0, 0, ready_[bid]});
+      if (deps_.satisfy(bid, ref.ready)) {
+        pr.rtq.push(Task{TaskType::kFactor, k, fs, 0, 0, deps_.ready(bid)});
       }
     }
     return;
@@ -278,8 +211,8 @@ void FanInEngine::satisfy_update(pgas::Rank& rank, idx_t j, idx_t si,
     st.piv = ref;
   }
   if (--st.remaining == 0) {
-    pr.rtq.push_back(Task{TaskType::kUpdate, j, 0, si, ti,
-                          std::max(st.src.ready, st.piv.ready)});
+    pr.rtq.push(Task{TaskType::kUpdate, j, 0, si, ti,
+                     std::max(st.src.ready, st.piv.ready)});
   }
 }
 
@@ -312,7 +245,7 @@ void FanInEngine::publish_factor(pgas::Rank& rank, idx_t k, BlockSlot slot) {
                      recipients.end());
     for (int r : recipients) {
       if (r == me) continue;
-      send_signal(rank, r, Signal{Signal::Type::kPivot, k, 0, -1, nullptr, 0.0});
+      net_.send(rank, r, Signal{Signal::Type::kPivot, k, 0, -1, nullptr, 0.0});
     }
     return;
   }
@@ -341,8 +274,8 @@ void FanInEngine::publish_factor(pgas::Rank& rank, idx_t k, BlockSlot slot) {
   recipients.erase(std::unique(recipients.begin(), recipients.end()),
                    recipients.end());
   for (int r : recipients) {
-    send_signal(rank, r,
-                Signal{Signal::Type::kPivot, k, slot, -1, nullptr, 0.0});
+    net_.send(rank, r,
+              Signal{Signal::Type::kPivot, k, slot, -1, nullptr, 0.0});
   }
 }
 
@@ -477,8 +410,8 @@ void FanInEngine::flush_aggregate(pgas::Rank& rank, idx_t bid) {
     payload = g.local<double>();
   }
   const double sent = rank.now();
-  send_signal(rank, owner,
-              Signal{Signal::Type::kAggregate, me, 0, bid, payload, sent});
+  net_.send(rank, owner,
+            Signal{Signal::Type::kAggregate, me, 0, bid, payload, sent});
 }
 
 void FanInEngine::apply_aggregate(pgas::Rank& rank, idx_t bid,
@@ -490,21 +423,17 @@ void FanInEngine::apply_aggregate(pgas::Rank& rank, idx_t bid,
     for (std::size_t i = 0; i < elems; ++i) target[i] += buf[i];
   }
   offload_->charge_scatter(rank, store_->bytes(bid));
-  ready_[bid] = std::max(ready_[bid], std::max(ready, rank.now()));
-  if (--remaining_[bid] == 0) {
+  if (deps_.satisfy(bid, std::max(ready, rank.now()))) {
     const auto [k, slot] = locate(bid);
-    per_rank_[rank.id()].rtq.push_back(
+    per_rank_[rank.id()].rtq.push(
         Task{slot == 0 ? TaskType::kDiag : TaskType::kFactor, k, slot, 0, 0,
-             ready_[bid]});
+             deps_.ready(bid)});
   }
 }
 
 void FanInEngine::release_pivot(pgas::Rank& rank, const PivotRef& ref) {
   if (ref.cache_bid < 0) return;
-  PerRank& pr = per_rank_[rank.id()];
-  const auto it = pr.cache.find(ref.cache_bid);
-  if (it == pr.cache.end()) return;
-  if (--it->second.remaining_uses == 0) pr.cache.erase(it);
+  per_rank_[rank.id()].cache.release(ref.cache_bid, [](RemotePivot&) {});
 }
 
 }  // namespace sympack::core

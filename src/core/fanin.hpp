@@ -12,28 +12,33 @@
 //
 // The numerics are identical to the fan-out engine; the communication
 // pattern is what changes. bench_variant_ablation quantifies the
-// trade-off that made the paper choose fan-out.
+// trade-off that made the paper choose fan-out. The task-runtime
+// substrate (ready queue, dependency counters, signal transport with
+// recovery, fetch cache) is the shared core/taskrt/ layer; this engine
+// always runs its RTQ FIFO (the scheduling-policy ablation targets the
+// fan-out engine).
 //
-// Thread-safety (audited; see DESIGN.md "Threading memory model"): like
-// the fan-out engine, lock-free by single-writer ownership — per_rank_[r]
-// (RTQ, signals, caches, aggregate buffers) only by rank r's thread, and
-// remaining_[bid]/ready_[bid] only by the thread driving owner(bid):
-// aggregates are *accumulated* at the producer but *applied* by the
-// target owner in apply_aggregate (after the kAggregate signal), so the
-// counters never see a remote writer.
+// Thread-safety (audited; see DESIGN.md "Threading memory model" and
+// §4d): like the fan-out engine, lock-free by single-writer ownership —
+// per_rank_[r] (RTQ, caches, aggregate buffers) and the endpoint's slot
+// r only by rank r's thread, and deps_[bid] only by the thread driving
+// owner(bid): aggregates are *accumulated* at the producer but *applied*
+// by the target owner in apply_aggregate (after the kAggregate signal),
+// so the counters never see a remote writer.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
 #include "core/block_store.hpp"
 #include "core/offload.hpp"
 #include "core/options.hpp"
-#include "core/reliable.hpp"
+#include "core/taskrt/dep_tracker.hpp"
+#include "core/taskrt/endpoint.hpp"
+#include "core/taskrt/ready_queue.hpp"
+#include "core/taskrt/use_cache.hpp"
 #include "pgas/runtime.hpp"
-#include "support/random.hpp"
 #include "symbolic/taskgraph.hpp"
 
 namespace sympack::core {
@@ -63,7 +68,6 @@ class FanInEngine {
   struct RemotePivot {
     std::vector<double> host;
     PivotRef ref;
-    int remaining_uses = 0;
   };
   struct UpdateState {
     int remaining = 0;
@@ -77,32 +81,21 @@ class FanInEngine {
   };
   struct Signal {
     enum class Type : std::uint8_t { kPivot, kAggregate } type;
-    idx_t k = -1;        // pivot: panel; aggregate: unused
+    idx_t k = -1;        // pivot: panel; aggregate: sender rank
     BlockSlot slot = 0;  // pivot: block slot in panel k
     idx_t bid = -1;      // aggregate: target block id
     const double* data = nullptr;  // aggregate payload (shared segment)
     double sent = 0.0;             // aggregate simulated send time
   };
   struct PerRank {
-    std::deque<Task> rtq;
-    std::vector<Signal> signals;
+    taskrt::ReadyQueue<Task> rtq;  // always FIFO in the fan-in variant
     std::unordered_map<std::uint64_t, UpdateState> pending_updates;
-    std::unordered_map<idx_t, RemotePivot> cache;   // key: pivot block id
-    std::unordered_map<idx_t, PivotRef> diag_ref;   // key: supernode
-    std::unordered_map<idx_t, Aggregate> aggs;      // key: target block id
-    std::vector<pgas::GlobalPtr> out_buffers;       // sent aggregates
+    taskrt::UseCache<RemotePivot> cache;           // key: pivot block id
+    std::unordered_map<idx_t, PivotRef> diag_ref;  // key: supernode
+    std::unordered_map<idx_t, Aggregate> aggs;     // key: target block id
+    std::vector<pgas::GlobalPtr> out_buffers;      // sent aggregates
     idx_t done_factor = 0;
     idx_t done_update = 0;
-    // Recovery state, active only under fault injection (single-writer,
-    // like everything else in the slot). The sequence protocol matters
-    // doubly here: kAggregate application is NOT idempotent (it
-    // decrements remaining_ and adds the payload), so duplicate delivery
-    // must be filtered by the link's dedup, not by the handler.
-    ReliableLink<Signal> link;
-    support::Xoshiro256 retry_rng{0};
-    int idle_streak = 0;
-    int rerequest_threshold = 0;
-    int rerequest_rounds = 0;
   };
 
   static std::uint64_t ukey(idx_t j, idx_t si, idx_t ti) {
@@ -113,13 +106,6 @@ class FanInEngine {
 
   pgas::Step step(pgas::Rank& rank);
   void handle_signal(pgas::Rank& rank, const Signal& sig);
-  /// Plain RPC with faults off; ledgered + sequenced under injection.
-  void send_signal(pgas::Rank& rank, int to, const Signal& sig);
-  void post_signal(pgas::Rank& rank, int to, std::uint64_t seq,
-                   const Signal& sig);
-  void request_retransmits(pgas::Rank& rank);
-  void resend_from(pgas::Rank& producer, int consumer,
-                   std::uint64_t from_seq);
   void deliver_pivot(pgas::Rank& rank, idx_t k, BlockSlot slot,
                      const PivotRef& ref);
   void satisfy_update(pgas::Rank& rank, idx_t j, idx_t si, idx_t ti,
@@ -140,11 +126,14 @@ class FanInEngine {
   BlockStore* store_;
   Offload* offload_;
   SolverOptions opts_;
-  bool recovery_ = false;  // runtime has a fault injector attached
 
   std::vector<PerRank> per_rank_;
-  std::vector<int> remaining_;   // per target block: aggregates (+ diag)
-  std::vector<double> ready_;
+  /// Signal transport + recovery protocol. The sequence protocol matters
+  /// doubly here: kAggregate application is NOT idempotent (it decrements
+  /// a dependency counter and adds the payload), so duplicate delivery
+  /// must be filtered by the link's dedup, not by the handler.
+  taskrt::Endpoint<Signal> net_;
+  taskrt::DepTracker deps_;       // per target block: aggregates (+ diag)
   std::vector<idx_t> bid_snode_;  // block id -> supernode (for locate)
   std::vector<idx_t> owned_u_;    // per rank: fan-in update-task count
 };

@@ -1,11 +1,13 @@
 #include "core/selinv.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
 #include "blas/blas.hpp"
 #include "core/solver.hpp"
+#include "core/taskrt/stats.hpp"
 #include "sparse/permute.hpp"
 
 namespace sympack::core {
@@ -74,9 +76,21 @@ SelectedInverse selected_inversion(const SymPackSolver& solver) {
   inv.diag_.resize(ns);
   inv.below_.resize(ns);
 
+  // Selected inversion runs serially on the caller thread (no simulated
+  // ranks), so its "S k" spans use wall-clock time relative to the sweep
+  // start, on tid 0.
+  taskrt::EngineStats stats(solver.tracer());
+  const auto wall0 = std::chrono::steady_clock::now();
+  const auto elapsed_s = [wall0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall0)
+        .count();
+  };
+
   // Root-to-leaf sweep: ancestors' selected inverse entries are complete
   // before any descendant needs to gather them.
   for (idx_t k = ns - 1; k >= 0; --k) {
+    const double span_begin = stats.tracing() ? elapsed_s() : 0.0;
     const auto& sn = sym.snode(k);
     const int w = static_cast<int>(sn.width());
     const int b = static_cast<int>(sn.nrows_below());
@@ -160,6 +174,10 @@ SelectedInverse selected_inversion(const SymPackSolver& solver) {
         diag[c + static_cast<std::size_t>(r) * w] =
             diag[r + static_cast<std::size_t>(c) * w];
       }
+    }
+    if (stats.tracing()) {
+      stats.task_span(/*rank=*/0, taskrt::TaskTag::kSelinv, k, 0, 0,
+                      span_begin, elapsed_s());
     }
   }
   return inv;

@@ -10,7 +10,7 @@ SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                          const symbolic::TaskGraph& tg, BlockStore& store,
                          Offload& offload, const SolverOptions& opts)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
-      opts_(opts), recovery_(rt.fault_injection_enabled()) {
+      opts_(opts) {
   const idx_t ns = sym.num_snodes();
   target_blocks_.resize(ns);
   owned_diag_.assign(rt.nranks(), 0);
@@ -30,19 +30,9 @@ SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
     }
   }
   seg_.resize(ns);
-  remaining_.assign(ns, 0);
-  seg_ready_.assign(ns, 0.0);
+  deps_.init(ns);  // once: ready times carry across the two sweeps
   per_rank_.resize(rt.nranks());
-  if (recovery_) {
-    const std::uint64_t fseed = rt.config().faults.seed;
-    for (int r = 0; r < rt.nranks(); ++r) {
-      PerRank& pr = per_rank_[r];
-      pr.link.init(rt.nranks());
-      pr.retry_rng = support::Xoshiro256(
-          fseed ^ (0xd1b54a32d192ed03ull * (static_cast<std::uint64_t>(r) + 1)));
-      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
-    }
-  }
+  net_.init(rt, opts_.fault);
 }
 
 SolveEngine::~SolveEngine() { free_buffers(); }
@@ -103,31 +93,24 @@ std::vector<double> SolveEngine::solve(const std::vector<double>& b,
 void SolveEngine::reset_phase(bool backward) {
   const auto& map = tg_->mapping();
   for (idx_t k = 0; k < sym_->num_snodes(); ++k) {
-    remaining_[k] =
-        backward
-            ? static_cast<int>(sym_->snode(k).blocks.size())
-            : static_cast<int>(target_blocks_[k].size());
+    deps_.set_count(
+        k, backward ? static_cast<int>(sym_->snode(k).blocks.size())
+                    : static_cast<int>(target_blocks_[k].size()));
   }
   for (auto& pr : per_rank_) {
     pr.tasks.clear();
-    pr.msgs.clear();
     pr.done_diag = 0;
     pr.done_contrib = 0;
-    if (recovery_) {
-      // Sequence numbers restart per sweep (the forward ledger must not
-      // satisfy backward-sweep re-requests).
-      pr.link.reset();
-      pr.idle_streak = 0;
-      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
-      pr.rerequest_rounds = 0;
-    }
   }
+  // Inboxes drop; under recovery the sequence numbers also restart per
+  // sweep (the forward ledger must not satisfy backward re-requests).
+  net_.reset_phase();
   // Seed the sweep with supernodes that have no outstanding
   // contributions (leaves forward, roots backward).
   for (idx_t k = 0; k < sym_->num_snodes(); ++k) {
-    if (remaining_[k] == 0) {
-      per_rank_[map(k, k)].tasks.push_back(
-          Task{Task::Type::kDiag, k, 0, nullptr, seg_ready_[k]});
+    if (deps_.count(k) == 0) {
+      per_rank_[map(k, k)].tasks.push(
+          Task{Task::Type::kDiag, k, 0, nullptr, deps_.ready(k)});
     }
   }
 }
@@ -140,17 +123,14 @@ void SolveEngine::run_phase(bool backward) {
 }
 
 pgas::Step SolveEngine::step(pgas::Rank& rank, bool backward) {
-  PerRank& pr = per_rank_[rank.id()];
+  const int me = rank.id();
+  PerRank& pr = per_rank_[me];
   int worked = rank.progress();
-  if (!pr.msgs.empty()) {
-    std::vector<Msg> msgs;
-    msgs.swap(pr.msgs);
-    for (const Msg& m : msgs) handle_msg(rank, m, backward);
-    worked += static_cast<int>(msgs.size());
-  }
+  const std::vector<Msg> msgs = net_.drain(me);
+  for (const Msg& m : msgs) handle_msg(rank, m, backward);
+  worked += static_cast<int>(msgs.size());
   if (!pr.tasks.empty()) {
-    const Task task = pr.tasks.front();
-    pr.tasks.pop_front();
+    const Task task = pr.tasks.pop();
     rank.merge_clock(task.ready);
     if (task.type == Task::Type::kDiag) {
       execute_diag(rank, task.k, backward);
@@ -160,70 +140,18 @@ pgas::Step SolveEngine::step(pgas::Rank& rank, bool backward) {
     ++worked;
   }
   if (worked > 0) {
-    if (recovery_) {
-      pr.idle_streak = 0;
-      pr.rerequest_threshold = opts_.fault.rerequest_idle_limit;
-    }
+    net_.on_worked(me);
     return pgas::Step::kWorked;
   }
 
-  const int me = rank.id();
   const idx_t owned_contrib =
       backward ? owned_contrib_bwd_[me] : owned_contrib_fwd_[me];
   const bool done = pr.done_diag == owned_diag_[me] &&
                     pr.done_contrib == owned_contrib && pr.tasks.empty() &&
-                    pr.msgs.empty() && !rank.has_pending_rpcs();
+                    !net_.has_pending(me) && !rank.has_pending_rpcs();
   if (done) return pgas::Step::kDone;
-  if (recovery_ && ++pr.idle_streak >= pr.rerequest_threshold &&
-      pr.rerequest_rounds < opts_.fault.max_rerequest_rounds) {
-    pr.idle_streak = 0;
-    if (pr.rerequest_threshold < (1 << 20)) pr.rerequest_threshold *= 2;
-    ++pr.rerequest_rounds;
-    request_retransmits(rank);
-  }
+  net_.on_idle(rank);
   return pgas::Step::kIdle;
-}
-
-void SolveEngine::post_msg(pgas::Rank& rank, int to, std::uint64_t seq,
-                           const Msg& msg) {
-  const int from = rank.id();
-  rank.rpc(to, [this, from, seq, msg](pgas::Rank& target) {
-    PerRank& tpr = per_rank_[target.id()];
-    tpr.link.admit(from, seq, msg, tpr.msgs, target.stats());
-  });
-}
-
-void SolveEngine::send_msg(pgas::Rank& rank, int to, const Msg& msg) {
-  if (!recovery_) {
-    rank.rpc(to, [this, msg](pgas::Rank& target) {
-      per_rank_[target.id()].msgs.push_back(msg);
-    });
-    return;
-  }
-  const std::uint64_t seq = per_rank_[rank.id()].link.record(to, msg);
-  post_msg(rank, to, seq, msg);
-}
-
-void SolveEngine::request_retransmits(pgas::Rank& rank) {
-  const int me = rank.id();
-  PerRank& pr = per_rank_[me];
-  ++rank.stats().dropped_detected;
-  for (int p = 0; p < rt_->nranks(); ++p) {
-    if (p == me) continue;
-    const std::uint64_t want = pr.link.next_expected(p);
-    rank.rpc(p, [this, me, want](pgas::Rank& producer) {
-      resend_from(producer, me, want);
-    });
-  }
-}
-
-void SolveEngine::resend_from(pgas::Rank& producer, int consumer,
-                              std::uint64_t from_seq) {
-  const auto& log = per_rank_[producer.id()].link.sent(consumer);
-  for (std::uint64_t s = from_seq; s < log.size(); ++s) {
-    ++producer.stats().retransmits;
-    post_msg(producer, consumer, s, log[s]);
-  }
 }
 
 void SolveEngine::execute_diag(pgas::Rank& rank, idx_t k, bool backward) {
@@ -232,7 +160,7 @@ void SolveEngine::execute_diag(pgas::Rank& rank, idx_t k, bool backward) {
   const idx_t dbid = store_->block_id(k, 0);
   offload_->run_trsm_left(rank, backward, w, nrhs_, store_->data(dbid), w,
                           store_->numeric() ? seg_[k].data() : nullptr, w);
-  seg_ready_[k] = rank.now();
+  deps_.set_ready(k, rank.now());
   ++per_rank_[rank.id()].done_diag;
   publish_solution(rank, k, backward);
 }
@@ -269,14 +197,13 @@ void SolveEngine::publish_solution(pgas::Rank& rank, idx_t k, bool backward) {
       for (BlockSlot slot = 1;
            slot <= static_cast<idx_t>(sn.blocks.size()); ++slot) {
         if (map(sn.blocks[slot - 1].target, k) == rank_id) {
-          pr.tasks.push_back(
-              Task{Task::Type::kContrib, k, slot, operand, ready});
+          pr.tasks.push(Task{Task::Type::kContrib, k, slot, operand, ready});
         }
       }
     } else {
       for (const auto& [panel, slot] : target_blocks_[k]) {
         if (map(k, panel) == rank_id) {
-          pr.tasks.push_back(
+          pr.tasks.push(
               Task{Task::Type::kContrib, panel, slot, operand, ready});
         }
       }
@@ -296,7 +223,7 @@ void SolveEngine::publish_solution(pgas::Rank& rank, idx_t k, bool backward) {
       enqueue_local(me, store_->numeric() ? seg_[k].data() : nullptr,
                     rank.now());
     } else {
-      send_msg(rank, r, Msg{Msg::Type::kX, k, 0, 0, src, bytes});
+      net_.send(rank, r, Msg{Msg::Type::kX, k, 0, 0, src, bytes});
     }
   }
 }
@@ -313,12 +240,9 @@ void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
     if (store_->numeric()) {
       auto buf = rank.allocate_host(msg.bytes);
       pr.owned_buffers.push_back(buf);
-      ready = with_rma_retry(
-          rank, opts_.fault.rma_backoff, pr.retry_rng, /*tracer=*/nullptr,
-          [&] {
-            return rank.rget(msg.data, buf.addr, msg.bytes,
-                             pgas::MemKind::kHost);
-          });
+      ready = net_.with_retry(rank, [&] {
+        return rank.rget(msg.data, buf.addr, msg.bytes, pgas::MemKind::kHost);
+      });
       operand = buf.local<double>();
     } else {
       ready = rank.transfer_completion(msg.bytes, tg_->mapping()(msg.k, msg.k),
@@ -335,14 +259,13 @@ void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
       for (BlockSlot slot = 1;
            slot <= static_cast<idx_t>(sn.blocks.size()); ++slot) {
         if (map(sn.blocks[slot - 1].target, k) == me) {
-          pr.tasks.push_back(
-              Task{Task::Type::kContrib, k, slot, operand, ready});
+          pr.tasks.push(Task{Task::Type::kContrib, k, slot, operand, ready});
         }
       }
     } else {
       for (const auto& [panel, slot] : target_blocks_[k]) {
         if (map(k, panel) == me) {
-          pr.tasks.push_back(
+          pr.tasks.push(
               Task{Task::Type::kContrib, panel, slot, operand, ready});
         }
       }
@@ -356,11 +279,10 @@ void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
   std::vector<double> tmp;
   if (store_->numeric()) {
     tmp.resize(msg.bytes / sizeof(double));
-    ready = with_rma_retry(
-        rank, opts_.fault.rma_backoff, pr.retry_rng, /*tracer=*/nullptr, [&] {
-          return rank.rget(msg.data, reinterpret_cast<std::byte*>(tmp.data()),
-                           msg.bytes, pgas::MemKind::kHost);
-        });
+    ready = net_.with_retry(rank, [&] {
+      return rank.rget(msg.data, reinterpret_cast<std::byte*>(tmp.data()),
+                       msg.bytes, pgas::MemKind::kHost);
+    });
     z = tmp.data();
   } else {
     const auto& blk = sym_->snode(msg.panel).blocks[msg.slot - 1];
@@ -434,7 +356,8 @@ void SolveEngine::execute_contrib(pgas::Rank& rank, const Task& task,
     std::memcpy(buf.addr, z.data(), bytes);
     pr.owned_buffers.push_back(buf);
   }
-  send_msg(rank, dest_owner, Msg{Msg::Type::kContrib, 0, panel, slot, buf, bytes});
+  net_.send(rank, dest_owner,
+            Msg{Msg::Type::kContrib, 0, panel, slot, buf, bytes});
 }
 
 void SolveEngine::apply_contribution(pgas::Rank& rank, idx_t panel,
@@ -465,11 +388,10 @@ void SolveEngine::apply_contribution(pgas::Rank& rank, idx_t panel,
       }
     }
   }
-  seg_ready_[dest] = std::max(seg_ready_[dest], ready);
-  if (--remaining_[dest] == 0) {
-    per_rank_[rank.id()].tasks.push_back(
+  if (deps_.satisfy(dest, ready)) {
+    per_rank_[rank.id()].tasks.push(
         Task{Task::Type::kDiag, dest, 0, nullptr,
-             std::max(seg_ready_[dest], rank.now())});
+             std::max(deps_.ready(dest), rank.now())});
   }
 }
 

@@ -13,29 +13,35 @@
 //             blocks *targeting* s; each computes w = B_{s,k}^T x_s|rows
 //             and fans it in to the owner of panel k.
 //
-// Thread-safety (audited; see DESIGN.md "Threading memory model"): no
-// locks because every mutable member is single-writer. per_rank_[r] is
-// touched only by the thread driving rank r (RPC bodies run inside the
-// target's progress()). seg_[k], remaining_[k], and seg_ready_[k] are
-// touched only by the thread driving the segment owner mapping(k, k):
-// remote contributions arrive as messages and are folded in by the owner
-// itself in apply_contribution. Published segments and contribution
-// buffers are written before the signal RPC is enqueued and read after
-// it is dequeued, so the inbox mutex orders the data transfer.
+// Tasks run FIFO (the policy ablation targets the factorization); the
+// queue, per-segment dependency counters, and the message transport with
+// its recovery protocol are the shared core/taskrt/ layer. The endpoint
+// is reset between the sweeps: sequence numbers restart so the forward
+// ledger cannot satisfy backward-sweep re-requests.
+//
+// Thread-safety (audited; see DESIGN.md "Threading memory model" and
+// §4d): no locks because every mutable member is single-writer.
+// per_rank_[r] and the endpoint's slot r are touched only by the thread
+// driving rank r (RPC bodies run inside the target's progress()).
+// seg_[k] and deps_[k] are touched only by the thread driving the
+// segment owner mapping(k, k): remote contributions arrive as messages
+// and are folded in by the owner itself in apply_contribution. Published
+// segments and contribution buffers are written before the signal RPC is
+// enqueued and read after it is dequeued, so the inbox mutex orders the
+// data transfer.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/block_store.hpp"
 #include "core/offload.hpp"
 #include "core/options.hpp"
-#include "core/reliable.hpp"
+#include "core/taskrt/dep_tracker.hpp"
+#include "core/taskrt/endpoint.hpp"
+#include "core/taskrt/ready_queue.hpp"
 #include "pgas/runtime.hpp"
-#include "support/random.hpp"
 #include "symbolic/taskgraph.hpp"
 
 namespace sympack::core {
@@ -72,29 +78,14 @@ class SolveEngine {
     double ready;
   };
   struct PerRank {
-    std::deque<Task> tasks;
-    std::vector<Msg> msgs;
+    taskrt::ReadyQueue<Task> tasks;  // always FIFO in the solve phase
     idx_t done_diag = 0;
     idx_t done_contrib = 0;
     std::vector<pgas::GlobalPtr> owned_buffers;  // freed at phase end
-    // Recovery state (fault injection only; single-writer). Dedup is
-    // load-bearing: kX enqueues contribution tasks and kContrib
-    // decrements remaining_, neither of which is idempotent. The link is
-    // reset between the forward and backward sweeps.
-    ReliableLink<Msg> link;
-    support::Xoshiro256 retry_rng{0};
-    int idle_streak = 0;
-    int rerequest_threshold = 0;
-    int rerequest_rounds = 0;
   };
 
   pgas::Step step(pgas::Rank& rank, bool backward);
   void handle_msg(pgas::Rank& rank, const Msg& msg, bool backward);
-  /// Plain RPC with faults off; ledgered + sequenced under injection.
-  void send_msg(pgas::Rank& rank, int to, const Msg& msg);
-  void post_msg(pgas::Rank& rank, int to, std::uint64_t seq, const Msg& msg);
-  void request_retransmits(pgas::Rank& rank);
-  void resend_from(pgas::Rank& producer, int consumer, std::uint64_t from_seq);
   void execute_diag(pgas::Rank& rank, idx_t k, bool backward);
   void execute_contrib(pgas::Rank& rank, const Task& task, bool backward);
   void publish_solution(pgas::Rank& rank, idx_t k, bool backward);
@@ -110,16 +101,21 @@ class SolveEngine {
   BlockStore* store_;
   Offload* offload_;
   SolverOptions opts_;
-  bool recovery_ = false;  // runtime has a fault injector attached
   int nrhs_ = 1;
 
   // (panel, slot) pairs targeting each supernode (transpose structure).
   std::vector<std::vector<std::pair<idx_t, BlockSlot>>> target_blocks_;
   // Per-supernode RHS/solution segment, owned by the diagonal owner.
   std::vector<std::vector<double>> seg_;
-  std::vector<int> remaining_;        // contributions outstanding
-  std::vector<double> seg_ready_;     // sim time the segment is complete
+  // Per-supernode outstanding contributions + segment-complete sim time
+  // (ready times deliberately persist across the two sweeps: the
+  // backward sweep starts from the forward sweep's completion times).
+  taskrt::DepTracker deps_;
   std::vector<PerRank> per_rank_;
+  /// Message transport + recovery protocol. Dedup is load-bearing: kX
+  /// enqueues contribution tasks and kContrib decrements a dependency
+  /// counter, neither of which is idempotent. Reset between sweeps.
+  taskrt::Endpoint<Msg> net_;
   // Per-rank totals for termination.
   std::vector<idx_t> owned_diag_;
   std::vector<idx_t> owned_contrib_fwd_;

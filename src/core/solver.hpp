@@ -74,6 +74,7 @@ class SymPackSolver {
   /// simulated execution interval (core/trace.hpp). Pass nullptr to
   /// detach. The tracer must outlive the solver's factorize() calls.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
 
   /// The factor L of P A P^T as a dense lower-triangular matrix
   /// (permuted ordering). Small problems / tests only.

@@ -1,0 +1,60 @@
+// Generic dependency tracking for the engines' task graphs.
+//
+// Every engine keeps the same two parallel arrays over its dependency
+// nodes (factor blocks for the factorization engines, supernode segments
+// for the solve engine): an outstanding-dependency counter and the
+// simulated time at which the last-arriving input became available. A
+// node becomes ready when its counter hits zero; the max of the input
+// ready times is the earliest simulated start of the task it unlocks.
+//
+// Ownership (DESIGN.md §4d): each node id is touched only by the thread
+// driving the rank that consumes it — in fan-out/fan-in the consumer of
+// a block's dependencies is the block's owner, and in the solve engine
+// the segment owner folds in remote contributions itself — so the
+// counters never see a remote writer and need no atomics.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace sympack::core::taskrt {
+
+class DepTracker {
+ public:
+  /// Size the tracker: `n` nodes, all counters 0, all ready times 0.
+  void init(std::size_t n) {
+    remaining_.assign(n, 0);
+    ready_.assign(n, 0.0);
+  }
+
+  [[nodiscard]] std::size_t size() const { return remaining_.size(); }
+
+  /// Set a node's outstanding-dependency count (construction, or per
+  /// solve sweep). Does not touch the ready time: the solve engine
+  /// deliberately carries segment ready times across sweeps.
+  void set_count(std::size_t id, int count) { remaining_[id] = count; }
+  [[nodiscard]] int count(std::size_t id) const { return remaining_[id]; }
+
+  [[nodiscard]] double ready(std::size_t id) const { return ready_[id]; }
+  /// ready[id] = max(ready[id], t): fold in one input's availability.
+  void raise_ready(std::size_t id, double t) {
+    ready_[id] = std::max(ready_[id], t);
+  }
+  /// ready[id] = t, unconditionally (solve: a re-solved segment's time).
+  void set_ready(std::size_t id, double t) { ready_[id] = t; }
+
+  /// Fold in one input (raise the ready time, consume one dependency).
+  /// Returns true exactly when the node became ready — the caller then
+  /// enqueues the unlocked task at ready(id).
+  bool satisfy(std::size_t id, double t) {
+    raise_ready(id, t);
+    return --remaining_[id] == 0;
+  }
+
+ private:
+  std::vector<int> remaining_;
+  std::vector<double> ready_;
+};
+
+}  // namespace sympack::core::taskrt

@@ -1,0 +1,222 @@
+// The signal/pull protocol endpoint shared by every engine.
+//
+// One Endpoint instance per engine holds the per-rank message plumbing
+// of the paper's one-sided protocol (Fig. 4): the notification inbox a
+// signal RPC appends to, and — under fault injection — the whole
+// self-healing machinery that PRs 1–3 grew per-engine:
+//
+//   * ReliableLink sequencing: send() records outgoing messages in a
+//     per-peer ledger and delivers them through admit(), which dedups,
+//     stashes out-of-order arrivals, and releases in-order runs. Dedup
+//     here is load-bearing: several engine handlers (fan-in kAggregate,
+//     solve kX/kContrib) are not idempotent.
+//   * Idle-triggered pull re-requests: on_idle() counts consecutive idle
+//     steps and, past a doubling threshold (capped rounds), broadcasts
+//     next_expected to every peer so producers replay their ledger
+//     suffix (request_retransmits/resend_from).
+//   * with_retry(): bounded exponential backoff around one-sided
+//     transfers (rget/copy) against transient TransferError, jittered by
+//     a per-rank RNG seeded from the fault seed so replays are bitwise
+//     identical.
+//   * Recovery counters/trace events: every protocol action bumps the
+//     matching CommStats counter and (when a tracer is attached) emits
+//     the zero-width event named in counters.def.
+//
+// With fault injection off, send() degenerates to the plain signal RPC
+// and every recovery member is dead — byte-identical schedules to a
+// build without the recovery machinery (asserted by the golden-schedule
+// suite).
+//
+// Threading (DESIGN.md §4d): slot r is touched only by the thread
+// driving rank r. send()/post() mutate the *target's* slot, but the RPC
+// body runs inside the target's own progress(), so the single-writer
+// rule holds; the inbox-mutex release/acquire pair in Rank::rpc/progress
+// orders the payload reads.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/taskrt/reliable.hpp"
+#include "core/taskrt/stats.hpp"
+#include "core/trace.hpp"
+#include "pgas/runtime.hpp"
+#include "support/random.hpp"
+
+namespace sympack::core::taskrt {
+
+template <typename Msg>
+class Endpoint {
+ public:
+  /// Attach to a runtime. `tracer` (may be null) receives the zero-width
+  /// recovery events; recovery state is initialized only when the
+  /// runtime has a fault injector, so fault-free runs carry none of it.
+  void init(pgas::Runtime& rt, const FaultToleranceOptions& fault,
+            Tracer* tracer = nullptr) {
+    rt_ = &rt;
+    fault_ = fault;
+    tracer_ = tracer;
+    recovery_ = rt.fault_injection_enabled();
+    slots_.clear();
+    slots_.resize(rt.nranks());
+    if (recovery_) {
+      const std::uint64_t fseed = rt.config().faults.seed;
+      for (int r = 0; r < rt.nranks(); ++r) {
+        Slot& s = slots_[r];
+        s.link.init(rt.nranks());
+        // Decorrelated from the injector's own streams (different mixing
+        // constant), still replayable from the fault seed alone.
+        s.retry_rng = support::Xoshiro256(
+            fseed ^
+            (0xd1b54a32d192ed03ull * (static_cast<std::uint64_t>(r) + 1)));
+        s.rerequest_threshold = fault_.rerequest_idle_limit;
+      }
+    }
+  }
+
+  [[nodiscard]] bool recovery() const { return recovery_; }
+
+  /// Send `m` to rank `to`: a plain signal RPC with faults off;
+  /// ledgered + sequenced through the ReliableLink under injection.
+  void send(pgas::Rank& rank, int to, const Msg& m) {
+    if (!recovery_) {
+      const Msg copy = m;
+      rank.rpc(to, [this, copy](pgas::Rank& target) {
+        slots_[target.id()].inbox.push_back(copy);
+      });
+      return;
+    }
+    const std::uint64_t seq = slots_[rank.id()].link.record(to, m);
+    post(rank, to, seq, m);
+  }
+
+  /// Take this rank's pending messages (in delivery order), leaving the
+  /// inbox empty. The caller handles each and counts them as work.
+  std::vector<Msg> drain(int rank_id) {
+    std::vector<Msg> msgs;
+    msgs.swap(slots_[rank_id].inbox);
+    return msgs;
+  }
+
+  /// Undrained messages (part of the engines' termination check).
+  [[nodiscard]] bool has_pending(int rank_id) const {
+    return !slots_[rank_id].inbox.empty();
+  }
+
+  /// Call after a step that made progress: resets the idle streak and
+  /// the re-request backoff threshold.
+  void on_worked(int rank_id) {
+    if (!recovery_) return;
+    Slot& s = slots_[rank_id];
+    s.idle_streak = 0;
+    s.rerequest_threshold = fault_.rerequest_idle_limit;
+  }
+
+  /// Call after a step that made no progress (and is not done). Past the
+  /// idle threshold this suspects a lost signal and broadcasts a pull
+  /// re-request to every peer, then backs off geometrically so a merely
+  /// slow producer is not stormed. The round cap lets the driver's stall
+  /// guard fire on unrecoverable bugs (re-request RPCs would otherwise
+  /// count as work forever). No-op with faults off.
+  void on_idle(pgas::Rank& rank) {
+    if (!recovery_) return;
+    Slot& s = slots_[rank.id()];
+    if (++s.idle_streak < s.rerequest_threshold ||
+        s.rerequest_rounds >= fault_.max_rerequest_rounds) {
+      return;
+    }
+    s.idle_streak = 0;
+    if (s.rerequest_threshold < (1 << 20)) s.rerequest_threshold *= 2;
+    ++s.rerequest_rounds;
+    request_retransmits(rank);
+  }
+
+  /// Run `fn` (an rget/copy) under the endpoint's RMA backoff policy,
+  /// jittered by this rank's recovery RNG. Returns fn()'s completion
+  /// time; with faults off fn() cannot throw and this is a plain call.
+  template <typename Fn>
+  double with_retry(pgas::Rank& rank, Fn&& fn) {
+    return with_rma_retry(rank, fault_.rma_backoff,
+                          slots_[rank.id()].retry_rng, tracer_,
+                          std::forward<Fn>(fn));
+  }
+
+  /// Restart the protocol between phases (solve sweeps): inboxes are
+  /// dropped, and sequence numbers restart so one sweep's ledger cannot
+  /// satisfy the next sweep's re-requests.
+  void reset_phase() {
+    for (Slot& s : slots_) {
+      s.inbox.clear();
+      if (recovery_) {
+        s.link.reset();
+        s.idle_streak = 0;
+        s.rerequest_threshold = fault_.rerequest_idle_limit;
+        s.rerequest_rounds = 0;
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    std::vector<Msg> inbox;
+    // Recovery state, initialized/touched only under fault injection.
+    ReliableLink<Msg> link;            // seq ledger/stash per peer
+    support::Xoshiro256 retry_rng{0};  // jitter stream for RMA backoff
+    int idle_streak = 0;               // consecutive idle steps
+    int rerequest_threshold = 0;       // idle steps before re-request
+    int rerequest_rounds = 0;          // re-request rounds fired so far
+  };
+
+  /// Deliver one sequenced message; the RPC body runs link.admit at the
+  /// target (dedup/stash/release-run).
+  void post(pgas::Rank& rank, int to, std::uint64_t seq, const Msg& m) {
+    const int from = rank.id();
+    rank.rpc(to, [this, from, seq, m](pgas::Rank& target) {
+      Slot& ts = slots_[target.id()];
+      ts.link.admit(from, seq, m, ts.inbox, target.stats());
+    });
+  }
+
+  /// Consumer side of loss recovery: broadcast a pull re-request
+  /// carrying next_expected to every peer.
+  void request_retransmits(pgas::Rank& rank) {
+    const int me = rank.id();
+    Slot& s = slots_[me];
+    ++rank.stats().dropped_detected;
+    if (tracer_ != nullptr) {
+      tracer_->record(me, kTrace_dropped_detected, rank.now(), rank.now());
+    }
+    for (int p = 0; p < rt_->nranks(); ++p) {
+      if (p == me) continue;
+      const std::uint64_t want = s.link.next_expected(p);
+      rank.rpc(p, [this, me, want](pgas::Rank& producer) {
+        resend_from(producer, me, want);
+      });
+    }
+  }
+
+  /// Producer side: replay the ledger suffix [from_seq, end) for
+  /// `consumer`. Runs inside the producer's progress().
+  void resend_from(pgas::Rank& producer, int consumer,
+                   std::uint64_t from_seq) {
+    const auto& log = slots_[producer.id()].link.sent(consumer);
+    for (std::uint64_t s = from_seq; s < log.size(); ++s) {
+      ++producer.stats().retransmits;
+      if (tracer_ != nullptr) {
+        tracer_->record(producer.id(), kTrace_retransmits, producer.now(),
+                        producer.now());
+      }
+      post(producer, consumer, s, log[s]);
+    }
+  }
+
+  pgas::Runtime* rt_ = nullptr;
+  FaultToleranceOptions fault_{};
+  Tracer* tracer_ = nullptr;
+  bool recovery_ = false;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace sympack::core::taskrt

@@ -13,11 +13,11 @@
 //     number, stashes out-of-order arrivals until the gap fills, and
 //     discards duplicates. Gap detection is what turns a silent drop
 //     into a recoverable event: the consumer notices next_expected has
-//     stalled and broadcasts a pull re-request (engine-level logic).
+//     stalled and broadcasts a pull re-request (Endpoint::on_idle).
 //
-// The link is engine-local state: each rank's PerRank owns one, and it
-// is only touched from that rank's driving thread (same single-writer
-// discipline as the rest of the engines — DESIGN.md §4b).
+// The link is per-rank state inside taskrt::Endpoint, and it is only
+// touched from that rank's driving thread (same single-writer discipline
+// as the rest of the engines — DESIGN.md §4d).
 #pragma once
 
 #include <cstdint>
@@ -25,12 +25,13 @@
 #include <utility>
 #include <vector>
 
+#include "core/taskrt/stats.hpp"
+#include "core/trace.hpp"
 #include "pgas/runtime.hpp"
 #include "support/backoff.hpp"
 #include "support/random.hpp"
-#include "core/trace.hpp"
 
-namespace sympack::core {
+namespace sympack::core::taskrt {
 
 template <typename Msg>
 class ReliableLink {
@@ -126,11 +127,11 @@ double with_rma_retry(pgas::Rank& rank, const support::BackoffPolicy& policy,
       ++rank.stats().retries;
       const double delay = backoff.next_delay(rng);
       if (tracer != nullptr) {
-        tracer->record(rank.id(), "rma-retry", rank.now(), rank.now());
+        tracer->record(rank.id(), kTrace_retries, rank.now(), rank.now());
       }
       rank.advance(delay);
     }
   }
 }
 
-}  // namespace sympack::core
+}  // namespace sympack::core::taskrt

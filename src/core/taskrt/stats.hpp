@@ -1,0 +1,86 @@
+// The engines' one tracer/stats hook.
+//
+// Two things live here, both generated from or tied to the shared
+// counter table (counters.def) so names can never drift between the
+// CommStats fields, the watchdog dump, and the Chrome trace:
+//
+//   * kTrace_<counter>: the zero-width trace-event name emitted whenever
+//     the recovery protocol bumps the matching CommStats counter
+//     (rma-retry / re-request / retransmit / oom-fallback ...).
+//   * EngineStats: the per-task span recorder. Every engine (and
+//     selected inversion) formats task names through task_span(), so
+//     "D k" / "F k:slot" / "U k:si:ti" / "S k" are spelled in exactly
+//     one place and every execution phase lands in the same Chrome
+//     trace with the same conventions.
+//
+// EngineStats is a thin non-owning wrapper over core::Tracer; a null
+// tracer makes every call a no-op, which keeps untraced runs free of
+// formatting work (the engines additionally skip the call entirely on
+// the hot path when not tracing).
+#pragma once
+
+#include <cstdio>
+
+#include "core/trace.hpp"
+#include "sparse/types.hpp"
+
+namespace sympack::core::taskrt {
+
+// Zero-width recovery trace-event names, one constant per recovery
+// counter in the shared table.
+#define SYMPACK_RECOVERY_COUNTER(field, label, trace_name) \
+  inline constexpr const char* kTrace_##field = trace_name;
+#include "core/taskrt/counters.def"
+#undef SYMPACK_RECOVERY_COUNTER
+
+/// Task kinds the engines trace. The letter is the span-name prefix.
+enum class TaskTag : char {
+  kDiag = 'D',     // panel diagonal factorization (potrf)
+  kFactor = 'F',   // off-diagonal panel factor (trsm); "F k:slot"
+  kUpdate = 'U',   // trailing update (syrk/gemm); "U k:si:ti"
+  kSelinv = 'S',   // selected-inversion panel; "S k"
+};
+
+class EngineStats {
+ public:
+  EngineStats() = default;
+  explicit EngineStats(Tracer* tracer) : tracer_(tracer) {}
+
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
+  [[nodiscard]] bool tracing() const { return tracer_ != nullptr; }
+
+  /// Record one task execution span. `a`/`b` are the tag-specific slot
+  /// indices (F: a = slot; U: a = si, b = ti; D/S: unused).
+  void task_span(int rank, TaskTag tag, sparse::idx_t k, sparse::idx_t a,
+                 sparse::idx_t b, double begin_s, double end_s) {
+    if (tracer_ == nullptr) return;
+    char name[48];
+    switch (tag) {
+      case TaskTag::kFactor:
+        std::snprintf(name, sizeof name, "F %lld:%lld",
+                      static_cast<long long>(k), static_cast<long long>(a));
+        break;
+      case TaskTag::kUpdate:
+        std::snprintf(name, sizeof name, "U %lld:%lld:%lld",
+                      static_cast<long long>(k), static_cast<long long>(a),
+                      static_cast<long long>(b));
+        break;
+      case TaskTag::kDiag:
+      case TaskTag::kSelinv:
+        std::snprintf(name, sizeof name, "%c %lld", static_cast<char>(tag),
+                      static_cast<long long>(k));
+        break;
+    }
+    tracer_->record(rank, name, begin_s, end_s);
+  }
+
+  /// Zero-width marker (recovery events; pass a kTrace_* constant).
+  void mark(int rank, const char* name, double t) {
+    if (tracer_ != nullptr) tracer_->record(rank, name, t, t);
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+};
+
+}  // namespace sympack::core::taskrt

@@ -1,0 +1,70 @@
+// Use-counted cache of fetched remote payloads, with idempotent insert.
+//
+// When a signal arrives, the consumer rget-pulls the producer's block
+// into a local copy that several local tasks will read; the copy must be
+// freed exactly when the last consumer releases it. The engines keyed
+// this by block id in per-rank maps — and PR 2 fixed a leak where a
+// duplicate signal's freshly fetched copy shadowed the cached one.
+// This container makes that fix structural: insert() never overwrites an
+// existing entry, so the duplicate path is always "free the copy you
+// just fetched, keep the original" (the caller owns that cleanup because
+// only it knows how the rejected copy's resources were allocated).
+//
+// Single-writer like the rest of the per-rank state (DESIGN.md §4d):
+// one instance per rank, touched only by that rank's driving thread.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+
+#include "sparse/types.hpp"
+
+namespace sympack::core::taskrt {
+
+template <typename Payload>
+class UseCache {
+ public:
+  /// Insert a fetched copy under `key` with `uses` outstanding
+  /// consumers. Returns (entry payload, inserted). When `key` is already
+  /// cached the existing entry is returned untouched (inserted == false)
+  /// and the caller must dispose of the rejected copy's resources.
+  std::pair<Payload*, bool> insert(sparse::idx_t key, Payload payload,
+                                   int uses) {
+    auto [it, inserted] =
+        map_.try_emplace(key, Entry{std::move(payload), uses});
+    return {&it->second.payload, inserted};
+  }
+
+  /// Consume one use of `key`; no-op when absent (local refs). When the
+  /// last use is released, `dispose(payload)` runs and the entry is
+  /// erased.
+  template <typename Dispose>
+  void release(sparse::idx_t key, Dispose&& dispose) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return;
+    if (--it->second.uses == 0) {
+      dispose(it->second.payload);
+      map_.erase(it);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+
+  /// Visit every cached payload (tests / teardown).
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& [key, entry] : map_) fn(key, entry.payload);
+  }
+  void clear() { map_.clear(); }
+
+ private:
+  struct Entry {
+    Payload payload;
+    int uses;
+  };
+  std::unordered_map<sparse::idx_t, Entry> map_;
+};
+
+}  // namespace sympack::core::taskrt

@@ -13,6 +13,16 @@ void Tracer::record(int rank, std::string name, double begin_s,
   events_.push_back(Event{rank, std::move(name), begin_s, end_s});
 }
 
+std::vector<Tracer::Event> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
 void Tracer::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();

@@ -22,8 +22,11 @@ class Tracer {
 
   void record(int rank, std::string name, double begin_s, double end_s);
 
-  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
-  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  /// Snapshot copy. record() may run concurrently from the threaded
+  /// drive mode, so readers get a copy taken under the lock rather than
+  /// a reference into a vector another thread may reallocate.
+  [[nodiscard]] std::vector<Event> events() const;
+  [[nodiscard]] std::size_t size() const;
   void clear();
 
   /// Serialize as a Chrome trace-event array ("X" complete events, one

@@ -313,13 +313,16 @@ std::string Runtime::dump_rank_states(const std::vector<char>& done) const {
     // rank was retrying/re-requesting is the first thing to look at in a
     // chaos-job watchdog dump.
     const CommStats& s = rk.stats();
-    if (s.retries + s.retransmits + s.dropped_detected + s.rpcs_deferred +
-            s.oom_fallbacks >
-        0) {
-      os << ", retries=" << s.retries << ", retransmits=" << s.retransmits
-         << ", rerequests=" << s.dropped_detected
-         << ", deferred=" << s.rpcs_deferred
-         << ", oom_fallbacks=" << s.oom_fallbacks;
+    const std::uint64_t recovery_total = 0
+#define SYMPACK_RECOVERY_COUNTER(field, label, trace_name) +s.field
+#include "core/taskrt/counters.def"
+#undef SYMPACK_RECOVERY_COUNTER
+        ;
+    if (recovery_total > 0) {
+#define SYMPACK_RECOVERY_COUNTER(field, label, trace_name) \
+  os << ", " << label << "=" << s.field;
+#include "core/taskrt/counters.def"
+#undef SYMPACK_RECOVERY_COUNTER
     }
   }
   return os.str();
@@ -536,13 +539,10 @@ CommStats Runtime::total_stats() const {
     total.bytes_from_device += s.bytes_from_device;
     total.bytes_to_device += s.bytes_to_device;
     total.hd_copies += s.hd_copies;
-    total.retries += s.retries;
-    total.retransmits += s.retransmits;
-    total.dropped_detected += s.dropped_detected;
-    total.duplicates_dropped += s.duplicates_dropped;
-    total.out_of_order += s.out_of_order;
-    total.rpcs_deferred += s.rpcs_deferred;
-    total.oom_fallbacks += s.oom_fallbacks;
+#define SYMPACK_RECOVERY_COUNTER(field, label, trace_name) \
+  total.field += s.field;
+#include "core/taskrt/counters.def"
+#undef SYMPACK_RECOVERY_COUNTER
   }
   return total;
 }

@@ -81,14 +81,13 @@ struct CommStats {
   std::uint64_t bytes_to_device = 0;    // transfers landing in device mem
   std::uint64_t hd_copies = 0;          // local host<->device copies
 
-  // --- Recovery counters (fault-tolerance protocol).
-  std::uint64_t retries = 0;            // RMA retried after TransferError
-  std::uint64_t retransmits = 0;        // ledger messages replayed (producer)
-  std::uint64_t dropped_detected = 0;   // re-request rounds fired (consumer)
-  std::uint64_t duplicates_dropped = 0; // stale-seq signals discarded
-  std::uint64_t out_of_order = 0;       // signals stashed ahead of a gap
-  std::uint64_t rpcs_deferred = 0;      // inbox entries held for arrival
-  std::uint64_t oom_fallbacks = 0;      // device denials taken to host path
+  // --- Recovery counters (fault-tolerance protocol), generated from the
+  // X-macro table so the fields, the watchdog dump labels, and the trace
+  // event names stay in lockstep (see core/taskrt/counters.def).
+#define SYMPACK_RECOVERY_COUNTER(field, label, trace_name) \
+  std::uint64_t field = 0;
+#include "core/taskrt/counters.def"
+#undef SYMPACK_RECOVERY_COUNTER
 
   [[nodiscard]] std::uint64_t total_bytes() const {
     return bytes_from_host + bytes_from_device;

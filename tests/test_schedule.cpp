@@ -1,0 +1,189 @@
+// Golden-schedule regression suite.
+//
+// The task-runtime refactor (core/taskrt/) must not move a single task:
+// for every (proxy, policy, faults on/off) combination the sequential
+// driver's execution order — the exact sequence of (rank, task) pairs
+// the tracer records — and the aggregated CommStats must stay
+// byte-identical to the pre-refactor engines. The hashes below were
+// captured on the hand-rolled engines (before taskrt existed) and are
+// checked in; any scheduling change, however subtle, flips the hash.
+//
+// The hash folds, in record order, each traced event's rank and name
+// (task ids, not timestamps — simulated times are equal in exact
+// arithmetic but names are platform-proof), then the full CommStats
+// counter block. Faults-on runs pin the recovery protocol's schedule
+// too (ledger replays, dedup, re-requests) under a fixed injection seed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+#include "core/solver.hpp"
+#include "core/trace.hpp"
+#include "pgas/runtime.hpp"
+#include "sparse/generators.hpp"
+
+namespace sympack {
+namespace {
+
+using sparse::CscMatrix;
+
+CscMatrix proxy_matrix(const std::string& name) {
+  if (name == "flan") return sparse::flan_proxy(0.02);
+  if (name == "bones") return sparse::bones_proxy(0.02);
+  return sparse::thermal_proxy(0.005);
+}
+
+/// True when a SYMPACK_FAULT_* environment override is present: the
+/// Runtime constructor would overlay it onto our pinned fault config and
+/// the golden hashes would (correctly) not reproduce.
+bool fault_env_overridden() {
+  static const char* kVars[] = {
+      "SYMPACK_FAULT_ENABLED", "SYMPACK_FAULT_SEED",    "SYMPACK_FAULT_DROP",
+      "SYMPACK_FAULT_DUP",     "SYMPACK_FAULT_DELAY",   "SYMPACK_FAULT_DELAY_S",
+      "SYMPACK_FAULT_REORDER", "SYMPACK_FAULT_TRANSFER", "SYMPACK_FAULT_DEVICE",
+  };
+  for (const char* v : kVars) {
+    if (std::getenv(v) != nullptr) return true;
+  }
+  return false;
+}
+
+void fnv_mix(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+}
+
+std::uint64_t schedule_hash(const core::Tracer& tracer,
+                            const pgas::CommStats& stats) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const auto& e : tracer.events()) {
+    const std::int32_t rank = e.rank;
+    fnv_mix(h, &rank, sizeof rank);
+    fnv_mix(h, e.name.data(), e.name.size());
+  }
+  const std::uint64_t counters[] = {
+      stats.rpcs_sent,      stats.rpcs_executed,      stats.gets,
+      stats.puts,           stats.bytes_from_host,    stats.bytes_from_device,
+      stats.bytes_to_device, stats.hd_copies,         stats.retries,
+      stats.retransmits,    stats.dropped_detected,   stats.duplicates_dropped,
+      stats.out_of_order,   stats.rpcs_deferred,      stats.oom_fallbacks,
+  };
+  fnv_mix(h, counters, sizeof counters);
+  return h;
+}
+
+std::uint64_t run_golden(const std::string& proxy, core::Policy policy,
+                         bool faults) {
+  pgas::Runtime::Config cfg;
+  cfg.nranks = 8;
+  cfg.ranks_per_node = 4;
+  cfg.gpus_per_node = 4;
+  cfg.device_memory_bytes = 64 << 20;
+  if (faults) {
+    cfg.faults.enabled = true;
+    cfg.faults.seed = 0xfeedbeefull;
+    cfg.faults.drop_rate = 0.02;
+    cfg.faults.duplicate_rate = 0.02;
+    cfg.faults.delay_rate = 0.05;
+    cfg.faults.reorder_rate = 0.05;
+    cfg.faults.transfer_fail_rate = 0.02;
+    cfg.faults.device_deny_rate = 0.05;
+  }
+  pgas::Runtime rt(cfg);
+  core::SolverOptions opts;
+  opts.policy = policy;
+  core::SymPackSolver solver(rt, opts);
+  core::Tracer tracer;
+  solver.set_tracer(&tracer);
+  solver.symbolic_factorize(proxy_matrix(proxy));
+  solver.factorize();
+  return schedule_hash(tracer, rt.total_stats());
+}
+
+struct Golden {
+  const char* proxy;
+  core::Policy policy;
+  bool faults;
+  std::uint64_t hash;
+};
+
+// Captured on the pre-taskrt engines (commit 7619baa), sequential
+// driver, 8 ranks. Regenerate only for an *intentional* schedule change
+// by running with --gtest_also_run_disabled_tests and copying the
+// printed table (see DISABLED_PrintTable below).
+const Golden kGolden[] = {
+    {"flan", core::Policy::kFifo, false, 0x67e219a50b2fd360ull},
+    {"flan", core::Policy::kLifo, false, 0xa303dbffc7517104ull},
+    {"flan", core::Policy::kPriority, false, 0xd62aa162eae797a6ull},
+    {"flan", core::Policy::kCriticalPath, false, 0xedf0fd89526dae06ull},
+    {"bones", core::Policy::kFifo, false, 0xc38644e6093ca449ull},
+    {"bones", core::Policy::kLifo, false, 0x71727e5b1a11a631ull},
+    {"bones", core::Policy::kPriority, false, 0x1dd70933042954ffull},
+    {"bones", core::Policy::kCriticalPath, false, 0x583ff9c950d8b3f9ull},
+    {"thermal", core::Policy::kFifo, false, 0x194c29fd2a19d069ull},
+    {"thermal", core::Policy::kLifo, false, 0x81f2835147a17d9ull},
+    {"thermal", core::Policy::kPriority, false, 0xdf5e4539dcf5ffedull},
+    {"thermal", core::Policy::kCriticalPath, false, 0x99cbee1e807b2597ull},
+    {"flan", core::Policy::kFifo, true, 0xbc515dae9a5af28eull},
+    {"flan", core::Policy::kLifo, true, 0x68dd77823ebe2287ull},
+    {"flan", core::Policy::kPriority, true, 0x4b29f2790b94e844ull},
+    {"flan", core::Policy::kCriticalPath, true, 0x5207cbdbacecae95ull},
+    {"bones", core::Policy::kFifo, true, 0x90474dae94051043ull},
+    {"bones", core::Policy::kLifo, true, 0x93014c1c8743e936ull},
+    {"bones", core::Policy::kPriority, true, 0x6d89d802e1d8af1eull},
+    {"bones", core::Policy::kCriticalPath, true, 0xe790ed8b916b231full},
+    {"thermal", core::Policy::kFifo, true, 0x141d9b9a632dd1d4ull},
+    {"thermal", core::Policy::kLifo, true, 0x30060880d1dbde8cull},
+    {"thermal", core::Policy::kPriority, true, 0xe7e9645da31b1734ull},
+    {"thermal", core::Policy::kCriticalPath, true, 0xdebd2d57b69be4eaull},
+};
+
+class GoldenSchedule : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenSchedule, HashMatchesPreRefactorCapture) {
+  const Golden& g = GetParam();
+  if (g.faults && fault_env_overridden()) {
+    GTEST_SKIP() << "SYMPACK_FAULT_* environment override active";
+  }
+  const std::uint64_t h = run_golden(g.proxy, g.policy, g.faults);
+  EXPECT_EQ(h, g.hash) << "schedule drifted: proxy=" << g.proxy
+                       << " policy=" << core::policy_name(g.policy)
+                       << " faults=" << (g.faults ? "on" : "off")
+                       << " actual=0x" << std::hex << h << "ull";
+}
+
+std::string golden_name(const ::testing::TestParamInfo<Golden>& info) {
+  std::string n = info.param.proxy;
+  n += '_';
+  n += core::policy_name(info.param.policy);
+  if (info.param.faults) n += "_faults";
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, GoldenSchedule, ::testing::ValuesIn(kGolden),
+                         golden_name);
+
+// Regeneration helper: prints the full golden table in source form.
+TEST(GoldenScheduleTable, DISABLED_PrintTable) {
+  for (const Golden& g : kGolden) {
+    const std::uint64_t h = run_golden(g.proxy, g.policy, g.faults);
+    printf("    {\"%s\", core::Policy::k%s, %s, 0x%llxull},\n", g.proxy,
+           g.policy == core::Policy::kFifo      ? "Fifo"
+           : g.policy == core::Policy::kLifo    ? "Lifo"
+           : g.policy == core::Policy::kPriority ? "Priority"
+                                                 : "CriticalPath",
+           g.faults ? "true" : "false", static_cast<unsigned long long>(h));
+  }
+}
+
+}  // namespace
+}  // namespace sympack

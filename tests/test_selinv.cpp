@@ -212,6 +212,33 @@ TEST(Trace, RecordsEveryTask) {
   }
 }
 
+TEST(Trace, SelectedInversionEmitsPanelSpans) {
+  const auto a = sparse::grid2d_laplacian(8, 8);
+  pgas::Runtime rt(cluster(4));
+  SymPackSolver solver(rt, SolverOptions{});
+  Tracer tracer;
+  solver.set_tracer(&tracer);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const std::size_t factor_events = tracer.size();
+  const auto inv = selected_inversion(solver);
+  ASSERT_FALSE(inv.diagonal().empty());
+
+  // One "S k" span per supernode, appended after the factorization's
+  // D/F/U spans, so the whole pipeline lands in one Chrome trace.
+  std::size_t selinv_events = 0;
+  for (const auto& e : tracer.events()) {
+    if (e.name.rfind("S ", 0) == 0) {
+      ++selinv_events;
+      EXPECT_EQ(e.rank, 0);
+      EXPECT_GE(e.end_s, e.begin_s);
+    }
+  }
+  EXPECT_EQ(selinv_events,
+            static_cast<std::size_t>(solver.symbolic().num_snodes()));
+  EXPECT_EQ(tracer.size(), factor_events + selinv_events);
+}
+
 TEST(Trace, ChromeJsonWellFormed) {
   Tracer tracer;
   tracer.record(0, "D 1", 0.0, 1e-6);

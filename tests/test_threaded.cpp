@@ -13,11 +13,13 @@
 
 #include <cstring>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "core/factor.hpp"
 #include "core/solver.hpp"
+#include "core/trace.hpp"
 #include "ordering/etree.hpp"
 #include "ordering/ordering.hpp"
 #include "sparse/densevec.hpp"
@@ -40,9 +42,9 @@ struct FactorEngineTestPeer {
   }
   static void drain_cache(FactorEngine& e, pgas::Rank& rank) {
     auto& cache = e.per_rank_[rank.id()].cache;
-    for (auto& [bid, rf] : cache) {
+    cache.for_each([&](sparse::idx_t, FactorEngine::RemoteFactor& rf) {
       if (!rf.device.is_null()) rank.deallocate(rf.device);
-    }
+    });
     cache.clear();
   }
 };
@@ -276,6 +278,42 @@ TEST(ThreadedLeakRegression, DuplicateSignalDoesNotLeakDeviceMemory) {
   // orphaned duplicate allocation shows up here.
   Peer::drain_cache(engine, rank);
   EXPECT_EQ(rt.device_bytes_in_use(rank.device()), 0u);
+}
+
+// Regression for a data race TSan flagged: events() handed out a
+// reference into events_ and size() read it unlocked, while the threaded
+// drive mode calls record() concurrently from every rank thread. Both
+// accessors now take the mutex (events() returns a snapshot copy), so
+// this runs clean under -DSYMPACK_SANITIZE=thread.
+TEST(ThreadedTracer, ConcurrentRecordAndReadAreRaceFree) {
+  core::Tracer tracer;
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter = 500;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 1);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&tracer, w] {
+      for (int i = 0; i < kEventsPerWriter; ++i) {
+        tracer.record(w, "D " + std::to_string(i), i * 1e-6, i * 1e-6 + 5e-7);
+      }
+    });
+  }
+  threads.emplace_back([&tracer] {
+    // Reader hammers every const accessor while the writers append.
+    std::size_t seen = 0;
+    while (seen < kWriters * kEventsPerWriter) {
+      seen = tracer.size();
+      const std::vector<core::Tracer::Event> snapshot = tracer.events();
+      ASSERT_LE(snapshot.size(), static_cast<std::size_t>(kWriters) *
+                                     kEventsPerWriter);
+      ASSERT_FALSE(tracer.to_chrome_json().empty());
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(tracer.size(),
+            static_cast<std::size_t>(kWriters) * kEventsPerWriter);
 }
 
 }  // namespace
