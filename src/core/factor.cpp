@@ -1,8 +1,11 @@
 #include "core/factor.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <string>
+
+#include "pgas/pool.hpp"
 
 namespace sympack::core {
 
@@ -14,7 +17,7 @@ FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
       opts_(opts), stats_(tracer) {
   per_rank_.resize(rt.nranks());
   for (PerRank& pr : per_rank_) pr.rtq.set_policy(opts_.policy);
-  net_.init(rt, opts_.fault, tracer);
+  net_.init(rt, opts_.fault, tracer, opts_.comm);
   // Supernodal elimination-tree depths for the critical-path policy.
   // The parent of a supernode holds its first below-row; parents have
   // larger indices, so a descending sweep resolves all depths.
@@ -67,6 +70,14 @@ pgas::Step FactorEngine::step(pgas::Rank& rank) {
     return pgas::Step::kWorked;
   }
 
+  // Out of local work: push any coalescing outbox onto the wire now
+  // rather than waiting out the age window (latency bound; also
+  // guarantees nothing is parked when this rank declares itself done).
+  if (rank.flush_signals() > 0) {
+    net_.on_worked(rank.id());
+    return pgas::Step::kWorked;
+  }
+
   const int me = rank.id();
   const bool done = pr.done_factor == tg_->owned_factor_tasks(me) &&
                     pr.done_update == tg_->owned_update_tasks(me) &&
@@ -108,6 +119,22 @@ void FactorEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
   const std::size_t bytes = store_->bytes(bid);
   const auto elems =
       static_cast<std::int64_t>(store_->nrows(bid)) * store_->ncols(bid);
+
+  if (sig.eager_bytes > 0) {
+    // Eager delivery: the block arrived inline with the signal (the
+    // Rank layer already charged the wire bytes and arrival time), so
+    // there is no pull rget and no device residency — eager targets the
+    // latency-bound small blocks below the rendezvous threshold.
+    RemoteFactor rf;
+    rf.eager = sig.payload;
+    rf.ref = FactorRef{sig.payload ? sig.payload.get() : nullptr, rank.now(),
+                       false, bid};
+    auto [entry, inserted] =
+        per_rank_[me].cache.insert(bid, std::move(rf), uses);
+    if (!inserted) return;  // duplicate signal: keep the original
+    deliver(rank, sig.k, sig.slot, entry->ref);
+    return;
+  }
 
   RemoteFactor rf;
   bool on_device = offload_->device_resident(elems);
@@ -241,8 +268,29 @@ void FactorEngine::publish(pgas::Rank& rank, idx_t k, BlockSlot slot) {
             FactorRef{store_->data(bid), rank.now(), false, -1});
   }
   // Remote consumers get a signal RPC (Fig. 4 step 1); they will pull
-  // the block with a one-sided get when they next poll.
-  for (int r : tg_->recipients(k, slot)) {
+  // the block with a one-sided get when they next poll — unless the
+  // block is small enough for the eager protocol, in which case the
+  // data rides inside the signal and the pull round trip is skipped.
+  const auto& recipients = tg_->recipients(k, slot);
+  if (recipients.empty()) return;
+  const idx_t bid = store_->block_id(k, slot);
+  const std::size_t bytes = store_->bytes(bid);
+  if (net_.eager(bytes)) {
+    Signal sig{k, slot};
+    sig.eager_bytes = static_cast<std::uint32_t>(bytes);
+    if (store_->numeric()) {
+      // One pooled buffer serves every recipient (the signal copies
+      // share it); it returns to the pool when the last consumer's
+      // uses drain.
+      auto buf =
+          pgas::shared_host_buffer(rank, bytes / sizeof(double));
+      std::memcpy(buf.get(), store_->data(bid), bytes);
+      sig.payload = std::move(buf);
+    }
+    for (int r : recipients) net_.send(rank, r, sig);
+    return;
+  }
+  for (int r : recipients) {
     net_.send(rank, r, Signal{k, slot});
   }
 }

@@ -86,6 +86,10 @@ class FactorEngine {
   struct RemoteFactor {
     std::vector<double> host;  // host copy (when not device resident)
     pgas::GlobalPtr device;    // device copy (when resident)
+    /// Eager-inlined payload (shared with the producer's other
+    /// recipients); keeps the pooled buffer alive for this consumer's
+    /// uses when the signal carried the data inline.
+    std::shared_ptr<const double> eager;
     FactorRef ref;
   };
 
@@ -98,6 +102,19 @@ class FactorEngine {
   struct Signal {
     idx_t k;
     BlockSlot slot;
+    /// Eager protocol (DESIGN.md §4e): nonzero means the factor block's
+    /// bytes ride inside this signal and the consumer skips the pull
+    /// rget. Set even in protocol-only runs (wire accounting without
+    /// data); `payload` is null there. A copy of the signal in the
+    /// ReliableLink ledger shares the payload buffer, so retransmits
+    /// replay the data inline.
+    std::uint32_t eager_bytes = 0;
+    std::shared_ptr<const double> payload;
+
+    /// taskrt::Endpoint's eager contract (found via ADL).
+    friend std::size_t inline_payload_bytes(const Signal& s) {
+      return s.eager_bytes;
+    }
   };
 
   struct PerRank {

@@ -6,6 +6,8 @@
 #include <string>
 #include <unordered_set>
 
+#include "pgas/pool.hpp"
+
 namespace sympack::core {
 
 FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
@@ -14,7 +16,7 @@ FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
       opts_(opts) {
   per_rank_.resize(rt.nranks());
-  net_.init(rt, opts_.fault);
+  net_.init(rt, opts_.fault, nullptr, opts_.comm);
   owned_u_.assign(rt.nranks(), 0);
   const idx_t nb = store.num_blocks();
   deps_.init(nb);
@@ -64,9 +66,9 @@ void FanInEngine::run() {
   rt_->drive([this](pgas::Rank& rank) { return step(rank); },
              /*stall_limit=*/10000, opts_.interleave_seed);
   // Sent aggregate buffers are consumed by their receivers before their
-  // ranks report done; free them now.
+  // ranks report done; return them (pool-allocated) now.
   for (int r = 0; r < rt_->nranks(); ++r) {
-    for (auto& g : per_rank_[r].out_buffers) rt_->rank(r).deallocate(g);
+    for (auto& g : per_rank_[r].out_buffers) rt_->rank(r).pool_deallocate(g);
     per_rank_[r].out_buffers.clear();
   }
 }
@@ -84,6 +86,12 @@ pgas::Step FanInEngine::step(pgas::Rank& rank) {
     ++worked;
   }
   if (worked > 0) {
+    net_.on_worked(rank.id());
+    return pgas::Step::kWorked;
+  }
+  // Out of local work: flush any coalescing outbox before the done
+  // check (nothing may stay parked on a rank that declares done).
+  if (rank.flush_signals() > 0) {
     net_.on_worked(rank.id());
     return pgas::Step::kWorked;
   }
@@ -105,6 +113,15 @@ void FanInEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
   const int me = rank.id();
   PerRank& pr = per_rank_[me];
   if (sig.type == Signal::Type::kAggregate) {
+    if (sig.eager_bytes > 0) {
+      // Eager: the aggregate vector arrived inline (wire bytes and
+      // arrival already charged at the Rank layer); fold it in
+      // directly. Link-level dedup has already filtered duplicates —
+      // apply_aggregate stays non-idempotent-safe.
+      apply_aggregate(rank, sig.bid,
+                      sig.payload ? sig.payload.get() : nullptr, rank.now());
+      return;
+    }
     // Pull the aggregate vector and fold it into the target block.
     const std::size_t bytes = store_->bytes(sig.bid);
     // The sender is the only rank with a pending aggregate for this
@@ -138,6 +155,19 @@ void FanInEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
 
   const idx_t bid = store_->block_id(sig.k, sig.slot);
   const std::size_t bytes = store_->bytes(bid);
+
+  if (sig.eager_bytes > 0) {
+    // Eager: the pivot block arrived inline with the signal.
+    RemotePivot rp;
+    rp.eager = sig.payload;
+    rp.ref = PivotRef{sig.payload ? sig.payload.get() : nullptr, rank.now(),
+                      bid};
+    auto [entry, inserted] = pr.cache.insert(bid, std::move(rp), uses);
+    if (!inserted) return;
+    deliver_pivot(rank, sig.k, sig.slot, entry->ref);
+    return;
+  }
+
   RemotePivot rp;
   double ready;
   if (store_->numeric()) {
@@ -243,10 +273,7 @@ void FanInEngine::publish_factor(pgas::Rank& rank, idx_t k, BlockSlot slot) {
     std::sort(recipients.begin(), recipients.end());
     recipients.erase(std::unique(recipients.begin(), recipients.end()),
                      recipients.end());
-    for (int r : recipients) {
-      if (r == me) continue;
-      net_.send(rank, r, Signal{Signal::Type::kPivot, k, 0, -1, nullptr, 0.0});
-    }
+    send_pivot(rank, k, 0, recipients);
     return;
   }
 
@@ -273,10 +300,26 @@ void FanInEngine::publish_factor(pgas::Rank& rank, idx_t k, BlockSlot slot) {
   std::sort(recipients.begin(), recipients.end());
   recipients.erase(std::unique(recipients.begin(), recipients.end()),
                    recipients.end());
-  for (int r : recipients) {
-    net_.send(rank, r,
-              Signal{Signal::Type::kPivot, k, slot, -1, nullptr, 0.0});
+  send_pivot(rank, k, slot, recipients);
+}
+
+void FanInEngine::send_pivot(pgas::Rank& rank, idx_t k, BlockSlot slot,
+                             const std::vector<int>& recipients) {
+  if (recipients.empty()) return;
+  Signal sig{Signal::Type::kPivot, k, slot, -1, nullptr, 0.0};
+  const idx_t bid = store_->block_id(k, slot);
+  const std::size_t bytes = store_->bytes(bid);
+  if (net_.eager(bytes)) {
+    sig.eager_bytes = static_cast<std::uint32_t>(bytes);
+    if (store_->numeric()) {
+      // One pooled buffer serves every recipient; it returns to the
+      // pool when the last signal copy (inbox/ledger) is destroyed.
+      auto buf = pgas::shared_host_buffer(rank, bytes / sizeof(double));
+      std::memcpy(buf.get(), store_->data(bid), bytes);
+      sig.payload = std::move(buf);
+    }
   }
+  for (int r : recipients) net_.send(rank, r, sig);
 }
 
 void FanInEngine::execute(pgas::Rank& rank, const Task& task) {
@@ -401,17 +444,31 @@ void FanInEngine::flush_aggregate(pgas::Rank& rank, idx_t bid) {
     return;
   }
   // Send the aggregate vector (one message carrying the whole block
-  // contribution, §2.3's second message type).
-  const double* payload = nullptr;
-  if (store_->numeric()) {
-    auto g = rank.allocate_host(store_->bytes(bid));
-    std::memcpy(g.addr, agg.buf.data(), store_->bytes(bid));
-    pr.out_buffers.push_back(g);
-    payload = g.local<double>();
+  // contribution, §2.3's second message type). Small aggregates go
+  // eager — inlined into the signal, no shared-segment staging buffer
+  // and no pull on the receiver; larger ones keep the rendezvous path
+  // with a pool-backed staging buffer.
+  const std::size_t bytes = store_->bytes(bid);
+  Signal sig{Signal::Type::kAggregate, me, 0, bid, nullptr, 0.0};
+  if (net_.eager(bytes)) {
+    sig.eager_bytes = static_cast<std::uint32_t>(bytes);
+    if (store_->numeric()) {
+      auto buf = pgas::shared_host_buffer(rank, bytes / sizeof(double));
+      std::memcpy(buf.get(), agg.buf.data(), bytes);
+      sig.payload = std::move(buf);
+    }
+    sig.sent = rank.now();
+    net_.send(rank, owner, sig);
+    return;
   }
-  const double sent = rank.now();
-  net_.send(rank, owner,
-            Signal{Signal::Type::kAggregate, me, 0, bid, payload, sent});
+  if (store_->numeric()) {
+    auto g = rank.pool_allocate_host(bytes);
+    std::memcpy(g.addr, agg.buf.data(), bytes);
+    pr.out_buffers.push_back(g);
+    sig.data = g.local<double>();
+  }
+  sig.sent = rank.now();
+  net_.send(rank, owner, sig);
 }
 
 void FanInEngine::apply_aggregate(pgas::Rank& rank, idx_t bid,

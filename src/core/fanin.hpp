@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -67,6 +68,9 @@ class FanInEngine {
   };
   struct RemotePivot {
     std::vector<double> host;
+    /// Eager-inlined payload shared with the producer's other
+    /// recipients (null on the rendezvous path).
+    std::shared_ptr<const double> eager;
     PivotRef ref;
   };
   struct UpdateState {
@@ -86,6 +90,17 @@ class FanInEngine {
     idx_t bid = -1;      // aggregate: target block id
     const double* data = nullptr;  // aggregate payload (shared segment)
     double sent = 0.0;             // aggregate simulated send time
+    /// Eager protocol (DESIGN.md §4e): nonzero means the block/aggregate
+    /// bytes ride inside the signal (no pull rget for kPivot, no
+    /// shared-segment read for kAggregate). Set even in protocol-only
+    /// runs; `payload` is null there. Ledger copies share the buffer, so
+    /// retransmits replay the data inline.
+    std::uint32_t eager_bytes = 0;
+    std::shared_ptr<const double> payload;
+
+    friend std::size_t inline_payload_bytes(const Signal& s) {
+      return s.eager_bytes;
+    }
   };
   struct PerRank {
     taskrt::ReadyQueue<Task> rtq;  // always FIFO in the fan-in variant
@@ -111,6 +126,10 @@ class FanInEngine {
   void satisfy_update(pgas::Rank& rank, idx_t j, idx_t si, idx_t ti,
                       const PivotRef& ref, bool as_source);
   void publish_factor(pgas::Rank& rank, idx_t k, BlockSlot slot);
+  /// Send factor block (k, slot) to each recipient: one eager signal
+  /// carrying the data when it fits, else a rendezvous signal each.
+  void send_pivot(pgas::Rank& rank, idx_t k, BlockSlot slot,
+                  const std::vector<int>& recipients);
   void execute(pgas::Rank& rank, const Task& task);
   void execute_update(pgas::Rank& rank, const Task& task);
   void flush_aggregate(pgas::Rank& rank, idx_t bid);

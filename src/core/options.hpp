@@ -77,6 +77,27 @@ struct FaultToleranceOptions {
   support::BackoffPolicy rma_backoff{};
 };
 
+/// Eager/coalesced signal-transport tuning (DESIGN.md §4e). Both knobs
+/// default OFF so the wire protocol — and with it every golden schedule
+/// hash — is unchanged unless a run opts in.
+struct CommOptions {
+  /// Payloads strictly smaller than this many bytes are inlined into the
+  /// signal RPC itself (eager protocol), skipping the consumer's pull
+  /// rget round trip. 0 disables (pure rendezvous, the paper's Fig. 4
+  /// protocol). 4096 is the tuned sweet spot from the bench_comm sweep:
+  /// it covers the latency-bound small-panel/aggregate-row traffic while
+  /// leaving bandwidth-bound blocks on the RMA path.
+  std::int64_t eager_bytes = 0;
+  /// Batch signals to the same destination rank into one RPC per
+  /// progress quantum (per-destination outboxes in pgas::Rank, flushed
+  /// by age or when the sender runs out of work).
+  bool coalesce = false;
+};
+
+/// Overlay SYMPACK_EAGER_BYTES / SYMPACK_COALESCE onto `base` (same
+/// pattern as pgas::env_fault_config; applied at solver construction).
+CommOptions env_comm_options(CommOptions base);
+
 struct SolverOptions {
   ordering::Method ordering = ordering::Method::kNestedDissection;
   Variant variant = Variant::kFanOut;
@@ -104,6 +125,9 @@ struct SolverOptions {
   /// Self-healing knobs for runs under fault injection (see
   /// FaultToleranceOptions; no-op when the runtime has no injector).
   FaultToleranceOptions fault{};
+  /// Eager/coalesced signal transport (default off: rendezvous-only,
+  /// bit-identical to the historical protocol).
+  CommOptions comm{};
 };
 
 }  // namespace sympack::core

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "pgas/pool.hpp"
+
 namespace sympack::core {
 
 SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
@@ -32,7 +34,7 @@ SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
   seg_.resize(ns);
   deps_.init(ns);  // once: ready times carry across the two sweeps
   per_rank_.resize(rt.nranks());
-  net_.init(rt, opts_.fault);
+  net_.init(rt, opts_.fault, nullptr, opts_.comm);
 }
 
 SolveEngine::~SolveEngine() { free_buffers(); }
@@ -40,9 +42,10 @@ SolveEngine::~SolveEngine() { free_buffers(); }
 void SolveEngine::free_buffers() {
   for (int r = 0; r < rt_->nranks(); ++r) {
     for (auto& g : per_rank_[r].owned_buffers) {
-      rt_->rank(r).deallocate(g);
+      rt_->rank(r).pool_deallocate(g);
     }
     per_rank_[r].owned_buffers.clear();
+    per_rank_[r].eager_refs.clear();
   }
 }
 
@@ -101,6 +104,9 @@ void SolveEngine::reset_phase(bool backward) {
     pr.tasks.clear();
     pr.done_diag = 0;
     pr.done_contrib = 0;
+    // Eager payloads pinned for the previous sweep die here: a stale
+    // forward-sweep payload must never satisfy a backward-sweep task.
+    pr.eager_refs.clear();
   }
   // Inboxes drop; under recovery the sequence numbers also restart per
   // sweep (the forward ledger must not satisfy backward re-requests).
@@ -140,6 +146,13 @@ pgas::Step SolveEngine::step(pgas::Rank& rank, bool backward) {
     ++worked;
   }
   if (worked > 0) {
+    net_.on_worked(me);
+    return pgas::Step::kWorked;
+  }
+  // Nothing else to do: flush any coalesced signals still parked in the
+  // outboxes so consumers are not starved (and termination can be
+  // reached — a rank never reports done with signals still queued).
+  if (rank.flush_signals() > 0) {
     net_.on_worked(me);
     return pgas::Step::kWorked;
   }
@@ -210,11 +223,38 @@ void SolveEngine::publish_solution(pgas::Rank& rank, idx_t k, bool backward) {
     }
   };
 
+  const bool has_remote =
+      std::any_of(consumers.begin(), consumers.end(),
+                  [me](int r) { return r != me; });
+
+  if (net_.eager(bytes)) {
+    // Eager: the segment rides inside the signal; one shared buffer
+    // serves every remote consumer (and ledger retransmits).
+    std::shared_ptr<const double> payload;
+    if (store_->numeric() && has_remote) {
+      auto buf = pgas::shared_host_buffer(rank, bytes / sizeof(double));
+      std::memcpy(buf.get(), seg_[k].data(), bytes);
+      payload = std::move(buf);
+    }
+    for (int r : consumers) {
+      if (r == me) {
+        enqueue_local(me, store_->numeric() ? seg_[k].data() : nullptr,
+                      rank.now());
+      } else {
+        Msg m{Msg::Type::kX, k, 0, 0, pgas::GlobalPtr{}, bytes};
+        m.eager_bytes = static_cast<std::uint32_t>(bytes);
+        m.payload = payload;
+        net_.send(rank, r, std::move(m));
+      }
+    }
+    return;
+  }
+
   // Publish the segment one-sidedly: remote consumers receive a signal
   // and pull the segment with rget, exactly like factor blocks.
   pgas::GlobalPtr src{};
   if (store_->numeric()) {
-    src = rank.allocate_host(bytes);
+    src = rank.pool_allocate_host(bytes);
     std::memcpy(src.addr, seg_[k].data(), bytes);
     per_rank_[me].owned_buffers.push_back(src);
   }
@@ -237,8 +277,16 @@ void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
     // tasks that consume it.
     const double* operand = nullptr;
     double ready;
-    if (store_->numeric()) {
-      auto buf = rank.allocate_host(msg.bytes);
+    if (msg.eager_bytes > 0) {
+      // Eager: the segment arrived inline; pin the shared payload for
+      // the sweep because Task::operand outlives the Msg.
+      if (msg.payload) {
+        pr.eager_refs.push_back(msg.payload);
+        operand = msg.payload.get();
+      }
+      ready = rank.now();
+    } else if (store_->numeric()) {
+      auto buf = rank.pool_allocate_host(msg.bytes);
       pr.owned_buffers.push_back(buf);
       ready = net_.with_retry(rank, [&] {
         return rank.rget(msg.data, buf.addr, msg.bytes, pgas::MemKind::kHost);
@@ -274,6 +322,14 @@ void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
   }
 
   // kContrib: a partial sum arrives for a segment this rank owns.
+  if (msg.eager_bytes > 0) {
+    // Eager: apply the inline partial sum directly (it is consumed
+    // synchronously, so no pinning is needed).
+    apply_contribution(rank, msg.panel, msg.slot,
+                       msg.payload ? msg.payload.get() : nullptr, rank.now(),
+                       backward);
+    return;
+  }
   const double* z = nullptr;
   double ready;
   std::vector<double> tmp;
@@ -350,9 +406,20 @@ void SolveEngine::execute_contrib(pgas::Rank& rank, const Task& task,
   }
   const std::size_t bytes =
       sizeof(double) * static_cast<std::size_t>(out_rows) * nrhs_;
+  if (net_.eager(bytes)) {
+    Msg m{Msg::Type::kContrib, 0, panel, slot, pgas::GlobalPtr{}, bytes};
+    m.eager_bytes = static_cast<std::uint32_t>(bytes);
+    if (numeric) {
+      auto payload = pgas::shared_host_buffer(rank, bytes / sizeof(double));
+      std::memcpy(payload.get(), z.data(), bytes);
+      m.payload = std::move(payload);
+    }
+    net_.send(rank, dest_owner, std::move(m));
+    return;
+  }
   pgas::GlobalPtr buf{};
   if (numeric) {
-    buf = rank.allocate_host(bytes);
+    buf = rank.pool_allocate_host(bytes);
     std::memcpy(buf.addr, z.data(), bytes);
     pr.owned_buffers.push_back(buf);
   }

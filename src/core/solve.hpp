@@ -69,6 +69,16 @@ class SolveEngine {
     BlockSlot slot;   // kContrib: block slot in the panel
     pgas::GlobalPtr data;
     std::size_t bytes;
+    /// Eager protocol (DESIGN.md §4e): nonzero means the segment /
+    /// partial sum rides inside the message and `data` is unused. Set
+    /// even in protocol-only runs; `payload` is null there. Ledger
+    /// copies share the buffer, so retransmits replay the data inline.
+    std::uint32_t eager_bytes = 0;
+    std::shared_ptr<const double> payload;
+
+    friend std::size_t inline_payload_bytes(const Msg& m) {
+      return m.eager_bytes;
+    }
   };
   struct Task {
     enum class Type : std::uint8_t { kDiag, kContrib } type;
@@ -82,6 +92,11 @@ class SolveEngine {
     idx_t done_diag = 0;
     idx_t done_contrib = 0;
     std::vector<pgas::GlobalPtr> owned_buffers;  // freed at phase end
+    /// Eager kX payloads pinned for this sweep: Task::operand points
+    /// into them and outlives the Msg, so the consumer holds a
+    /// reference until the phase resets (reset_phase drops them —
+    /// stale payloads never leak into the next sweep).
+    std::vector<std::shared_ptr<const double>> eager_refs;
   };
 
   pgas::Step step(pgas::Rank& rank, bool backward);

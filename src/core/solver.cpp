@@ -8,10 +8,19 @@
 #include "core/fanin.hpp"
 #include "core/solve.hpp"
 #include "ordering/etree.hpp"
+#include "pgas/pool.hpp"
 #include "sparse/permute.hpp"
+#include "support/env.hpp"
 #include "support/timer.hpp"
 
 namespace sympack::core {
+
+CommOptions env_comm_options(CommOptions base) {
+  base.eager_bytes =
+      support::env_int("SYMPACK_EAGER_BYTES", base.eager_bytes);
+  base.coalesce = support::env_bool("SYMPACK_COALESCE", base.coalesce);
+  return base;
+}
 
 Policy parse_policy(const std::string& name) {
   if (name == "fifo") return Policy::kFifo;
@@ -48,6 +57,7 @@ SymPackSolver::SymPackSolver(pgas::Runtime& rt, SolverOptions opts)
   // The dense-kernel tile configuration is process-wide (the blocked
   // BLAS routines read it on every call); adopt this solver's choice.
   blas::kernels::set_config(opts_.kernel_tiles);
+  opts_.comm = env_comm_options(opts_.comm);
 }
 
 SymPackSolver::~SymPackSolver() = default;
@@ -91,6 +101,22 @@ void SymPackSolver::factorize() {
   rt_->reset_stats();
   offload_->reset_counters();
 
+  // Pool hit/miss tracer marks are gated on the fast comm path being
+  // enabled: at the eager-off/coalesce-off defaults the pool must leave
+  // the trace (and therefore the golden schedule hashes) untouched.
+  const bool comm_fast_path =
+      opts_.comm.eager_bytes > 0 || opts_.comm.coalesce;
+  if (tracer_ != nullptr && comm_fast_path) {
+    Tracer* tracer = tracer_;
+    pgas::Runtime* rt = rt_;
+    rt_->pool().set_event_hook([tracer, rt](int rank, bool hit) {
+      const double t = rt->rank(rank).now();
+      tracer->record(rank,
+                     hit ? taskrt::kTrace_pool_hits : taskrt::kTrace_pool_misses,
+                     t, t);
+    });
+  }
+
   if (opts_.variant == Variant::kFanOut) {
     FactorEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_, tracer_);
     engine.run();
@@ -98,6 +124,7 @@ void SymPackSolver::factorize() {
     FanInEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_);
     engine.run();
   }
+  if (tracer_ != nullptr && comm_fast_path) rt_->pool().set_event_hook({});
 
   report_.factor_wall_s = support::WallClock::now() - t0;
   report_.factor_sim_s = rt_->max_clock();

@@ -53,10 +53,22 @@ class Endpoint {
   /// Attach to a runtime. `tracer` (may be null) receives the zero-width
   /// recovery events; recovery state is initialized only when the
   /// runtime has a fault injector, so fault-free runs carry none of it.
+  /// `comm` enables the eager/coalesced transport (both default off —
+  /// the wire protocol is then bit-identical to the historical one).
+  ///
+  /// The eager contract with the engine's Msg type: a hidden-friend
+  /// `inline_payload_bytes(const Msg&)` reports how many payload bytes
+  /// the message carries inline (0 = pure signal). An inlined payload is
+  /// charged per-byte on the wire, and — because it is part of the
+  /// message itself — rides the ReliableLink ledger: a retransmit
+  /// replays the payload inline, so eager messages never need the pull
+  /// re-request round trip (the recovery protocol treats them as
+  /// already-delivered data).
   void init(pgas::Runtime& rt, const FaultToleranceOptions& fault,
-            Tracer* tracer = nullptr) {
+            Tracer* tracer = nullptr, CommOptions comm = {}) {
     rt_ = &rt;
     fault_ = fault;
+    comm_ = comm;
     tracer_ = tracer;
     recovery_ = rt.fault_injection_enabled();
     slots_.clear();
@@ -78,14 +90,37 @@ class Endpoint {
 
   [[nodiscard]] bool recovery() const { return recovery_; }
 
+  /// Should a payload of `bytes` go eager (inlined into the signal)
+  /// instead of rendezvous (signal + pull rget)? The engines consult
+  /// this when they build the message.
+  [[nodiscard]] bool eager(std::size_t bytes) const {
+    return comm_.eager_bytes > 0 &&
+           bytes < static_cast<std::size_t>(comm_.eager_bytes);
+  }
+
+  [[nodiscard]] const CommOptions& comm() const { return comm_; }
+
   /// Send `m` to rank `to`: a plain signal RPC with faults off;
   /// ledgered + sequenced through the ReliableLink under injection.
+  /// Counts one eager_sends when the message carries an inlined payload
+  /// (retransmits of the same message do not recount — they are
+  /// retransmits, and the wire bytes are recharged at the Rank layer).
   void send(pgas::Rank& rank, int to, const Msg& m) {
+    if (inline_payload_bytes(m) > 0) {
+      ++rank.stats().eager_sends;
+      if (tracer_ != nullptr) {
+        tracer_->record(rank.id(), kTrace_eager_sends, rank.now(),
+                        rank.now());
+      }
+    }
     if (!recovery_) {
       const Msg copy = m;
-      rank.rpc(to, [this, copy](pgas::Rank& target) {
-        slots_[target.id()].inbox.push_back(copy);
-      });
+      dispatch(
+          rank, to,
+          [this, copy](pgas::Rank& target) {
+            slots_[target.id()].inbox.push_back(copy);
+          },
+          inline_payload_bytes(m));
       return;
     }
     const std::uint64_t seq = slots_[rank.id()].link.record(to, m);
@@ -169,14 +204,37 @@ class Endpoint {
     int rerequest_rounds = 0;          // re-request rounds fired so far
   };
 
+  /// Route one signal RPC through the configured transport: plain rpc()
+  /// when coalescing is off (the historical wire behavior), otherwise
+  /// the per-destination outbox, marking a coalesced-signal trace event
+  /// when the signal joins an already-open batch.
+  template <typename Fn>
+  void dispatch(pgas::Rank& rank, int to, Fn&& fn,
+                std::size_t payload_bytes) {
+    if (!comm_.coalesce) {
+      rank.rpc(to, std::forward<Fn>(fn), payload_bytes);
+      return;
+    }
+    if (tracer_ != nullptr && rank.has_unflushed_signals_to(to)) {
+      tracer_->record(rank.id(), kTrace_coalesced_signals, rank.now(),
+                      rank.now());
+    }
+    rank.rpc_coalesced(to, std::forward<Fn>(fn), payload_bytes);
+  }
+
   /// Deliver one sequenced message; the RPC body runs link.admit at the
-  /// target (dedup/stash/release-run).
+  /// target (dedup/stash/release-run). Passing the inlined payload size
+  /// here means a ledger retransmit re-carries (and recharges) the
+  /// payload — an eager message is whole on every delivery attempt.
   void post(pgas::Rank& rank, int to, std::uint64_t seq, const Msg& m) {
     const int from = rank.id();
-    rank.rpc(to, [this, from, seq, m](pgas::Rank& target) {
-      Slot& ts = slots_[target.id()];
-      ts.link.admit(from, seq, m, ts.inbox, target.stats());
-    });
+    dispatch(
+        rank, to,
+        [this, from, seq, m](pgas::Rank& target) {
+          Slot& ts = slots_[target.id()];
+          ts.link.admit(from, seq, m, ts.inbox, target.stats());
+        },
+        inline_payload_bytes(m));
   }
 
   /// Consumer side of loss recovery: broadcast a pull re-request
@@ -214,6 +272,7 @@ class Endpoint {
 
   pgas::Runtime* rt_ = nullptr;
   FaultToleranceOptions fault_{};
+  CommOptions comm_{};
   Tracer* tracer_ = nullptr;
   bool recovery_ = false;
   std::vector<Slot> slots_;

@@ -26,12 +26,15 @@
 
 namespace sympack::core::taskrt {
 
-// Zero-width recovery trace-event names, one constant per recovery
+// Zero-width recovery and comm trace-event names, one constant per
 // counter in the shared table.
 #define SYMPACK_RECOVERY_COUNTER(field, label, trace_name) \
   inline constexpr const char* kTrace_##field = trace_name;
+#define SYMPACK_COMM_COUNTER(field, label, trace_name) \
+  inline constexpr const char* kTrace_##field = trace_name;
 #include "core/taskrt/counters.def"
 #undef SYMPACK_RECOVERY_COUNTER
+#undef SYMPACK_COMM_COUNTER
 
 /// Task kinds the engines trace. The letter is the span-name prefix.
 enum class TaskTag : char {

@@ -29,6 +29,14 @@ struct MachineModel {
   double net_bandwidth_Bps = 23.4e9;   // achievable RMA bandwidth
   double wire_speed_Bps = 25.0e9;      // physical limit (plot reference)
   double rpc_overhead_s = 1.2e-6;      // async RPC injection + execution
+  /// Payload bandwidth for bytes carried *inside* an RPC (eager-protocol
+  /// inlined payloads ride the active-message medium, which is slightly
+  /// slower than the RMA path — GASNet-EX AM payload vs RDMA). The RPC
+  /// cost model is per-message overhead + per-byte time, so a coalesced
+  /// batch of N signals pays rpc_overhead_s once instead of N times; a
+  /// zero-payload RPC costs exactly rpc_overhead_s, bit-identical to the
+  /// historical flat model.
+  double rpc_byte_Bps = 19.0e9;
   double rma_issue_s = 0.3e-6;         // CPU cost to inject one RMA op
   // MPI comparator for Fig. 5 (slightly lower latency, same bandwidth).
   double mpi_latency_s = 2.7e-6;
@@ -71,6 +79,14 @@ struct MachineModel {
 
   /// Host <-> device copy within one rank (PCIe).
   [[nodiscard]] double hd_copy_time(std::size_t bytes) const;
+
+  /// Cost of one RPC message carrying `payload_bytes` of inlined payload:
+  /// per-message overhead plus the per-byte active-message term. Zero
+  /// payload reproduces the historical flat rpc_overhead_s exactly.
+  [[nodiscard]] double rpc_time(std::size_t payload_bytes) const {
+    return rpc_overhead_s +
+           static_cast<double>(payload_bytes) / rpc_byte_Bps;
+  }
 };
 
 }  // namespace sympack::pgas

@@ -1,0 +1,146 @@
+#include "pgas/pool.hpp"
+
+#include <algorithm>
+
+#include "pgas/runtime.hpp"
+#include "support/env.hpp"
+
+namespace sympack::pgas {
+
+PoolConfig env_pool_config(PoolConfig base) {
+  base.enabled = support::env_bool("SYMPACK_POOL", base.enabled);
+  base.max_block_bytes = static_cast<std::size_t>(support::env_int(
+      "SYMPACK_POOL_MAX_BLOCK",
+      static_cast<std::int64_t>(base.max_block_bytes)));
+  base.max_cached_bytes = static_cast<std::size_t>(support::env_int(
+      "SYMPACK_POOL_MAX_CACHED",
+      static_cast<std::int64_t>(base.max_cached_bytes)));
+  return base;
+}
+
+void SlabPool::init(int nranks, const PoolConfig& cfg) {
+  cfg_ = cfg;
+  num_classes_ = 0;
+  while (class_bytes(num_classes_) < cfg_.max_block_bytes) ++num_classes_;
+  ++num_classes_;  // the class that holds max_block_bytes itself
+  shards_.clear();
+  shards_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    auto shard = std::make_unique<Shard>();
+    shard->free_lists.resize(static_cast<std::size_t>(num_classes_));
+    shards_.push_back(std::move(shard));
+  }
+}
+
+int SlabPool::class_index(std::size_t bytes) const {
+  int idx = 0;
+  while (class_bytes(idx) < bytes) ++idx;
+  return idx;
+}
+
+GlobalPtr SlabPool::acquire(Rank& rank, std::size_t bytes) {
+  if (!cfg_.enabled || bytes == 0 || bytes > cfg_.max_block_bytes ||
+      shards_.empty()) {
+    return rank.allocate_host(bytes);
+  }
+  Shard& shard = *shards_[static_cast<std::size_t>(rank.id())];
+  const int idx = class_index(bytes);
+  std::byte* recycled = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto& list = shard.free_lists[static_cast<std::size_t>(idx)];
+    if (!list.empty()) {
+      recycled = list.back();
+      list.pop_back();
+      shard.cached_bytes -= class_bytes(idx);
+    }
+  }
+  EventHook hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mutex_);
+    hook = hook_;
+  }
+  if (recycled != nullptr) {
+    ++rank.stats().pool_hits;
+    if (hook) hook(rank.id(), true);
+    return GlobalPtr{recycled, rank.id(), MemKind::kHost};
+  }
+  // Miss: allocate a full class-rounded slab through the rank, so the
+  // allocation registry (leak check, peak accounting) sees it like any
+  // other buffer, then remember its class for release().
+  GlobalPtr slab = rank.allocate_host(class_bytes(idx));
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.class_of.emplace(slab.addr, idx);
+  }
+  ++rank.stats().pool_misses;
+  if (hook) hook(rank.id(), false);
+  return slab;
+}
+
+void SlabPool::release(Rank& rank, GlobalPtr ptr) {
+  if (ptr.is_null()) return;
+  if (shards_.empty() || ptr.kind != MemKind::kHost) {
+    rank.deallocate(ptr);
+    return;
+  }
+  Shard& shard = *shards_[static_cast<std::size_t>(ptr.rank)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.class_of.find(ptr.addr);
+    if (it != shard.class_of.end()) {
+      const int idx = it->second;
+      if (shard.cached_bytes + class_bytes(idx) <= cfg_.max_cached_bytes) {
+        shard.free_lists[static_cast<std::size_t>(idx)].push_back(ptr.addr);
+        shard.cached_bytes += class_bytes(idx);
+        return;  // parked; stays registered with the runtime
+      }
+      shard.class_of.erase(it);  // over the cap: free it for real
+    }
+  }
+  rank.deallocate(ptr);
+}
+
+void SlabPool::drain(Rank& rank) {
+  if (shards_.empty()) return;
+  Shard& shard = *shards_[static_cast<std::size_t>(rank.id())];
+  std::vector<std::byte*> to_free;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto& list : shard.free_lists) {
+      to_free.insert(to_free.end(), list.begin(), list.end());
+      list.clear();
+    }
+    for (std::byte* addr : to_free) shard.class_of.erase(addr);
+    shard.cached_bytes = 0;
+  }
+  for (std::byte* addr : to_free) {
+    rank.deallocate(GlobalPtr{addr, rank.id(), MemKind::kHost});
+  }
+}
+
+std::size_t SlabPool::cached_bytes(int rank) const {
+  if (shards_.empty()) return 0;
+  const Shard& shard = *shards_[static_cast<std::size_t>(rank)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.cached_bytes;
+}
+
+void SlabPool::set_event_hook(EventHook hook) {
+  std::lock_guard<std::mutex> lock(hook_mutex_);
+  hook_ = std::move(hook);
+}
+
+std::shared_ptr<double> shared_host_buffer(Rank& rank, std::size_t count) {
+  Runtime* rt = &rank.runtime();
+  const GlobalPtr g = rank.pool_allocate_host(count * sizeof(double));
+  const int owner = g.rank;
+  std::byte* addr = g.addr;
+  return std::shared_ptr<double>(
+      g.local<double>(), [rt, owner, addr](double*) {
+        rt->pool().release(rt->rank(owner),
+                           GlobalPtr{addr, owner, MemKind::kHost});
+      });
+}
+
+}  // namespace sympack::pgas

@@ -86,21 +86,32 @@ void Rank::deallocate(GlobalPtr ptr) {
   delete[] ptr.addr;
 }
 
-void Rank::rpc(int target, std::function<void(Rank&)> fn) {
+GlobalPtr Rank::pool_allocate_host(std::size_t bytes) {
+  return runtime_->pool_.acquire(*this, bytes);
+}
+
+void Rank::pool_deallocate(GlobalPtr ptr) {
+  runtime_->pool_.release(*this, ptr);
+}
+
+void Rank::rpc(int target, std::function<void(Rank&)> fn,
+               std::size_t payload_bytes) {
   Rank& t = runtime_->rank(target);
-  const double arrival = clock_ + runtime_->model().rpc_overhead_s;
+  // Per-message overhead + per-byte active-message term; zero payload
+  // (every plain signal) reproduces the historical flat cost exactly.
+  const double arrival = clock_ + runtime_->model().rpc_time(payload_bytes);
   advance(runtime_->model().rpc_overhead_s * 0.5);  // injection cost
   ++stats_.rpcs_sent;
   FaultInjector* inj = runtime_->injector();
   if (inj == nullptr) {
     // Fault-free fast path: identical to the historical behavior.
     std::lock_guard<std::mutex> lock(t.inbox_mutex_);
-    t.inbox_.push_back({arrival, 0.0, std::move(fn)});
+    t.inbox_.push_back({arrival, 0.0, payload_bytes, std::move(fn)});
     return;
   }
   const FaultInjector::RpcPlan plan = inj->plan_rpc(id_);
   if (plan.drop) return;  // the signal vanishes on the wire
-  InboxEntry entry{arrival, 0.0, std::move(fn)};
+  InboxEntry entry{arrival, 0.0, payload_bytes, std::move(fn)};
   if (plan.delay) {
     // A delayed entry carries its true (late) arrival and a hold: the
     // receiver's progress() must not execute it before that time.
@@ -119,13 +130,89 @@ void Rank::rpc(int target, std::function<void(Rank&)> fn) {
   }
 }
 
+void Rank::rpc_coalesced(int target, std::function<void(Rank&)> fn,
+                         std::size_t payload_bytes) {
+  if (outboxes_.empty()) {
+    outboxes_.resize(static_cast<std::size_t>(nranks()));
+  }
+  Outbox& ob = outboxes_[static_cast<std::size_t>(target)];
+  if (ob.fns.empty()) {
+    ob.first_epoch = progress_epoch_;
+    ++open_outboxes_;
+  } else {
+    ++stats_.coalesced_signals;  // riding an already-open batch
+  }
+  ob.fns.push_back(std::move(fn));
+  ob.payload_bytes += payload_bytes;
+}
+
+void Rank::flush_outbox(int target) {
+  Outbox& ob = outboxes_[static_cast<std::size_t>(target)];
+  if (ob.fns.empty()) return;
+  std::vector<std::function<void(Rank&)>> batch;
+  batch.swap(ob.fns);
+  const std::size_t bytes = ob.payload_bytes;
+  ob.payload_bytes = 0;
+  --open_outboxes_;
+  if (batch.size() == 1) {
+    // Nothing coalesced with it; send it bare (identical cost, and the
+    // receiver sees the original callable).
+    rpc(target, std::move(batch.front()), bytes);
+    return;
+  }
+  // One RPC, one injector plan, one rpc_overhead_s for the whole batch;
+  // the per-byte term covers the summed inlined payloads. Sub-callbacks
+  // run in enqueue order on the receiver.
+  rpc(
+      target,
+      [fns = std::move(batch)](Rank& t) {
+        for (const auto& f : fns) f(t);
+      },
+      bytes);
+}
+
+int Rank::flush_signals() {
+  if (open_outboxes_ == 0) return 0;
+  int flushed = 0;
+  for (int t = 0; t < static_cast<int>(outboxes_.size()); ++t) {
+    if (!outboxes_[static_cast<std::size_t>(t)].fns.empty()) {
+      flush_outbox(t);
+      ++flushed;
+    }
+  }
+  return flushed;
+}
+
+bool Rank::has_unflushed_signals() const { return open_outboxes_ > 0; }
+
+bool Rank::has_unflushed_signals_to(int target) const {
+  return !outboxes_.empty() &&
+         !outboxes_[static_cast<std::size_t>(target)].fns.empty();
+}
+
 int Rank::progress() {
+  // Age out coalescing outboxes first: a batch parked for
+  // coalesce_defer progress calls stops waiting for more riders.
+  ++progress_epoch_;
+  int flushed = 0;
+  if (open_outboxes_ > 0) {
+    const int defer_cfg = runtime_->config().coalesce_defer;
+    const auto defer =
+        static_cast<std::uint64_t>(defer_cfg > 0 ? defer_cfg : 0);
+    for (int t = 0; t < static_cast<int>(outboxes_.size()); ++t) {
+      Outbox& ob = outboxes_[static_cast<std::size_t>(t)];
+      if (!ob.fns.empty() && progress_epoch_ - ob.first_epoch >= defer) {
+        flush_outbox(t);
+        ++flushed;
+      }
+    }
+  }
   std::vector<InboxEntry> drained;
   {
     std::lock_guard<std::mutex> lock(inbox_mutex_);
     drained.swap(inbox_);
   }
-  if (drained.empty()) return 0;
+  if (drained.empty()) return flushed;
   int executed = 0;
   std::vector<InboxEntry> held;
   auto run_batch = [&](std::vector<InboxEntry>& batch) {
@@ -142,6 +229,11 @@ int Rank::progress() {
       // The callback cannot run before the RPC arrived.
       merge_clock(entry.arrival);
       advance(runtime_->model().rpc_overhead_s * 0.5);  // execution cost
+      // Eager-inlined payload bytes are charged here, on the receiver:
+      // the wire carried them whether or not the consumer keeps them
+      // (so injected duplicates and ledger retransmits recount — honest
+      // wire volume). 0 for every plain signal.
+      stats_.bytes_from_host += entry.payload_bytes;
       entry.fn(*this);
       ++stats_.rpcs_executed;
       ++executed;
@@ -167,7 +259,7 @@ int Rank::progress() {
     inbox_.insert(inbox_.begin(), std::make_move_iterator(held.begin()),
                   std::make_move_iterator(held.end()));
   }
-  return executed;
+  return executed + flushed;
 }
 
 bool Rank::has_pending_rpcs() const {
@@ -261,6 +353,9 @@ Runtime::Runtime(Config config) : config_(config) {
     injector_ = std::make_unique<FaultInjector>(config_.faults,
                                                 config_.nranks);
   }
+  // Same overlay pattern for the slab pool (SYMPACK_POOL_*).
+  config_.pool = env_pool_config(config_.pool);
+  pool_.init(config_.nranks, config_.pool);
   ranks_.reserve(config_.nranks);
   for (int r = 0; r < config_.nranks; ++r) {
     auto rank = std::make_unique<Rank>();
@@ -280,6 +375,9 @@ Runtime::Runtime(Config config) : config_(config) {
 }
 
 Runtime::~Runtime() {
+  // Return the pool's cached slabs first: they are real registered
+  // allocations parked in free lists, not leaks.
+  for (auto& r : ranks_) pool_.drain(*r);
   // Free anything the user leaked so ASAN-style runs stay clean; warn so
   // tests can keep allocation discipline honest.
   std::lock_guard<std::mutex> lock(alloc_mutex_);
@@ -324,14 +422,36 @@ std::string Runtime::dump_rank_states(const std::vector<char>& done) const {
 #include "core/taskrt/counters.def"
 #undef SYMPACK_RECOVERY_COUNTER
     }
+    // Eager/coalesced transport activity, shown whenever any happened.
+    const std::uint64_t comm_total = 0
+#define SYMPACK_COMM_COUNTER(field, label, trace_name) +s.field
+#include "core/taskrt/counters.def"
+#undef SYMPACK_COMM_COUNTER
+        ;
+    if (comm_total > 0) {
+#define SYMPACK_COMM_COUNTER(field, label, trace_name) \
+  os << ", " << label << "=" << s.field;
+#include "core/taskrt/counters.def"
+#undef SYMPACK_COMM_COUNTER
+    }
   }
   return os.str();
 }
 
 void Runtime::purge_inboxes() {
   for (auto& r : ranks_) {
-    std::lock_guard<std::mutex> lock(r->inbox_mutex_);
-    r->inbox_.clear();
+    {
+      std::lock_guard<std::mutex> lock(r->inbox_mutex_);
+      r->inbox_.clear();
+    }
+    // Coalescing outboxes hold the same kind of stale lambdas (they
+    // capture the finished phase's engine); drop them too. Rank-local
+    // state, but drive() has joined/finished all stepping here.
+    for (auto& ob : r->outboxes_) {
+      ob.fns.clear();
+      ob.payload_bytes = 0;
+    }
+    r->open_outboxes_ = 0;
   }
 }
 
@@ -541,8 +661,11 @@ CommStats Runtime::total_stats() const {
     total.hd_copies += s.hd_copies;
 #define SYMPACK_RECOVERY_COUNTER(field, label, trace_name) \
   total.field += s.field;
+#define SYMPACK_COMM_COUNTER(field, label, trace_name) \
+  total.field += s.field;
 #include "core/taskrt/counters.def"
 #undef SYMPACK_RECOVERY_COUNTER
+#undef SYMPACK_COMM_COUNTER
   }
   return total;
 }

@@ -44,6 +44,7 @@
 #include "pgas/fault.hpp"
 #include "pgas/global_ptr.hpp"
 #include "pgas/machine_model.hpp"
+#include "pgas/pool.hpp"
 
 namespace sympack::pgas {
 
@@ -81,13 +82,17 @@ struct CommStats {
   std::uint64_t bytes_to_device = 0;    // transfers landing in device mem
   std::uint64_t hd_copies = 0;          // local host<->device copies
 
-  // --- Recovery counters (fault-tolerance protocol), generated from the
-  // X-macro table so the fields, the watchdog dump labels, and the trace
-  // event names stay in lockstep (see core/taskrt/counters.def).
+  // --- Recovery counters (fault-tolerance protocol) and eager/coalesced
+  // transport counters, generated from the X-macro table so the fields,
+  // the watchdog dump labels, and the trace event names stay in lockstep
+  // (see core/taskrt/counters.def).
 #define SYMPACK_RECOVERY_COUNTER(field, label, trace_name) \
+  std::uint64_t field = 0;
+#define SYMPACK_COMM_COUNTER(field, label, trace_name) \
   std::uint64_t field = 0;
 #include "core/taskrt/counters.def"
 #undef SYMPACK_RECOVERY_COUNTER
+#undef SYMPACK_COMM_COUNTER
 
   [[nodiscard]] std::uint64_t total_bytes() const {
     return bytes_from_host + bytes_from_device;
@@ -124,11 +129,48 @@ class Rank {
   [[nodiscard]] std::size_t device_share_bytes() const;
   void deallocate(GlobalPtr ptr);
 
+  /// allocate_host through the runtime's slab pool: small requests are
+  /// served from a per-rank free list when possible (pool_hits), large
+  /// or pool-disabled requests fall back to allocate_host unchanged.
+  /// Free with pool_deallocate (which also accepts raw allocate_host
+  /// pointers, so call sites can free uniformly).
+  GlobalPtr pool_allocate_host(std::size_t bytes);
+  void pool_deallocate(GlobalPtr ptr);
+
   // --- RPC (Fig. 4 step 1): enqueue `fn` for execution on `target`
   // during its next progress(). The callback receives the target rank.
-  void rpc(int target, std::function<void(Rank&)> fn);
+  // `payload_bytes` is the eager-protocol inlined payload size: it adds
+  // the per-byte active-message term to the arrival time and is charged
+  // to the *receiver's* bytes_from_host when the entry executes (the
+  // wire moved those bytes whether or not the consumer keeps them). 0 —
+  // every pre-eager call site — reproduces the flat historical cost.
+  void rpc(int target, std::function<void(Rank&)> fn,
+           std::size_t payload_bytes = 0);
 
-  /// Drain the RPC inbox (Fig. 4 step 3). Returns the number executed.
+  /// Coalescing variant: buffer `fn` in this rank's per-destination
+  /// outbox instead of sending immediately. Outboxes are flushed as one
+  /// batched RPC per destination (single rpc_overhead_s for the whole
+  /// batch) either by progress() once the outbox has aged
+  /// config.coalesce_defer progress calls, or eagerly by
+  /// flush_signals() when the engine runs out of other work. Appending
+  /// to an already-open outbox counts one coalesced_signals.
+  void rpc_coalesced(int target, std::function<void(Rank&)> fn,
+                     std::size_t payload_bytes = 0);
+
+  /// Flush every open outbox now (engine idle hook; guarantees no signal
+  /// is parked when a rank declares itself done). Returns the number of
+  /// batches sent.
+  int flush_signals();
+
+  /// True if any signal is parked in a coalescing outbox.
+  [[nodiscard]] bool has_unflushed_signals() const;
+  /// True if signals to `target` specifically are parked (the next
+  /// rpc_coalesced to it will batch — used for trace marks).
+  [[nodiscard]] bool has_unflushed_signals_to(int target) const;
+
+  /// Drain the RPC inbox (Fig. 4 step 3), first flushing any coalescing
+  /// outbox that has aged past the defer window. Returns the number of
+  /// RPCs executed plus batches flushed (both are forward progress).
   int progress();
 
   /// True if RPCs are waiting in this rank's inbox.
@@ -173,8 +215,23 @@ class Rank {
     /// arrival by delay injection, making progress() defer the entry
     /// until the rank's clock catches up.
     double held_until = 0.0;
+    /// Eager-inlined payload size carried by this RPC; charged to the
+    /// receiver's bytes_from_host when the entry executes. 0 for every
+    /// plain signal.
+    std::size_t payload_bytes = 0;
     std::function<void(Rank&)> fn;
   };
+
+  /// Per-destination coalescing buffer. Rank-local single-writer state:
+  /// only the thread driving this rank appends (rpc_coalesced) or
+  /// flushes (progress / flush_signals), so no mutex is needed.
+  struct Outbox {
+    std::vector<std::function<void(Rank&)>> fns;
+    std::size_t payload_bytes = 0;
+    std::uint64_t first_epoch = 0;  // progress_epoch_ at first append
+  };
+
+  void flush_outbox(int target);
 
   int id_ = -1;
   Runtime* runtime_ = nullptr;
@@ -182,6 +239,9 @@ class Rank {
   CommStats stats_;
   mutable std::mutex inbox_mutex_;
   std::vector<InboxEntry> inbox_;
+  std::vector<Outbox> outboxes_;  // sized lazily on first rpc_coalesced
+  int open_outboxes_ = 0;         // outboxes with fns non-empty
+  std::uint64_t progress_epoch_ = 0;
 };
 
 /// Result of one step of a driven loop.
@@ -221,6 +281,17 @@ class Runtime {
     /// variables, so any binary can be chaos-tested without a rebuild.
     FaultConfig faults{};
     MachineModel model{};
+    /// Shared-segment slab pool (pgas/pool.hpp). On by default — it
+    /// changes no simulated time and emits no trace events unless a
+    /// hook is installed, so golden schedules are unaffected. The
+    /// constructor overlays SYMPACK_POOL_* environment variables.
+    PoolConfig pool{};
+    /// Coalescing age window: an open outbox is flushed once it has
+    /// survived this many progress() calls on the sending rank (engines
+    /// additionally flush_signals() whenever they run out of other
+    /// work, which bounds latency and guarantees termination). Only
+    /// consulted when rpc_coalesced is used at all.
+    int coalesce_defer = 4;
   };
 
   explicit Runtime(Config config);
@@ -246,6 +317,10 @@ class Runtime {
   [[nodiscard]] bool fault_injection_enabled() const {
     return injector_ != nullptr;
   }
+
+  /// The shared-segment slab pool (Rank::pool_allocate_host routes
+  /// through it; exposed for eager payload buffers and tests).
+  [[nodiscard]] SlabPool& pool() { return pool_; }
 
   /// Run a phase: call `step` on every rank until all report kDone.
   /// Sequential round-robin when config.threaded is false (deterministic),
@@ -291,6 +366,7 @@ class Runtime {
   std::vector<std::unique_ptr<Rank>> ranks_;
   // Attached only when config_.faults.enabled (after env overlay).
   std::unique_ptr<FaultInjector> injector_;
+  SlabPool pool_;
   // NIC channel availability (simulated time), per global NIC id.
   mutable std::mutex nic_mutex_;
   std::vector<double> nic_busy_;

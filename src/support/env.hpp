@@ -7,6 +7,12 @@
 //   SYMPACK_FAULT_SEED_BASE           chaos-CI base seed, read only by
 //                                     tests/test_faults.cpp (mixed into its
 //                                     per-case seeds, never by the runtime)
+//   SYMPACK_EAGER_BYTES / SYMPACK_COALESCE
+//                                     eager/coalesced signal transport
+//                                     (core/options.hpp env_comm_options)
+//   SYMPACK_POOL / SYMPACK_POOL_MAX_BLOCK / SYMPACK_POOL_MAX_CACHED
+//                                     shared-segment slab pool
+//                                     (pgas/pool.hpp env_pool_config)
 #pragma once
 
 #include <cstdint>

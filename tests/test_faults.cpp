@@ -215,6 +215,50 @@ INSTANTIATE_TEST_SUITE_P(ClassesAndSeeds, FaultClass,
                          chaos_name);
 
 // ------------------------------------------------------------------
+// Eager-on column of the fault matrix: the same chaos classes with the
+// eager/coalesced fast path enabled (payloads ride the recovery ledger,
+// so a retransmit replays the data inline). Only the four RPC-level
+// classes run here: transfer faults target the pull rget and device
+// denials the device-resident fetch, both of which the eager path
+// deliberately removes for messages under the threshold, so their
+// counters have nothing to tick.
+
+class FaultClassEager : public ::testing::TestWithParam<ChaosParam> {};
+
+TEST_P(FaultClassEager, SurvivesWithFaultFreeNumerics) {
+  const auto& [idx, seed] = GetParam();
+  const FaultCase& fc = kFaultCases[idx];
+  const auto a = proxy_matrix(fc.matrix);
+  core::SolverOptions opts;
+  opts.policy = fc.policy;
+  opts.comm.eager_bytes = 4096;
+  opts.comm.coalesce = true;
+  if (fc.tune != nullptr) fc.tune(opts);
+
+  const RunResult base =
+      run_solver(a, 8, /*threaded=*/false, pgas::FaultConfig{}, opts);
+  pgas::FaultConfig faults;
+  faults.enabled = true;
+  faults.seed = chaos_seed(7000ull + 1000ull * static_cast<std::uint64_t>(idx) +
+                           static_cast<std::uint64_t>(seed));
+  fc.arm(faults);
+  const RunResult r = run_solver(a, 8, /*threaded=*/false, faults, opts);
+
+  EXPECT_LT(base.residual, 1e-10);
+  EXPECT_LT(r.residual, 1e-10) << "fault seed " << faults.seed;
+  expect_factor_matches(base, r);
+  EXPECT_GT(fc.ticked(r), 0u) << "fault seed " << faults.seed;
+  EXPECT_GT(r.stats.eager_sends, 0u);
+  EXPECT_GT(r.stats.coalesced_signals, 0u);
+  EXPECT_EQ(r.device_bytes_left, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClassesAndSeeds, FaultClassEager,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(1, 5)),
+                         chaos_name);
+
+// ------------------------------------------------------------------
 // Combined drop + reorder: a dropped message whose successor (same
 // producer) arrives before the retransmit lands in the consumer's stash
 // — the out_of_order path a single-class run cannot guarantee.

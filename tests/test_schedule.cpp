@@ -51,6 +51,13 @@ bool fault_env_overridden() {
   return false;
 }
 
+/// Same idea for the eager/coalesce transport knobs: the solver overlays
+/// them onto SolverOptions::comm, which changes the schedule by design.
+bool comm_env_overridden() {
+  return std::getenv("SYMPACK_EAGER_BYTES") != nullptr ||
+         std::getenv("SYMPACK_COALESCE") != nullptr;
+}
+
 void fnv_mix(std::uint64_t& h, const void* data, std::size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
   for (std::size_t i = 0; i < n; ++i) {
@@ -79,7 +86,8 @@ std::uint64_t schedule_hash(const core::Tracer& tracer,
 }
 
 std::uint64_t run_golden(const std::string& proxy, core::Policy policy,
-                         bool faults) {
+                         bool faults, core::CommOptions comm = {},
+                         pgas::CommStats* stats_out = nullptr) {
   pgas::Runtime::Config cfg;
   cfg.nranks = 8;
   cfg.ranks_per_node = 4;
@@ -98,11 +106,13 @@ std::uint64_t run_golden(const std::string& proxy, core::Policy policy,
   pgas::Runtime rt(cfg);
   core::SolverOptions opts;
   opts.policy = policy;
+  opts.comm = comm;
   core::SymPackSolver solver(rt, opts);
   core::Tracer tracer;
   solver.set_tracer(&tracer);
   solver.symbolic_factorize(proxy_matrix(proxy));
   solver.factorize();
+  if (stats_out != nullptr) *stats_out = rt.total_stats();
   return schedule_hash(tracer, rt.total_stats());
 }
 
@@ -151,6 +161,9 @@ TEST_P(GoldenSchedule, HashMatchesPreRefactorCapture) {
   if (g.faults && fault_env_overridden()) {
     GTEST_SKIP() << "SYMPACK_FAULT_* environment override active";
   }
+  if (comm_env_overridden()) {
+    GTEST_SKIP() << "SYMPACK_EAGER_BYTES/SYMPACK_COALESCE override active";
+  }
   const std::uint64_t h = run_golden(g.proxy, g.policy, g.faults);
   EXPECT_EQ(h, g.hash) << "schedule drifted: proxy=" << g.proxy
                        << " policy=" << core::policy_name(g.policy)
@@ -181,6 +194,64 @@ TEST(GoldenScheduleTable, DISABLED_PrintTable) {
            : g.policy == core::Policy::kLifo    ? "Lifo"
            : g.policy == core::Policy::kPriority ? "Priority"
                                                  : "CriticalPath",
+           g.faults ? "true" : "false", static_cast<unsigned long long>(h));
+  }
+}
+
+// ------------------------------------------------------------------
+// Eager + coalesced schedules are deterministic too (sequential driver):
+// with a pinned threshold the fast path must not drift either. The rows
+// double as a regression net for the transport itself — the hash covers
+// the historical CommStats block, so an accidental extra rget or
+// un-batched signal flips it.
+
+core::CommOptions golden_comm() {
+  core::CommOptions comm;
+  comm.eager_bytes = 4096;
+  comm.coalesce = true;
+  return comm;
+}
+
+// Captured with eager_bytes=4096 + coalesce on (sequential driver, 8
+// ranks, fifo). Regenerate via DISABLED_PrintEagerTable.
+const Golden kGoldenEager[] = {
+    {"flan", core::Policy::kFifo, false, 0x34cf3f084429f975ull},
+    {"bones", core::Policy::kFifo, false, 0x4dc256fe6fa820full},
+    {"thermal", core::Policy::kFifo, false, 0xd612a177306949a5ull},
+    {"flan", core::Policy::kFifo, true, 0xb9ad88dc509c2124ull},
+    {"bones", core::Policy::kFifo, true, 0x413c247cc578f413ull},
+    {"thermal", core::Policy::kFifo, true, 0xdfa3340b25e33d12ull},
+};
+
+class GoldenEagerSchedule : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenEagerSchedule, HashMatchesCapture) {
+  const Golden& g = GetParam();
+  if (g.faults && fault_env_overridden()) {
+    GTEST_SKIP() << "SYMPACK_FAULT_* environment override active";
+  }
+  if (comm_env_overridden()) {
+    GTEST_SKIP() << "SYMPACK_EAGER_BYTES/SYMPACK_COALESCE override active";
+  }
+  pgas::CommStats stats;
+  const std::uint64_t h =
+      run_golden(g.proxy, g.policy, g.faults, golden_comm(), &stats);
+  // The fast path actually engaged on every row.
+  EXPECT_GT(stats.eager_sends, 0u);
+  EXPECT_GT(stats.coalesced_signals, 0u);
+  EXPECT_EQ(h, g.hash) << "eager schedule drifted: proxy=" << g.proxy
+                       << " faults=" << (g.faults ? "on" : "off")
+                       << " actual=0x" << std::hex << h << "ull";
+}
+
+INSTANTIATE_TEST_SUITE_P(Eager, GoldenEagerSchedule,
+                         ::testing::ValuesIn(kGoldenEager), golden_name);
+
+TEST(GoldenScheduleTable, DISABLED_PrintEagerTable) {
+  for (const Golden& g : kGoldenEager) {
+    const std::uint64_t h =
+        run_golden(g.proxy, g.policy, g.faults, golden_comm());
+    printf("    {\"%s\", core::Policy::kFifo, %s, 0x%llxull},\n", g.proxy,
            g.faults ? "true" : "false", static_cast<unsigned long long>(h));
   }
 }
