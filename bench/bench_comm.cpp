@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
     solver.factorize();
     const std::vector<double> b(
         static_cast<std::size_t>(info.matrix.n()), 1.0);
-    solver.solve(b);
+    (void)solver.solve(b);
     const pgas::CommStats numeric = solver.report().comm;
     const auto ops = numeric.pool_hits + numeric.pool_misses;
     const double hit_pct =

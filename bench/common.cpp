@@ -168,6 +168,7 @@ std::vector<ScalingPoint> run_scaling(const MatrixInfo& info,
         core::SymPackSolver solver(rt, opts);
         solver.symbolic_factorize(info.matrix);
         solver.factorize();
+        const pgas::CommStats after_factor = rt.total_stats();
         std::vector<double> b(info.matrix.n(),
                               config.numeric ? 1.0 : 0.0);
         (void)solver.solve(b);
@@ -175,8 +176,18 @@ std::vector<ScalingPoint> run_scaling(const MatrixInfo& info,
           pt.sympack_factor_s = solver.report().factor_sim_s;
           pt.sympack_best_ppn = static_cast<int>(ppn);
         }
-        pt.sympack_solve_s =
-            std::min(pt.sympack_solve_s, solver.report().solve_sim_s);
+        if (solver.report().solve_sim_s < pt.sympack_solve_s) {
+          pt.sympack_solve_s = solver.report().solve_sim_s;
+          const pgas::CommStats after_solve = rt.total_stats();
+          pt.sympack_solve_bytes = static_cast<std::int64_t>(
+              (after_solve.bytes_from_host - after_factor.bytes_from_host) +
+              (after_solve.bytes_from_device -
+               after_factor.bytes_from_device) +
+              (after_solve.bytes_to_device - after_factor.bytes_to_device));
+          pt.sympack_solve_gflops =
+              4.0 * static_cast<double>(solver.report().factor_nnz) /
+              (solver.report().solve_sim_s * 1e9);
+        }
       }
       // --- PaStiX-like baseline (right-looking, 1D, two-sided). The
       // paper ran PaStiX with one process per GPU; ppn beyond the GPU
@@ -265,14 +276,23 @@ int run_figure_main(int argc, const char* const* argv,
 
   JsonReport report;
   for (const auto& pt : points) {
-    report.add_row()
-        .set("figure", figure)
-        .set("matrix", info.name)
-        .set("nodes", pt.nodes)
-        .set("phase", solve_phase ? "solve" : "factor")
-        .set("sympack_s", solve_phase ? pt.sympack_solve_s : pt.sympack_factor_s)
-        .set("pastix_s", solve_phase ? pt.pastix_solve_s : pt.pastix_factor_s)
-        .set("sympack_best_ppn", pt.sympack_best_ppn);
+    auto& row =
+        report.add_row()
+            .set("figure", figure)
+            .set("matrix", info.name)
+            .set("nodes", pt.nodes)
+            .set("phase", solve_phase ? "solve" : "factor")
+            .set("sympack_s",
+                 solve_phase ? pt.sympack_solve_s : pt.sympack_factor_s)
+            .set("pastix_s",
+                 solve_phase ? pt.pastix_solve_s : pt.pastix_factor_s)
+            .set("sympack_best_ppn", pt.sympack_best_ppn);
+    if (solve_phase) {
+      // Dataflow columns, so the fig solve benches and the batched
+      // bench_solve_batch ablation are comparable in one format.
+      row.set("solve_gflops", pt.sympack_solve_gflops)
+          .set("solve_bytes_moved", pt.sympack_solve_bytes);
+    }
   }
   if (!maybe_write_json(opts, report)) return 1;
 

@@ -71,6 +71,11 @@ struct ScalingPoint {
   double pastix_solve_s = 0.0;
   int sympack_best_ppn = 0;
   int pastix_best_ppn = 0;
+  // Solve-phase dataflow at the best-solve ppn (symPACK side): model
+  // GFLOP/s (a triangular sweep pair costs 4 nnz(L) flops per RHS) and
+  // bytes moved on the simulated wire during the sweeps.
+  double sympack_solve_gflops = 0.0;
+  std::int64_t sympack_solve_bytes = 0;
 };
 
 struct SweepConfig {

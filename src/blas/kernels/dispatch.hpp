@@ -6,7 +6,7 @@
 // single knob moves all four routines between regimes: 0 forces the
 // tiled engine everywhere, INT64_MAX forces the naive paths (used by the
 // numerical cross-check tests). TRSM additionally requires the
-// triangular dimension to exceed the shared panel width — below that the
+// triangular dimension to exceed the inner solve block — below that the
 // "blocked" algorithm would degenerate into one unblocked solve.
 #pragma once
 
@@ -14,6 +14,14 @@
 #include "blas/kernels/tiling.hpp"
 
 namespace sympack::blas::kernels {
+
+/// Diagonal-block width of the blocked TRSM. Deliberately much smaller
+/// than TileConfig::panel: the unblocked substitution is O(nb^2) per RHS
+/// column and runs at scalar speed, so shrinking nb pushes ~(1 - nb/tri)
+/// of the flops into the packed microkernel rank update. 16 keeps two
+/// microkernel rows per diagonal block while leaving 3/4 of the work in
+/// GEMM even at tri=64 (the supernode panel width the solve uses).
+inline constexpr int kTrsmBlock = 16;
 
 inline bool gemm_use_tiled(int m, int n, int k) {
   return use_tiled(gemm_flops(m, n, k));
@@ -25,7 +33,15 @@ inline bool syrk_use_blocked(int n, int k) {
 
 inline bool trsm_use_blocked(Side side, int m, int n) {
   const int tri = side == Side::kLeft ? m : n;
-  return use_tiled(trsm_flops(side, m, n)) && tri > config().panel;
+  return use_tiled(trsm_flops(side, m, n)) && tri > kTrsmBlock;
+}
+
+/// POTRF crossover: below this the panel loop's trsm/syrk calls are all
+/// small enough that packing costs eat the microkernel win (measured:
+/// m=128 tiled 5.27 vs naive 5.26 GFLOPS, m=256 7.6 vs 5.5), so fall
+/// back to the unblocked right-looking kernel.
+inline bool potrf_use_blocked(int n) {
+  return use_tiled(potrf_flops(n)) && n > 2 * config().panel;
 }
 
 }  // namespace sympack::blas::kernels

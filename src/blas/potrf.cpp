@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstddef>
 
+#include "blas/kernels/dispatch.hpp"
 #include "blas/kernels/tiling.hpp"
 
 namespace sympack::blas {
@@ -38,6 +39,12 @@ int potrf_lower_unblocked(int n, double* a, int lda, int pivot_offset) {
 }
 
 int potrf_lower(int n, double* a, int lda) {
+  // Small blocks: the panel loop's trsm/syrk children are too small to
+  // clear their own dispatch thresholds, so the blocked path would pay
+  // loop/packing overhead for zero microkernel time.
+  if (!kernels::potrf_use_blocked(n)) {
+    return potrf_lower_unblocked(n, a, lda, 0);
+  }
   // Panel width comes from the shared tile configuration, so POTRF, the
   // blocked TRSM/SYRK it calls, and the solver agree on one knob.
   const int panel = kernels::config().panel;

@@ -5,6 +5,7 @@
 #include <cstddef>
 
 #include "blas/kernels/dispatch.hpp"
+#include "blas/kernels/engine.hpp"
 #include "blas/kernels/tiling.hpp"
 #include "blas/reference.hpp"
 
@@ -118,13 +119,15 @@ void trsm_right(UpLo uplo, Trans trans, Diag diag, int m, int n,
   }
 }
 
-// Blocked left solve: partition A into panel-sized diagonal blocks. Each
-// block row of X is resolved with the unblocked solver, then its
-// contribution is eliminated from the remaining block rows with one GEMM
-// (which routes through the tiled engine when large enough).
+// Blocked left solve: partition A into kTrsmBlock-sized diagonal blocks.
+// Each block row of X is resolved with the unblocked solver, then its
+// contribution is eliminated from the remaining block rows in one shot
+// on the packed 8x6 microkernel (gemm_accumulate directly — the rank
+// update is the whole point of the blocked algorithm, so it must not
+// fall back to the naive loops under the per-call flop dispatch).
 void trsm_left_blocked(UpLo uplo, Trans trans, Diag diag, int m, int n,
                        const double* a, int lda, double* b, int ldb) {
-  const int nb = kernels::config().panel;
+  const int nb = kernels::kTrsmBlock;
   const bool forward = (uplo == UpLo::kLower) == (trans == Trans::kNo);
   if (forward) {
     for (int i0 = 0; i0 < m; i0 += nb) {
@@ -135,13 +138,15 @@ void trsm_left_blocked(UpLo uplo, Trans trans, Diag diag, int m, int n,
       if (rest == 0) continue;
       // B(i0+ib:m, :) -= op(A)(i0+ib:m, i0:i0+ib) * X(i0:i0+ib, :).
       if (trans == Trans::kNo) {
-        gemm(Trans::kNo, Trans::kNo, rest, n, ib, -1.0,
-             a + (i0 + ib) + static_cast<std::ptrdiff_t>(i0) * lda, lda,
-             b + i0, ldb, 1.0, b + i0 + ib, ldb);
+        kernels::gemm_accumulate(
+            Trans::kNo, Trans::kNo, rest, n, ib, -1.0,
+            a + (i0 + ib) + static_cast<std::ptrdiff_t>(i0) * lda, lda,
+            b + i0, ldb, b + i0 + ib, ldb);
       } else {
-        gemm(Trans::kYes, Trans::kNo, rest, n, ib, -1.0,
-             a + i0 + static_cast<std::ptrdiff_t>(i0 + ib) * lda, lda,
-             b + i0, ldb, 1.0, b + i0 + ib, ldb);
+        kernels::gemm_accumulate(
+            Trans::kYes, Trans::kNo, rest, n, ib, -1.0,
+            a + i0 + static_cast<std::ptrdiff_t>(i0 + ib) * lda, lda, b + i0,
+            ldb, b + i0 + ib, ldb);
       }
     }
   } else {
@@ -154,12 +159,12 @@ void trsm_left_blocked(UpLo uplo, Trans trans, Diag diag, int m, int n,
       if (i0 == 0) continue;
       // B(0:i0, :) -= op(A)(0:i0, i0:i1) * X(i0:i1, :).
       if (trans == Trans::kNo) {
-        gemm(Trans::kNo, Trans::kNo, i0, n, ib, -1.0,
-             a + static_cast<std::ptrdiff_t>(i0) * lda, lda, b + i0, ldb,
-             1.0, b, ldb);
+        kernels::gemm_accumulate(Trans::kNo, Trans::kNo, i0, n, ib, -1.0,
+                                 a + static_cast<std::ptrdiff_t>(i0) * lda,
+                                 lda, b + i0, ldb, b, ldb);
       } else {
-        gemm(Trans::kYes, Trans::kNo, i0, n, ib, -1.0, a + i0, lda, b + i0,
-             ldb, 1.0, b, ldb);
+        kernels::gemm_accumulate(Trans::kYes, Trans::kNo, i0, n, ib, -1.0,
+                                 a + i0, lda, b + i0, ldb, b, ldb);
       }
     }
   }
@@ -168,7 +173,7 @@ void trsm_left_blocked(UpLo uplo, Trans trans, Diag diag, int m, int n,
 // Blocked right solve: same structure over column blocks of X.
 void trsm_right_blocked(UpLo uplo, Trans trans, Diag diag, int m, int n,
                         const double* a, int lda, double* b, int ldb) {
-  const int nb = kernels::config().panel;
+  const int nb = kernels::kTrsmBlock;
   const bool ascending = (uplo == UpLo::kLower) == (trans == Trans::kYes);
   if (ascending) {
     for (int j0 = 0; j0 < n; j0 += nb) {
@@ -180,13 +185,15 @@ void trsm_right_blocked(UpLo uplo, Trans trans, Diag diag, int m, int n,
       if (rest == 0) continue;
       // B(:, j0+jb:n) -= X(:, j0:j0+jb) * op(A)(j0:j0+jb, j0+jb:n).
       if (trans == Trans::kNo) {
-        gemm(Trans::kNo, Trans::kNo, m, rest, jb, -1.0, col(b, j0, ldb), ldb,
-             a + j0 + static_cast<std::ptrdiff_t>(j0 + jb) * lda, lda, 1.0,
-             col(b, j0 + jb, ldb), ldb);
+        kernels::gemm_accumulate(
+            Trans::kNo, Trans::kNo, m, rest, jb, -1.0, col(b, j0, ldb), ldb,
+            a + j0 + static_cast<std::ptrdiff_t>(j0 + jb) * lda, lda,
+            col(b, j0 + jb, ldb), ldb);
       } else {
-        gemm(Trans::kNo, Trans::kYes, m, rest, jb, -1.0, col(b, j0, ldb),
-             ldb, a + (j0 + jb) + static_cast<std::ptrdiff_t>(j0) * lda, lda,
-             1.0, col(b, j0 + jb, ldb), ldb);
+        kernels::gemm_accumulate(
+            Trans::kNo, Trans::kYes, m, rest, jb, -1.0, col(b, j0, ldb), ldb,
+            a + (j0 + jb) + static_cast<std::ptrdiff_t>(j0) * lda, lda,
+            col(b, j0 + jb, ldb), ldb);
       }
     }
   } else {
@@ -199,11 +206,13 @@ void trsm_right_blocked(UpLo uplo, Trans trans, Diag diag, int m, int n,
       if (j0 == 0) continue;
       // B(:, 0:j0) -= X(:, j0:j1) * op(A)(j0:j1, 0:j0).
       if (trans == Trans::kNo) {
-        gemm(Trans::kNo, Trans::kNo, m, j0, jb, -1.0, col(b, j0, ldb), ldb,
-             a + j0, lda, 1.0, b, ldb);
+        kernels::gemm_accumulate(Trans::kNo, Trans::kNo, m, j0, jb, -1.0,
+                                 col(b, j0, ldb), ldb, a + j0, lda, b, ldb);
       } else {
-        gemm(Trans::kNo, Trans::kYes, m, j0, jb, -1.0, col(b, j0, ldb), ldb,
-             a + static_cast<std::ptrdiff_t>(j0) * lda, lda, 1.0, b, ldb);
+        kernels::gemm_accumulate(Trans::kNo, Trans::kYes, m, j0, jb, -1.0,
+                                 col(b, j0, ldb), ldb,
+                                 a + static_cast<std::ptrdiff_t>(j0) * lda,
+                                 lda, b, ldb);
       }
     }
   }

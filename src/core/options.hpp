@@ -98,6 +98,36 @@ struct CommOptions {
 /// pattern as pgas::env_fault_config; applied at solver construction).
 CommOptions env_comm_options(CommOptions base);
 
+/// Blocked multi-RHS solve tuning (DESIGN.md §4f). A solve with nrhs
+/// right-hand sides sweeps ceil(nrhs / rhs_panel) RHS *panels*: each
+/// sweep carries up to rhs_panel columns, so the per-supernode diagonal
+/// solve becomes one TRSM on a width x panel block and every
+/// off-diagonal contribution one GEMM panel update — converting the
+/// solve hot path from per-vector Level-2 sweeps into the tiled GEMM
+/// engine, and amortizing every signal/rget of the solve protocol over
+/// the panel width.
+struct SolveOptions {
+  /// RHS panel width. 1 (default) reproduces the paper's per-vector
+  /// sweeps bit-for-bit: one RHS per forward+backward sweep, schedules
+  /// identical to the historical solver (pinned by the solve goldens in
+  /// tests/test_schedule.cpp). 0 = unbounded (all nrhs in one sweep).
+  int rhs_panel = 1;
+  /// SolveServer: pipeline consecutive panels so the backward sweep of
+  /// batch i runs concurrently with the forward sweep of batch i+1 on
+  /// the simulated cluster (two engines sharing the rank clocks). Off =
+  /// strictly sequential sweeps (useful to isolate batching from
+  /// overlap in the ablation).
+  bool server_overlap = true;
+  /// SolveServer admission cap: the largest number of columns drain()
+  /// will queue before it starts refusing submissions (guards a serving
+  /// deployment against unbounded request memory). 0 = unlimited.
+  int server_max_queue = 0;
+};
+
+/// Overlay SYMPACK_RHS_PANEL / SYMPACK_SOLVE_OVERLAP /
+/// SYMPACK_SOLVE_MAX_QUEUE onto `base` (applied at solver construction).
+SolveOptions env_solve_options(SolveOptions base);
+
 struct SolverOptions {
   ordering::Method ordering = ordering::Method::kNestedDissection;
   Variant variant = Variant::kFanOut;
@@ -128,6 +158,9 @@ struct SolverOptions {
   /// Eager/coalesced signal transport (default off: rendezvous-only,
   /// bit-identical to the historical protocol).
   CommOptions comm{};
+  /// Blocked multi-RHS solve + SolveServer tuning (default rhs_panel=1:
+  /// per-vector sweeps, bit-identical to the historical solve phase).
+  SolveOptions solve{};
 };
 
 }  // namespace sympack::core

@@ -55,33 +55,66 @@ std::vector<double> SolveEngine::solve(const std::vector<double>& b,
   if (static_cast<idx_t>(b.size()) != n * nrhs) {
     throw std::invalid_argument("SolveEngine::solve: rhs size mismatch");
   }
-  nrhs_ = nrhs;
+  // Panel the RHS: each forward+backward sweep carries up to rhs_panel
+  // columns (1 = per-vector sweeps, identical schedule to the
+  // historical solver; 0 = all columns in one fused sweep).
+  const int conf = opts_.solve.rhs_panel;
+  const int w = conf <= 0 ? nrhs : std::min(conf, nrhs);
+  std::vector<double> x(static_cast<std::size_t>(n) * nrhs, 0.0);
+  for (int c0 = 0; c0 < nrhs; c0 += w) {
+    const int pw = std::min(w, nrhs - c0);
+    begin(b.data() + static_cast<std::size_t>(c0) * n, pw);
+    drive_phase();
+    start_backward();
+    drive_phase();
+    gather(x.data() + static_cast<std::size_t>(c0) * n);
+  }
+  return x;
+}
 
-  // Scatter b into per-supernode segments at the diagonal owners.
+void SolveEngine::begin(const double* panel, int nrhs) {
+  const idx_t n = sym_->n();
+  nrhs_ = nrhs;
+  // Scatter the panel into per-supernode segments at the diagonal owners.
   for (idx_t k = 0; k < sym_->num_snodes(); ++k) {
     const auto& sn = sym_->snode(k);
     const idx_t w = sn.width();
     seg_[k].assign(static_cast<std::size_t>(w) * nrhs, 0.0);
-    if (store_->numeric()) {
+    if (store_->numeric() && panel != nullptr) {
       for (int c = 0; c < nrhs; ++c) {
         for (idx_t r = 0; r < w; ++r) {
           seg_[k][r + static_cast<std::size_t>(c) * w] =
-              b[(sn.first + r) + static_cast<std::size_t>(c) * n];
+              panel[(sn.first + r) + static_cast<std::size_t>(c) * n];
         }
       }
     }
   }
+  cur_backward_ = false;
+  // Fresh panel, fresh dataflow epoch: ready times from a previous
+  // panel must not seed this one (the serving layer resets the clocks
+  // between drains; within one solve() the clocks are monotone and the
+  // carried times were redundant anyway).
+  deps_.clear_ready();
+  reset_phase(/*backward=*/false);
+}
 
-  run_phase(/*backward=*/false);
-  run_phase(/*backward=*/true);
+void SolveEngine::start_backward() {
+  cur_backward_ = true;
+  reset_phase(/*backward=*/true);
+}
 
+pgas::Step SolveEngine::step_phase(pgas::Rank& rank) {
+  return step(rank, cur_backward_);
+}
+
+void SolveEngine::gather(double* x) {
   // Gather the solution (x overwrote the segments in the backward sweep).
-  std::vector<double> x(static_cast<std::size_t>(n) * nrhs, 0.0);
-  if (store_->numeric()) {
+  const idx_t n = sym_->n();
+  if (store_->numeric() && x != nullptr) {
     for (idx_t k = 0; k < sym_->num_snodes(); ++k) {
       const auto& sn = sym_->snode(k);
       const idx_t w = sn.width();
-      for (int c = 0; c < nrhs; ++c) {
+      for (int c = 0; c < nrhs_; ++c) {
         for (idx_t r = 0; r < w; ++r) {
           x[(sn.first + r) + static_cast<std::size_t>(c) * n] =
               seg_[k][r + static_cast<std::size_t>(c) * w];
@@ -90,7 +123,6 @@ std::vector<double> SolveEngine::solve(const std::vector<double>& b,
     }
   }
   free_buffers();
-  return x;
 }
 
 void SolveEngine::reset_phase(bool backward) {
@@ -121,11 +153,9 @@ void SolveEngine::reset_phase(bool backward) {
   }
 }
 
-void SolveEngine::run_phase(bool backward) {
-  reset_phase(backward);
-  rt_->drive(
-      [this, backward](pgas::Rank& rank) { return step(rank, backward); },
-      /*stall_limit=*/10000, opts_.interleave_seed);
+void SolveEngine::drive_phase() {
+  rt_->drive([this](pgas::Rank& rank) { return step_phase(rank); },
+             /*stall_limit=*/10000, opts_.interleave_seed);
 }
 
 pgas::Step SolveEngine::step(pgas::Rank& rank, bool backward) {

@@ -56,10 +56,30 @@ class SolveEngine {
   SolveEngine& operator=(const SolveEngine&) = delete;
 
   /// Solve L L^T x = b for `nrhs` right-hand sides stored column-major
-  /// in `b` (permuted ordering). Returns x (also permuted ordering).
-  /// In protocol-only mode the returned vector is zero-filled but the
-  /// full task/communication schedule still runs.
+  /// in `b` (permuted ordering). The solve runs as ceil(nrhs/rhs_panel)
+  /// panel sweeps (SolverOptions::solve.rhs_panel; 1 = the historical
+  /// per-vector sweeps, 0 = one fused sweep carrying all nrhs columns):
+  /// each sweep's diagonal solves are nb x w TRSMs and its block
+  /// contributions GEMM panel updates, and every protocol message
+  /// carries the whole w-column segment. Returns x (also permuted
+  /// ordering). In protocol-only mode the returned vector is
+  /// zero-filled but the full task/communication schedule still runs.
   std::vector<double> solve(const std::vector<double>& b, int nrhs);
+
+  /// Incremental sweep API (used by SolveServer to pipeline batches):
+  /// arm one sweep at a time and step it externally, so two engines can
+  /// interleave inside a single Runtime::drive loop — the backward
+  /// sweep of batch i overlapped with the forward sweep of batch i+1.
+  ///
+  /// begin() scatters `panel` (n x nrhs column-major, permuted
+  /// ordering; may be null in protocol-only runs) and arms the forward
+  /// sweep; start_backward() arms the backward sweep; step_phase()
+  /// advances the armed sweep on one rank; gather() collects the
+  /// solution into `x` (n x nrhs) and releases the sweep's buffers.
+  void begin(const double* panel, int nrhs);
+  void start_backward();
+  pgas::Step step_phase(pgas::Rank& rank);
+  void gather(double* x);
 
  private:
   struct Msg {
@@ -106,7 +126,7 @@ class SolveEngine {
   void publish_solution(pgas::Rank& rank, idx_t k, bool backward);
   void apply_contribution(pgas::Rank& rank, idx_t panel, BlockSlot slot,
                           const double* z, double ready, bool backward);
-  void run_phase(bool backward);
+  void drive_phase();
   void reset_phase(bool backward);
   void free_buffers();
 
@@ -116,7 +136,8 @@ class SolveEngine {
   BlockStore* store_;
   Offload* offload_;
   SolverOptions opts_;
-  int nrhs_ = 1;
+  int nrhs_ = 1;          // columns carried by the sweep in flight
+  bool cur_backward_ = false;  // which sweep step_phase() advances
 
   // (panel, slot) pairs targeting each supernode (transpose structure).
   std::vector<std::vector<std::pair<idx_t, BlockSlot>>> target_blocks_;

@@ -22,6 +22,16 @@ CommOptions env_comm_options(CommOptions base) {
   return base;
 }
 
+SolveOptions env_solve_options(SolveOptions base) {
+  base.rhs_panel = static_cast<int>(
+      support::env_int("SYMPACK_RHS_PANEL", base.rhs_panel));
+  base.server_overlap =
+      support::env_bool("SYMPACK_SOLVE_OVERLAP", base.server_overlap);
+  base.server_max_queue = static_cast<int>(
+      support::env_int("SYMPACK_SOLVE_MAX_QUEUE", base.server_max_queue));
+  return base;
+}
+
 Policy parse_policy(const std::string& name) {
   if (name == "fifo") return Policy::kFifo;
   if (name == "lifo") return Policy::kLifo;
@@ -58,6 +68,7 @@ SymPackSolver::SymPackSolver(pgas::Runtime& rt, SolverOptions opts)
   // BLAS routines read it on every call); adopt this solver's choice.
   blas::kernels::set_config(opts_.kernel_tiles);
   opts_.comm = env_comm_options(opts_.comm);
+  opts_.solve = env_solve_options(opts_.solve);
 }
 
 SymPackSolver::~SymPackSolver() = default;
@@ -134,6 +145,24 @@ void SymPackSolver::factorize() {
   report_.gpu_fallbacks = offload_->fallbacks();
   report_.peak_memory_bytes = rt_->peak_bytes();
   factorized_ = true;
+}
+
+void SymPackSolver::refactorize(const sparse::CscMatrix& a) {
+  if (!tg_) {
+    throw std::logic_error("refactorize() requires symbolic_factorize()");
+  }
+  if (a.n() != a_perm_.n()) {
+    throw std::invalid_argument(
+        "refactorize: dimension differs from the analyzed matrix");
+  }
+  sparse::CscMatrix a_perm = sparse::permute_symmetric(a, perm_);
+  if (a_perm.colptr() != a_perm_.colptr() ||
+      a_perm.rowind() != a_perm_.rowind()) {
+    throw std::invalid_argument(
+        "refactorize: sparsity pattern differs from the analyzed matrix");
+  }
+  a_perm_ = std::move(a_perm);
+  factorize();
 }
 
 std::vector<double> SymPackSolver::solve(const std::vector<double>& b,

@@ -42,6 +42,14 @@ class SymPackSolver {
   /// are re-assembled from A each time); requires symbolic_factorize.
   void factorize();
 
+  /// Numeric refactorization: adopt new values for a matrix with the
+  /// SAME sparsity pattern as the analyzed one, then factorize. The
+  /// symbolic phase (ordering, analysis, mapping, block allocation) is
+  /// reused — this is the cheap path for time-stepping / parametric
+  /// solves where only the coefficients change. Throws
+  /// std::invalid_argument when the pattern differs.
+  void refactorize(const sparse::CscMatrix& a);
+
   /// Phase 3: solve A x = b for nrhs right-hand sides (column-major in
   /// b). Requires factorize. b/x are in the original ordering.
   [[nodiscard]] std::vector<double> solve(const std::vector<double>& b,
@@ -85,6 +93,11 @@ class SymPackSolver {
   [[nodiscard]] const BlockStore& block_store() const;
 
  private:
+  /// The serving layer drives SolveEngine sweeps itself (pipelined
+  /// batches need two engines in one drive loop), so it reaches the
+  /// symbolic/task-graph/store internals directly.
+  friend class SolveServer;
+
   pgas::Runtime* rt_;
   SolverOptions opts_;
   Report report_;

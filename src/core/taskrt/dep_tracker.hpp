@@ -32,8 +32,15 @@ class DepTracker {
 
   /// Set a node's outstanding-dependency count (construction, or per
   /// solve sweep). Does not touch the ready time: the solve engine
-  /// deliberately carries segment ready times across sweeps.
+  /// deliberately carries segment ready times from the forward sweep
+  /// into the backward sweep of the same panel.
   void set_count(std::size_t id, int count) { remaining_[id] = count; }
+
+  /// Zero every ready time. A new RHS panel is a fresh dataflow epoch:
+  /// the solve-serving layer resets the simulated clocks between
+  /// drains, so times from a previous panel must not leak into the
+  /// seeds of the next one.
+  void clear_ready() { std::fill(ready_.begin(), ready_.end(), 0.0); }
   [[nodiscard]] int count(std::size_t id) const { return remaining_[id]; }
 
   [[nodiscard]] double ready(std::size_t id) const { return ready_[id]; }

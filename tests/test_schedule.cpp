@@ -256,5 +256,126 @@ TEST(GoldenScheduleTable, DISABLED_PrintEagerTable) {
   }
 }
 
+// ------------------------------------------------------------------
+// Solve-phase goldens. The solve engine is untraced (the tracer only
+// attaches during factorization), so these pin the CommStats counter
+// block of the solve phase alone: stats are reset after factorize and
+// hashed after the sweeps. rhs_panel=1 rows pin the historical
+// per-vector protocol; rhs_panel>1 rows pin the blocked panel protocol
+// (fewer, larger messages — any accounting drift flips the hash).
+
+bool solve_env_overridden() {
+  return std::getenv("SYMPACK_RHS_PANEL") != nullptr ||
+         std::getenv("SYMPACK_SOLVE_OVERLAP") != nullptr ||
+         std::getenv("SYMPACK_SOLVE_MAX_QUEUE") != nullptr;
+}
+
+std::uint64_t comm_stats_hash(const pgas::CommStats& stats) {
+  std::uint64_t h = 14695981039346656037ull;
+  const std::uint64_t counters[] = {
+      stats.rpcs_sent,      stats.rpcs_executed,      stats.gets,
+      stats.puts,           stats.bytes_from_host,    stats.bytes_from_device,
+      stats.bytes_to_device, stats.hd_copies,         stats.retries,
+      stats.retransmits,    stats.dropped_detected,   stats.duplicates_dropped,
+      stats.out_of_order,   stats.rpcs_deferred,      stats.oom_fallbacks,
+  };
+  fnv_mix(h, counters, sizeof counters);
+  return h;
+}
+
+std::uint64_t run_solve_golden(const std::string& proxy, int rhs_panel,
+                               int nrhs,
+                               pgas::CommStats* stats_out = nullptr) {
+  pgas::Runtime::Config cfg;
+  cfg.nranks = 8;
+  cfg.ranks_per_node = 4;
+  cfg.gpus_per_node = 4;
+  cfg.device_memory_bytes = 64 << 20;
+  pgas::Runtime rt(cfg);
+  core::SolverOptions opts;
+  opts.solve.rhs_panel = rhs_panel;
+  core::SymPackSolver solver(rt, opts);
+  const CscMatrix a = proxy_matrix(proxy);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  rt.reset_stats();  // isolate the solve phase's counters
+  const std::vector<double> b(
+      static_cast<std::size_t>(a.n()) * static_cast<std::size_t>(nrhs), 1.0);
+  (void)solver.solve(b, nrhs);
+  if (stats_out != nullptr) *stats_out = rt.total_stats();
+  return comm_stats_hash(rt.total_stats());
+}
+
+struct SolveGolden {
+  const char* proxy;
+  int rhs_panel;
+  int nrhs;
+  std::uint64_t hash;
+};
+
+// Captured at the introduction of the blocked multi-RHS path, 8 ranks,
+// fifo, faults off. The rhs_panel=1 rows reproduce the per-vector
+// protocol the engine shipped with. Regenerate via
+// DISABLED_PrintSolveTable.
+const SolveGolden kGoldenSolve[] = {
+    {"flan", 1, 1, 0xdbb2b7b69b6cf05full},
+    {"flan", 2, 4, 0xfa6dc3d8729d7305ull},
+    {"bones", 1, 1, 0x19c38ef727eff95bull},
+    {"bones", 2, 4, 0xe95f57d63b30a6feull},
+    {"thermal", 1, 1, 0xd6b6f84d3cfde61aull},
+    {"thermal", 2, 4, 0xeadcf55bc8b13c66ull},
+};
+
+class GoldenSolveSchedule : public ::testing::TestWithParam<SolveGolden> {};
+
+TEST_P(GoldenSolveSchedule, CommStatsMatchCapture) {
+  const SolveGolden& g = GetParam();
+  if (comm_env_overridden() || solve_env_overridden()) {
+    GTEST_SKIP() << "SYMPACK_* comm/solve environment override active";
+  }
+  const std::uint64_t h = run_solve_golden(g.proxy, g.rhs_panel, g.nrhs);
+  EXPECT_EQ(h, g.hash) << "solve schedule drifted: proxy=" << g.proxy
+                       << " rhs_panel=" << g.rhs_panel << " nrhs=" << g.nrhs
+                       << " actual=0x" << std::hex << h << "ull";
+}
+
+std::string solve_golden_name(
+    const ::testing::TestParamInfo<SolveGolden>& info) {
+  std::string n = info.param.proxy;
+  n += "_panel";
+  n += std::to_string(info.param.rhs_panel);
+  n += "_nrhs";
+  n += std::to_string(info.param.nrhs);
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Solve, GoldenSolveSchedule,
+                         ::testing::ValuesIn(kGoldenSolve),
+                         solve_golden_name);
+
+TEST(GoldenScheduleTable, DISABLED_PrintSolveTable) {
+  for (const SolveGolden& g : kGoldenSolve) {
+    const std::uint64_t h = run_solve_golden(g.proxy, g.rhs_panel, g.nrhs);
+    printf("    {\"%s\", %d, %d, 0x%llxull},\n", g.proxy, g.rhs_panel,
+           g.nrhs, static_cast<unsigned long long>(h));
+  }
+}
+
+// Structural invariant behind the batched path's win: a fused panel
+// sweep moves the same payload bytes as per-vector sweeps but in
+// proportionally fewer protocol messages.
+TEST(SolveSchedule, PanelSweepAmortizesMessages) {
+  if (comm_env_overridden() || solve_env_overridden()) {
+    GTEST_SKIP() << "SYMPACK_* comm/solve environment override active";
+  }
+  pgas::CommStats per_vector, blocked;
+  run_solve_golden("flan", 1, 8, &per_vector);
+  run_solve_golden("flan", 8, 8, &blocked);
+  EXPECT_EQ(blocked.bytes_from_host, per_vector.bytes_from_host);
+  // 8 columns per message instead of 1: signals and pulls collapse ~8x.
+  EXPECT_LT(blocked.rpcs_sent * 4, per_vector.rpcs_sent);
+  EXPECT_LT(blocked.gets * 4, per_vector.gets);
+}
+
 }  // namespace
 }  // namespace sympack

@@ -434,6 +434,139 @@ TEST(Solver, PolicyParseRoundTrip) {
 namespace sympack::core {
 namespace {
 
+// ------------------------------------------------------------------
+// Blocked multi-RHS solve: a panel sweep (rhs_panel = w) must reproduce
+// w independent per-vector sweeps — the columns are mathematically
+// independent, so the only differences are kernel-dispatch crossovers
+// (panel GEMMs may take the tiled path where single columns don't),
+// which perturb at rounding level only.
+
+const char* kParityProxies[] = {"flan", "bones", "thermal"};
+
+CscMatrix parity_proxy(const std::string& name) {
+  if (name == "flan") return sparse::flan_proxy(0.02);
+  if (name == "bones") return sparse::bones_proxy(0.02);
+  return sparse::thermal_proxy(0.005);
+}
+
+struct ParityCase {
+  const char* proxy;
+  Policy policy;
+};
+
+class MultiRhsParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(MultiRhsParity, BlockedSolveMatchesPerVectorSweeps) {
+  const ParityCase& p = GetParam();
+  pgas::Runtime rt(cluster(8));
+  SolverOptions opts;
+  opts.policy = p.policy;
+  constexpr int kPanel = 4;  // w
+  opts.solve.rhs_panel = kPanel;
+  SymPackSolver solver(rt, opts);
+  const CscMatrix a = parity_proxy(p.proxy);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const auto n = static_cast<std::size_t>(a.n());
+  support::Xoshiro256 rng(7);
+  for (const int nrhs : {1, 3, kPanel, kPanel + 1}) {
+    std::vector<double> b(n * static_cast<std::size_t>(nrhs));
+    for (auto& v : b) v = rng.next_in(-1, 1);
+    const auto blocked = solver.solve(b, nrhs);
+    for (int c = 0; c < nrhs; ++c) {
+      // Baseline: one independent single-RHS sweep per column (nrhs=1
+      // always runs the historical per-vector path).
+      const std::vector<double> bc(b.begin() + c * n,
+                                   b.begin() + (c + 1) * n);
+      const auto xc = solver.solve(bc, 1);
+      double scale = 1.0;
+      for (const double v : xc) scale = std::max(scale, std::fabs(v));
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(blocked[i + c * n], xc[i], 1e-9 * scale)
+            << p.proxy << " nrhs=" << nrhs << " col=" << c << " row=" << i;
+      }
+      EXPECT_LT(sparse::relative_residual(a, xc, bc), 1e-10);
+      const std::vector<double> xb(blocked.begin() + c * n,
+                                   blocked.begin() + (c + 1) * n);
+      EXPECT_LT(sparse::relative_residual(a, xb, bc), 1e-10);
+    }
+  }
+}
+
+std::vector<ParityCase> parity_cases() {
+  std::vector<ParityCase> cases;
+  for (const char* proxy : kParityProxies) {
+    for (Policy policy : {Policy::kFifo, Policy::kLifo, Policy::kPriority,
+                          Policy::kCriticalPath}) {
+      cases.push_back({proxy, policy});
+    }
+  }
+  return cases;
+}
+
+std::string parity_name(const ::testing::TestParamInfo<ParityCase>& info) {
+  std::string n = info.param.proxy;
+  n += '_';
+  n += policy_name(info.param.policy);
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Proxies, MultiRhsParity,
+                         ::testing::ValuesIn(parity_cases()), parity_name);
+
+TEST(Solver, RhsPanelUnboundedFusesAllColumns) {
+  // rhs_panel = 0: one sweep carries every column; must still match the
+  // per-vector result.
+  pgas::Runtime rt(cluster(4));
+  const auto a = sparse::grid2d_laplacian(11, 10);
+  SolverOptions fused;
+  fused.solve.rhs_panel = 0;
+  SymPackSolver solver(rt, fused);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const auto n = static_cast<std::size_t>(a.n());
+  const int nrhs = 6;
+  support::Xoshiro256 rng(3);
+  std::vector<double> b(n * nrhs);
+  for (auto& v : b) v = rng.next_in(-1, 1);
+  const auto x = solver.solve(b, nrhs);
+  for (int c = 0; c < nrhs; ++c) {
+    const std::vector<double> bc(b.begin() + c * n, b.begin() + (c + 1) * n);
+    const auto xc = solver.solve(bc, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(x[i + c * n], xc[i], 1e-9) << "col=" << c;
+    }
+  }
+}
+
+TEST(Solver, RefactorizeReusesSymbolicWithNewValues) {
+  pgas::Runtime rt(cluster(4));
+  const auto a = sparse::grid2d_laplacian(10, 10);
+  SymPackSolver solver(rt, SolverOptions{});
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  const auto b = sparse::rhs_for_ones(a);
+  const auto x1 = solver.solve(b);
+
+  // Same pattern, scaled values: A2 = 2A, so x2 = x1 / 2.
+  CscMatrix a2 = a;
+  for (double& v : a2.values()) v *= 2.0;
+  solver.refactorize(a2);
+  const auto x2 = solver.solve(b);
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    ASSERT_NEAR(x2[i], 0.5 * x1[i], 1e-9);
+  }
+
+  // A different sparsity pattern must be rejected.
+  EXPECT_THROW(solver.refactorize(sparse::grid2d_laplacian(10, 11)),
+               std::invalid_argument);
+  EXPECT_THROW(solver.refactorize(sparse::tridiagonal(100)),
+               std::invalid_argument);
+}
+
 TEST(ProportionalMappingSolve, CorrectEndToEnd) {
   pgas::Runtime::Config cfg;
   cfg.nranks = 6;
@@ -465,6 +598,173 @@ TEST(ProportionalMappingSolve, FanInVariantToo) {
   const auto b = sparse::rhs_for_ones(a);
   const auto x = solver.solve(b);
   EXPECT_LT(sparse::relative_residual(a, x, b), 1e-11);
+}
+
+}  // namespace
+}  // namespace sympack::core
+
+// ------------------------------------------------------------------
+// SolveServer: request admission, panel batching, sweep pipelining, and
+// numeric refactorization on top of a cached factor.
+
+#include "core/solve_server.hpp"
+
+namespace sympack::core {
+namespace {
+
+using sparse::CscMatrix;
+
+TEST(SolveServer, DrainMatchesDirectSolves) {
+  pgas::Runtime rt(cluster(4));
+  const auto a = sparse::grid2d_laplacian(12, 11);
+  SolverOptions opts;
+  opts.solve.rhs_panel = 4;
+  SymPackSolver solver(rt, opts);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  SolveServer server(solver);
+
+  // Mixed-size submissions; panels cut across request boundaries
+  // (3 + 1 + 5 = 9 columns -> panels of 4, 4, 1).
+  const auto n = static_cast<std::size_t>(a.n());
+  support::Xoshiro256 rng(11);
+  std::vector<std::vector<double>> bs;
+  for (const int nrhs : {3, 1, 5}) {
+    std::vector<double> b(n * static_cast<std::size_t>(nrhs));
+    for (auto& v : b) v = rng.next_in(-1, 1);
+    EXPECT_TRUE(server.submit(b, nrhs));
+    bs.push_back(std::move(b));
+  }
+  EXPECT_EQ(server.queued(), 9);
+  const auto xs = server.drain();
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_EQ(server.queued(), 0);
+
+  for (std::size_t r = 0; r < bs.size(); ++r) {
+    const int nrhs = static_cast<int>(bs[r].size() / n);
+    const auto direct = solver.solve(bs[r], nrhs);
+    ASSERT_EQ(xs[r].size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_NEAR(xs[r][i], direct[i], 1e-9) << "req=" << r << " i=" << i;
+    }
+  }
+
+  const auto& st = server.stats();
+  EXPECT_EQ(st.requests, 3);
+  EXPECT_EQ(st.columns, 9);
+  EXPECT_EQ(st.panels, 3);          // ceil(9 / 4)
+  EXPECT_EQ(st.overlapped, 2);      // consecutive panel pairs pipelined
+  EXPECT_GT(st.serve_sim_s, 0.0);
+}
+
+TEST(SolveServer, OverlapOffIsSequentialAndMatches) {
+  pgas::Runtime rt(cluster(4));
+  const auto a = sparse::grid2d_laplacian(10, 10);
+  SolverOptions opts;
+  opts.solve.rhs_panel = 2;
+  opts.solve.server_overlap = false;
+  SymPackSolver solver(rt, opts);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  SolveServer server(solver);
+
+  const auto n = static_cast<std::size_t>(a.n());
+  support::Xoshiro256 rng(5);
+  std::vector<double> b(n * 6);
+  for (auto& v : b) v = rng.next_in(-1, 1);
+  EXPECT_TRUE(server.submit(b, 6));
+  const auto xs = server.drain();
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(server.stats().panels, 3);
+  EXPECT_EQ(server.stats().overlapped, 0);
+
+  const auto direct = solver.solve(b, 6);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_NEAR(xs[0][i], direct[i], 1e-9);
+  }
+}
+
+TEST(SolveServer, AdmissionCapRejects) {
+  pgas::Runtime rt(cluster(2));
+  const auto a = sparse::grid2d_laplacian(8, 8);
+  SolverOptions opts;
+  opts.solve.server_max_queue = 2;
+  SymPackSolver solver(rt, opts);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  SolveServer server(solver);
+
+  const std::vector<double> b(a.n(), 1.0);
+  EXPECT_TRUE(server.submit(b));
+  EXPECT_TRUE(server.submit(b));
+  EXPECT_FALSE(server.submit(b));  // would exceed the cap
+  EXPECT_EQ(server.queued(), 2);
+  EXPECT_EQ(server.stats().rejected, 1);
+  const auto xs = server.drain();
+  EXPECT_EQ(xs.size(), 2u);
+  // The queue drained; admission reopens.
+  EXPECT_TRUE(server.submit(b));
+}
+
+TEST(SolveServer, RefactorizeServesNewValues) {
+  pgas::Runtime rt(cluster(4));
+  const auto a = sparse::grid2d_laplacian(9, 9);
+  SymPackSolver solver(rt, SolverOptions{});
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  SolveServer server(solver);
+
+  const auto b = sparse::rhs_for_ones(a);
+  EXPECT_TRUE(server.submit(b));
+  const auto x1 = server.drain();
+  ASSERT_EQ(x1.size(), 1u);
+
+  CscMatrix a2 = a;
+  for (double& v : a2.values()) v *= 4.0;
+  server.refactorize(a2);
+  EXPECT_EQ(server.stats().refactorizations, 1);
+  EXPECT_TRUE(server.submit(b));
+  const auto x2 = server.drain();
+  ASSERT_EQ(x2.size(), 1u);
+  for (std::size_t i = 0; i < x1[0].size(); ++i) {
+    ASSERT_NEAR(x2[0][i], 0.25 * x1[0][i], 1e-9);
+  }
+}
+
+TEST(SolveServer, EmptyDrainAndMisuse) {
+  pgas::Runtime rt(cluster(2));
+  const auto a = sparse::grid2d_laplacian(6, 6);
+  SymPackSolver solver(rt, SolverOptions{});
+  solver.symbolic_factorize(a);
+  SolveServer server(solver);
+  EXPECT_TRUE(server.drain().empty());  // nothing queued: no-op
+  EXPECT_THROW(server.submit(std::vector<double>(3), 1),
+               std::invalid_argument);
+  const std::vector<double> b(a.n(), 1.0);
+  EXPECT_TRUE(server.submit(b));
+  EXPECT_THROW(server.drain(), std::logic_error);  // not factorized
+  solver.factorize();
+  EXPECT_EQ(server.drain().size(), 1u);
+}
+
+TEST(SolveServer, ProtocolOnlyDrainRuns) {
+  // numeric=false: the full batched solve protocol runs (panel-scaled
+  // messages, overlapped sweeps) without touching values.
+  pgas::Runtime rt(cluster(4));
+  SolverOptions opts;
+  opts.numeric = false;
+  opts.solve.rhs_panel = 2;
+  SymPackSolver solver(rt, opts);
+  const auto a = sparse::grid2d_laplacian(10, 10);
+  solver.symbolic_factorize(a);
+  solver.factorize();
+  SolveServer server(solver);
+  const std::vector<double> b(a.n() * 4, 1.0);
+  EXPECT_TRUE(server.submit(b, 4));
+  const auto xs = server.drain();
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(server.stats().panels, 2);
+  EXPECT_GT(server.stats().serve_sim_s, 0.0);
 }
 
 }  // namespace
