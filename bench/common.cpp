@@ -10,37 +10,13 @@
 #include "sparse/densevec.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/permute.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace sympack::bench {
 
 using sparse::CscMatrix;
-
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char ch : s) {
-    switch (ch) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-          out += buf;
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using support::json_escape;
 
 JsonReport::Row& JsonReport::Row::set(const std::string& key,
                                       const std::string& value) {
@@ -54,7 +30,15 @@ JsonReport::Row& JsonReport::Row::set(const std::string& key,
 }
 
 JsonReport::Row& JsonReport::Row::set(const std::string& key, double value) {
-  if (!std::isfinite(value)) return set(key, std::string("nan"));  // JSON-safe
+  // JSON has no NaN/Infinity token. The old emitter substituted the
+  // *string* "nan", silently flipping the field's type from number to
+  // string and breaking numeric consumers; null keeps the field
+  // number-or-absent typed, which is what every JSON toolchain expects
+  // for a missing measurement.
+  if (!std::isfinite(value)) {
+    fields_.emplace_back(key, "null");
+    return *this;
+  }
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.10g", value);
   fields_.emplace_back(key, buf);

@@ -1,0 +1,150 @@
+// Trace-driven critical-path profiler and schedule autotuner
+// (DESIGN.md §4g).
+//
+// CritPathAnalyzer rebuilds the task DAG from a Tracer's event stream —
+// the task spans every engine records ("D k" / "F k:slot" / "U k:si:ti"
+// / "S k" for the factorization phases, "Y k" / "X k" / "C k:slot" /
+// "Z k:slot" for the solve sweeps) plus, on metadata-enabled traces
+// (SolverOptions::trace.metadata / SYMPACK_TRACE_META), the structured
+// per-event fields (task kind, supernode, slot indices, dependency-edge
+// hints) and the zero-width block-fetch marks ("g k:slot") left on the
+// consumer rank when a remote block or segment finished arriving.
+//
+// From the DAG it walks the critical path backwards from the event that
+// ends at the makespan: at each span the critical predecessor is the
+// input (dependency producer or same-rank prior span) with the latest
+// completion; any gap between that completion and the span's start is
+// attributed to communication (producer end -> fetch mark) and wait
+// (fetch mark -> task start) using the fetch marks, or wholly to wait
+// when the predecessor ran on the same rank. The result is the path
+// length (== makespan), a per-category breakdown of where the critical
+// path's time went (potrf / trsm / update / solve / selinv compute,
+// comm, wait), the same breakdown over *all* events (aggregate busy
+// time), and the top-k longest path segments with rank and supernode
+// attribution.
+//
+// Traces without metadata still analyze: kinds are parsed back out of
+// the span names and the walk falls back to rank-serialization edges
+// (gaps then count as wait), so pre-existing traces remain readable —
+// just with less precise attribution.
+//
+// autotune_schedule() is the consumer that closes the loop: it resolves
+// Policy::kAuto by running cheap protocol-only pilot factorizations
+// (numeric=false: full protocol, identical simulated-time accounting, no
+// numerics) for each fixed scheduling policy — and, for the winning
+// policy, a couple of supernode split widths around the configured one —
+// on a fresh simulated runtime with the same cluster shape, then picks
+// the candidate with the shortest simulated makespan. Because the pilot
+// runs the exact schedule the real factorization will run, the chosen
+// configuration is never slower (in simulated time) than the best fixed
+// policy at the configured width.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/trace.hpp"
+#include "pgas/runtime.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/types.hpp"
+
+namespace sympack::core {
+
+struct CritPathReport {
+  /// Seconds per category. `solve` pools the four solve-phase tags
+  /// (Y/X/C/Z); `comm` and `wait` only accumulate on the path breakdown
+  /// (gaps are a path notion — aggregate idle time is `idle_s`).
+  struct Breakdown {
+    double potrf = 0.0;
+    double trsm = 0.0;
+    double update = 0.0;
+    double solve = 0.0;
+    double selinv = 0.0;
+    double other = 0.0;
+    double comm = 0.0;
+    double wait = 0.0;
+    [[nodiscard]] double compute() const {
+      return potrf + trsm + update + solve + selinv + other;
+    }
+  };
+
+  /// One span on the critical path (walk order: latest first).
+  struct Segment {
+    std::string name;
+    char kind = 0;
+    int rank = 0;
+    std::int64_t snode = -1;
+    double begin_s = 0.0;
+    double end_s = 0.0;
+    double comm_s = 0.0;  // pre-span gap attributed to communication
+    double wait_s = 0.0;  // pre-span gap attributed to waiting
+    [[nodiscard]] double duration() const { return end_s - begin_s; }
+  };
+
+  double makespan_s = 0.0;       // latest event end
+  double critical_path_s = 0.0;  // path compute + comm + wait (== makespan)
+  int nranks = 0;                // distinct ranks seen in the trace
+  std::size_t num_events = 0;    // events analyzed (spans + marks)
+  std::size_t num_spans = 0;     // task spans (nonzero-width events)
+  int path_tasks = 0;            // spans on the critical path
+  bool had_metadata = false;     // dependency edges were available
+  Breakdown path;                // where the critical path's time went
+  Breakdown total;               // aggregate busy seconds per category
+  double busy_s = 0.0;           // sum of all span durations
+  double idle_s = 0.0;           // nranks * makespan - busy
+  std::vector<Segment> top;      // top-k path segments by duration
+  std::vector<Segment> path_segments;  // the full path, latest first
+  bool has_comm_stats = false;
+  pgas::CommStats comm_stats{};  // optional counters (set_comm_stats)
+
+  /// Render as a JSON object (validated shape; names escaped through
+  /// support::json_escape).
+  [[nodiscard]] std::string to_json() const;
+};
+
+class CritPathAnalyzer {
+ public:
+  explicit CritPathAnalyzer(std::vector<Tracer::Event> events);
+
+  /// Fold the run's aggregated CommStats counters into the report
+  /// (purely informational: the path itself is computed from the trace).
+  void set_comm_stats(const pgas::CommStats& stats);
+
+  /// Compute the critical path; `top_k` bounds CritPathReport::top.
+  [[nodiscard]] CritPathReport analyze(int top_k = 10) const;
+
+ private:
+  std::vector<Tracer::Event> events_;
+  bool has_comm_stats_ = false;
+  pgas::CommStats comm_stats_{};
+};
+
+/// One pilot configuration and its measured simulated makespan.
+struct AutoTuneCandidate {
+  Policy policy = Policy::kFifo;
+  sparse::idx_t max_width = 0;
+  double sim_s = 0.0;
+};
+
+/// What Policy::kAuto resolved to (SymPackSolver::autotune_choice()).
+struct AutoTuneChoice {
+  Policy policy = Policy::kFifo;
+  sparse::idx_t max_width = 0;   // adopted SymbolicOptions::max_width
+  double pilot_sim_s = 0.0;      // winner's pilot makespan
+  double default_sim_s = 0.0;    // FIFO at the configured width
+  CritPathReport report;         // winner's critical-path analysis
+  std::vector<AutoTuneCandidate> candidates;  // every pilot, in run order
+};
+
+/// Resolve a scheduling policy + split width for `a_perm` (already
+/// permuted; the pilots run with ordering=kNatural) on a cluster shaped
+/// like `cluster` (faults are zeroed: the pilots tune the healthy
+/// schedule). `base` supplies every other solver option. Pilots are
+/// protocol-only regardless of base.numeric.
+AutoTuneChoice autotune_schedule(pgas::Runtime::Config cluster,
+                                 const sparse::CscMatrix& a_perm,
+                                 const SolverOptions& base);
+
+}  // namespace sympack::core

@@ -14,7 +14,7 @@ FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                            Offload& offload, const SolverOptions& opts,
                            Tracer* tracer)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
-      opts_(opts), stats_(tracer) {
+      opts_(opts), stats_(tracer, opts.trace.metadata) {
   per_rank_.resize(rt.nranks());
   for (PerRank& pr : per_rank_) pr.rtq.set_policy(opts_.policy);
   net_.init(rt, opts_.fault, tracer, opts_.comm);
@@ -132,6 +132,7 @@ void FactorEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
     auto [entry, inserted] =
         per_rank_[me].cache.insert(bid, std::move(rf), uses);
     if (!inserted) return;  // duplicate signal: keep the original
+    stats_.fetch_mark(me, sig.k, sig.slot, entry->ref.ready);
     deliver(rank, sig.k, sig.slot, entry->ref);
     return;
   }
@@ -197,6 +198,7 @@ void FactorEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
     if (!fetched_device.is_null()) rank.deallocate(fetched_device);
     return;
   }
+  stats_.fetch_mark(me, sig.k, sig.slot, ready);
   deliver(rank, sig.k, sig.slot, entry->ref);
 }
 
@@ -313,10 +315,23 @@ void FactorEngine::execute(pgas::Rank& rank, const Task& task) {
         stats_.task_span(rank.id(), taskrt::TaskTag::kFactor, task.k,
                          task.slot, 0, begin, rank.now());
         break;
-      case TaskType::kUpdate:
+      case TaskType::kUpdate: {
+        // Dependency-edge hint for the analyzer (metadata builds only):
+        // the block this update folded into — (t, 0) for the SYRK task,
+        // (t, slot of row-block s) for GEMM — names the D/F task it
+        // helps unlock.
+        idx_t tgt = -1, tgt_slot = -1;
+        if (stats_.metadata()) {
+          const auto& sn = sym_->snode(task.k);
+          const idx_t s = sn.blocks[task.si - 1].target;
+          const idx_t t = sn.blocks[task.ti - 1].target;
+          tgt = t;
+          tgt_slot = (task.si == task.ti) ? 0 : sym_->find_block(t, s) + 1;
+        }
         stats_.task_span(rank.id(), taskrt::TaskTag::kUpdate, task.k, task.si,
-                         task.ti, begin, rank.now());
+                         task.ti, begin, rank.now(), tgt, tgt_slot);
         break;
+      }
     }
   }
 }

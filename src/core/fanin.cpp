@@ -12,11 +12,12 @@ namespace sympack::core {
 
 FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                          const symbolic::TaskGraph& tg, BlockStore& store,
-                         Offload& offload, const SolverOptions& opts)
+                         Offload& offload, const SolverOptions& opts,
+                         Tracer* tracer)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
-      opts_(opts) {
+      opts_(opts), stats_(tracer, opts.trace.metadata) {
   per_rank_.resize(rt.nranks());
-  net_.init(rt, opts_.fault, nullptr, opts_.comm);
+  net_.init(rt, opts_.fault, tracer, opts_.comm);
   owned_u_.assign(rt.nranks(), 0);
   const idx_t nb = store.num_blocks();
   deps_.init(nb);
@@ -164,6 +165,7 @@ void FanInEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
                       bid};
     auto [entry, inserted] = pr.cache.insert(bid, std::move(rp), uses);
     if (!inserted) return;
+    stats_.fetch_mark(me, sig.k, sig.slot, entry->ref.ready);
     deliver_pivot(rank, sig.k, sig.slot, entry->ref);
     return;
   }
@@ -192,6 +194,7 @@ void FanInEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
   // re-delivering (which would corrupt the dependency counters).
   auto [entry, inserted] = pr.cache.insert(bid, std::move(rp), uses);
   if (!inserted) return;
+  stats_.fetch_mark(me, sig.k, sig.slot, ready);
   deliver_pivot(rank, sig.k, sig.slot, entry->ref);
 }
 
@@ -324,6 +327,7 @@ void FanInEngine::send_pivot(pgas::Rank& rank, idx_t k, BlockSlot slot,
 
 void FanInEngine::execute(pgas::Rank& rank, const Task& task) {
   rank.merge_clock(task.ready);
+  const double begin = rank.now();
   switch (task.type) {
     case TaskType::kDiag: {
       const auto& sn = sym_->snode(task.k);
@@ -358,6 +362,31 @@ void FanInEngine::execute(pgas::Rank& rank, const Task& task) {
     case TaskType::kUpdate:
       execute_update(rank, task);
       break;
+  }
+  if (stats_.tracing()) {
+    switch (task.type) {
+      case TaskType::kDiag:
+        stats_.task_span(rank.id(), taskrt::TaskTag::kDiag, task.k, 0, 0,
+                         begin, rank.now());
+        break;
+      case TaskType::kFactor:
+        stats_.task_span(rank.id(), taskrt::TaskTag::kFactor, task.k,
+                         task.slot, 0, begin, rank.now());
+        break;
+      case TaskType::kUpdate: {
+        idx_t tgt = -1, tgt_slot = -1;
+        if (stats_.metadata()) {
+          const auto& sn = sym_->snode(task.k);
+          const idx_t s = sn.blocks[task.si - 1].target;
+          const idx_t t = sn.blocks[task.ti - 1].target;
+          tgt = t;
+          tgt_slot = (task.si == task.ti) ? 0 : sym_->find_block(t, s) + 1;
+        }
+        stats_.task_span(rank.id(), taskrt::TaskTag::kUpdate, task.k, task.si,
+                         task.ti, begin, rank.now(), tgt, tgt_slot);
+        break;
+      }
+    }
   }
 }
 

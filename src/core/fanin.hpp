@@ -38,7 +38,9 @@
 #include "core/taskrt/dep_tracker.hpp"
 #include "core/taskrt/endpoint.hpp"
 #include "core/taskrt/ready_queue.hpp"
+#include "core/taskrt/stats.hpp"
 #include "core/taskrt/use_cache.hpp"
+#include "core/trace.hpp"
 #include "pgas/runtime.hpp"
 #include "symbolic/taskgraph.hpp"
 
@@ -46,9 +48,13 @@ namespace sympack::core {
 
 class FanInEngine {
  public:
+  /// `tracer` (optional) records every task's simulated execution span,
+  /// same span-name conventions as the fan-out engine; the variant
+  /// ablation and the critical-path profiler read both the same way.
   FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
               const symbolic::TaskGraph& tg, BlockStore& store,
-              Offload& offload, const SolverOptions& opts);
+              Offload& offload, const SolverOptions& opts,
+              Tracer* tracer = nullptr);
 
   void run();
 
@@ -145,6 +151,7 @@ class FanInEngine {
   BlockStore* store_;
   Offload* offload_;
   SolverOptions opts_;
+  taskrt::EngineStats stats_;
 
   std::vector<PerRank> per_rank_;
   /// Signal transport + recovery protocol. The sequence protocol matters

@@ -19,7 +19,14 @@ namespace sympack::core {
 ///   kPriority          lowest target supernode first
 ///   kCriticalPath      deepest supernode first (tasks feeding the
 ///                      longest elimination-tree chain run first)
-enum class Policy { kFifo, kLifo, kPriority, kCriticalPath };
+///   kAuto              measured per matrix: symbolic_factorize runs
+///                      cheap protocol-only pilot factorizations, feeds
+///                      the traces through the critical-path analyzer
+///                      (core/critpath.hpp), and resolves to the fixed
+///                      policy (and supernode split width) with the
+///                      shortest measured critical path. Never reaches
+///                      the engines unresolved.
+enum class Policy { kFifo, kLifo, kPriority, kCriticalPath, kAuto };
 
 Policy parse_policy(const std::string& name);
 std::string policy_name(Policy p);
@@ -128,6 +135,22 @@ struct SolveOptions {
 /// SYMPACK_SOLVE_MAX_QUEUE onto `base` (applied at solver construction).
 SolveOptions env_solve_options(SolveOptions base);
 
+/// Tracing detail (DESIGN.md §4g). With `metadata` off (the default) an
+/// attached Tracer records exactly the historical event stream — same
+/// events, same names — so the golden schedule hashes, which fold every
+/// event's rank and name, stay bit-identical. Turning it on adds (a)
+/// structured per-event metadata (task kind, supernode, slot indices,
+/// dependency-edge hints) and (b) zero-width block-fetch marks on the
+/// consumer rank, which together let core::CritPathAnalyzer rebuild the
+/// task DAG and split cross-rank gaps into comm vs. wait.
+struct TraceOptions {
+  bool metadata = false;
+};
+
+/// Overlay SYMPACK_TRACE_META onto `base` (applied at solver
+/// construction).
+TraceOptions env_trace_options(TraceOptions base);
+
 struct SolverOptions {
   ordering::Method ordering = ordering::Method::kNestedDissection;
   Variant variant = Variant::kFanOut;
@@ -161,6 +184,9 @@ struct SolverOptions {
   /// Blocked multi-RHS solve + SolveServer tuning (default rhs_panel=1:
   /// per-vector sweeps, bit-identical to the historical solve phase).
   SolveOptions solve{};
+  /// Tracing detail (default off: attached tracers see the historical
+  /// event stream byte-for-byte).
+  TraceOptions trace{};
 };
 
 }  // namespace sympack::core

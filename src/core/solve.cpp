@@ -10,9 +10,10 @@ namespace sympack::core {
 
 SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                          const symbolic::TaskGraph& tg, BlockStore& store,
-                         Offload& offload, const SolverOptions& opts)
+                         Offload& offload, const SolverOptions& opts,
+                         Tracer* tracer)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
-      opts_(opts) {
+      opts_(opts), stats_(tracer, opts.trace.metadata) {
   const idx_t ns = sym.num_snodes();
   target_blocks_.resize(ns);
   owned_diag_.assign(rt.nranks(), 0);
@@ -34,7 +35,7 @@ SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
   seg_.resize(ns);
   deps_.init(ns);  // once: ready times carry across the two sweeps
   per_rank_.resize(rt.nranks());
-  net_.init(rt, opts_.fault, nullptr, opts_.comm);
+  net_.init(rt, opts_.fault, tracer, opts_.comm);
 }
 
 SolveEngine::~SolveEngine() { free_buffers(); }
@@ -198,6 +199,7 @@ pgas::Step SolveEngine::step(pgas::Rank& rank, bool backward) {
 }
 
 void SolveEngine::execute_diag(pgas::Rank& rank, idx_t k, bool backward) {
+  const double begin = rank.now();
   const auto& sn = sym_->snode(k);
   const int w = static_cast<int>(sn.width());
   const idx_t dbid = store_->block_id(k, 0);
@@ -205,6 +207,12 @@ void SolveEngine::execute_diag(pgas::Rank& rank, idx_t k, bool backward) {
                           store_->numeric() ? seg_[k].data() : nullptr, w);
   deps_.set_ready(k, rank.now());
   ++per_rank_[rank.id()].done_diag;
+  if (stats_.tracing()) {
+    stats_.task_span(rank.id(),
+                     backward ? taskrt::TaskTag::kSolveBwd
+                              : taskrt::TaskTag::kSolveFwd,
+                     k, 0, 0, begin, rank.now());
+  }
   publish_solution(rank, k, backward);
 }
 
@@ -331,6 +339,7 @@ void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
       rank.stats().bytes_from_host += msg.bytes;
     }
     const idx_t k = msg.k;
+    stats_.fetch_mark(me, k, 0, ready);
     const auto& sn = sym_->snode(k);
     const auto& map = tg_->mapping();
     if (!backward) {
@@ -355,6 +364,7 @@ void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
   if (msg.eager_bytes > 0) {
     // Eager: apply the inline partial sum directly (it is consumed
     // synchronously, so no pinning is needed).
+    stats_.fetch_mark(me, msg.panel, msg.slot, rank.now());
     apply_contribution(rank, msg.panel, msg.slot,
                        msg.payload ? msg.payload.get() : nullptr, rank.now(),
                        backward);
@@ -379,11 +389,13 @@ void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
     ++rank.stats().gets;
     rank.stats().bytes_from_host += msg.bytes;
   }
+  stats_.fetch_mark(me, msg.panel, msg.slot, ready);
   apply_contribution(rank, msg.panel, msg.slot, z, ready, backward);
 }
 
 void SolveEngine::execute_contrib(pgas::Rank& rank, const Task& task,
                                   bool backward) {
+  const double begin = rank.now();
   const int me = rank.id();
   PerRank& pr = per_rank_[me];
   const idx_t panel = task.k;
@@ -428,6 +440,15 @@ void SolveEngine::execute_contrib(pgas::Rank& rank, const Task& task,
 
   // Fan the partial sum in to the segment owner.
   const idx_t dest = backward ? panel : s;
+  if (stats_.tracing()) {
+    // b = the supernode whose solution segment this contribution
+    // consumed; tgt = the segment it folds into (its Y/X diag task).
+    stats_.task_span(rank.id(),
+                     backward ? taskrt::TaskTag::kContribBwd
+                              : taskrt::TaskTag::kContribFwd,
+                     panel, slot, backward ? s : panel, begin, rank.now(),
+                     dest, 0);
+  }
   const int dest_owner = tg_->mapping()(dest, dest);
   if (dest_owner == me) {
     apply_contribution(rank, panel, slot, numeric ? z.data() : nullptr,

@@ -41,6 +41,8 @@
 #include "core/taskrt/dep_tracker.hpp"
 #include "core/taskrt/endpoint.hpp"
 #include "core/taskrt/ready_queue.hpp"
+#include "core/taskrt/stats.hpp"
+#include "core/trace.hpp"
 #include "pgas/runtime.hpp"
 #include "symbolic/taskgraph.hpp"
 
@@ -48,9 +50,17 @@ namespace sympack::core {
 
 class SolveEngine {
  public:
+  /// `tracer` (optional) records every solve task's simulated execution
+  /// span ("Y k" / "C k:slot" forward, "X k" / "Z k:slot" backward) with
+  /// the same conventions as the factorization engines, so one Chrome
+  /// trace shows factor and solve side by side and the critical-path
+  /// profiler can analyze either phase. The solve-phase goldens hash
+  /// CommStats only and never attach a tracer, so this is purely
+  /// additive.
   SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
               const symbolic::TaskGraph& tg, BlockStore& store,
-              Offload& offload, const SolverOptions& opts);
+              Offload& offload, const SolverOptions& opts,
+              Tracer* tracer = nullptr);
   ~SolveEngine();
   SolveEngine(const SolveEngine&) = delete;
   SolveEngine& operator=(const SolveEngine&) = delete;
@@ -136,6 +146,7 @@ class SolveEngine {
   BlockStore* store_;
   Offload* offload_;
   SolverOptions opts_;
+  taskrt::EngineStats stats_;
   int nrhs_ = 1;          // columns carried by the sweep in flight
   bool cur_backward_ = false;  // which sweep step_phase() advances
 

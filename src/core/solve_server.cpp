@@ -61,7 +61,8 @@ std::vector<std::vector<double>> SolveServer::drain() {
     for (auto& e : engines_) {
       e = std::make_unique<SolveEngine>(*solver_->rt_, solver_->sym_,
                                         *solver_->tg_, *solver_->store_,
-                                        *solver_->offload_, solver_->opts_);
+                                        *solver_->offload_, solver_->opts_,
+                                        solver_->tracer_);
     }
   }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/critpath.hpp"
 #include "core/factor.hpp"
 #include "core/fanin.hpp"
 #include "core/solve.hpp"
@@ -32,6 +33,11 @@ SolveOptions env_solve_options(SolveOptions base) {
   return base;
 }
 
+TraceOptions env_trace_options(TraceOptions base) {
+  base.metadata = support::env_bool("SYMPACK_TRACE_META", base.metadata);
+  return base;
+}
+
 Policy parse_policy(const std::string& name) {
   if (name == "fifo") return Policy::kFifo;
   if (name == "lifo") return Policy::kLifo;
@@ -39,6 +45,7 @@ Policy parse_policy(const std::string& name) {
   if (name == "critical-path" || name == "critical") {
     return Policy::kCriticalPath;
   }
+  if (name == "auto") return Policy::kAuto;
   throw std::invalid_argument("unknown scheduling policy: " + name);
 }
 
@@ -48,6 +55,7 @@ std::string policy_name(Policy p) {
     case Policy::kLifo: return "lifo";
     case Policy::kPriority: return "priority";
     case Policy::kCriticalPath: return "critical-path";
+    case Policy::kAuto: return "auto";
   }
   return "?";
 }
@@ -69,6 +77,7 @@ SymPackSolver::SymPackSolver(pgas::Runtime& rt, SolverOptions opts)
   blas::kernels::set_config(opts_.kernel_tiles);
   opts_.comm = env_comm_options(opts_.comm);
   opts_.solve = env_solve_options(opts_.solve);
+  opts_.trace = env_trace_options(opts_.trace);
 }
 
 SymPackSolver::~SymPackSolver() = default;
@@ -80,6 +89,21 @@ void SymPackSolver::symbolic_factorize(const sparse::CscMatrix& a) {
   perm_ = ordering::compute_ordering(a, opts_.ordering);
   a_perm_ = sparse::permute_symmetric(a, perm_);
   report_.ordering_wall_s = WallClock::now() - t0;
+
+  // Resolve Policy::kAuto before the symbolic analysis consumes the
+  // (possibly retuned) split width: run cheap protocol-only pilot
+  // factorizations on a fresh runtime with the same cluster shape and
+  // adopt the policy/width with the shortest simulated makespan
+  // (core/critpath.hpp). Faults are disabled in the pilots — they tune
+  // the healthy schedule, not a particular injected failure pattern.
+  if (opts_.policy == Policy::kAuto) {
+    auto cluster = rt_->config();
+    cluster.faults = {};
+    auto_choice_ = std::make_unique<AutoTuneChoice>(
+        autotune_schedule(cluster, a_perm_, opts_));
+    opts_.policy = auto_choice_->policy;
+    opts_.symbolic.max_width = auto_choice_->max_width;
+  }
 
   t0 = WallClock::now();
   const auto parent = ordering::elimination_tree(a_perm_);
@@ -132,7 +156,7 @@ void SymPackSolver::factorize() {
     FactorEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_, tracer_);
     engine.run();
   } else {
-    FanInEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_);
+    FanInEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_, tracer_);
     engine.run();
   }
   if (tracer_ != nullptr && comm_fast_path) rt_->pool().set_event_hook({});
@@ -183,7 +207,7 @@ std::vector<double> SymPackSolver::solve(const std::vector<double>& b,
 
   const double t0 = support::WallClock::now();
   rt_->reset_clocks();
-  SolveEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_);
+  SolveEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_, tracer_);
   auto x_perm = engine.solve(b_perm, nrhs);
   report_.solve_wall_s = support::WallClock::now() - t0;
   report_.solve_sim_s = rt_->max_clock();

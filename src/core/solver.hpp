@@ -27,6 +27,8 @@
 
 namespace sympack::core {
 
+struct AutoTuneChoice;  // core/critpath.hpp
+
 class SymPackSolver {
  public:
   SymPackSolver(pgas::Runtime& rt, SolverOptions opts = {});
@@ -92,6 +94,13 @@ class SymPackSolver {
   /// inversion, inspection). Requires factorize().
   [[nodiscard]] const BlockStore& block_store() const;
 
+  /// When the solver was constructed with Policy::kAuto, the pilot-based
+  /// choice symbolic_factorize() resolved to (policy, split width, pilot
+  /// timings, critical-path report). Null otherwise.
+  [[nodiscard]] const AutoTuneChoice* autotune_choice() const {
+    return auto_choice_.get();
+  }
+
  private:
   /// The serving layer drives SolveEngine sweeps itself (pipelined
   /// batches need two engines in one drive loop), so it reaches the
@@ -109,6 +118,7 @@ class SymPackSolver {
   std::unique_ptr<BlockStore> store_;
   std::unique_ptr<Offload> offload_;
   Tracer* tracer_ = nullptr;
+  std::unique_ptr<AutoTuneChoice> auto_choice_;
   bool factorized_ = false;
 };
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <vector>
 
@@ -54,8 +55,20 @@ class DepTracker {
   /// Fold in one input (raise the ready time, consume one dependency).
   /// Returns true exactly when the node became ready — the caller then
   /// enqueues the unlocked task at ready(id).
+  ///
+  /// A satisfy() with no outstanding dependency is always an engine bug
+  /// (a duplicate that escaped the endpoint's dedup, or a stray edge):
+  /// the counter would wrap below zero and silently corrupt readiness —
+  /// the node could never report ready again, deadlocking the phase with
+  /// no diagnostic. Debug builds assert; release builds still decrement
+  /// (preserving the historical behaviour bit-for-bit) but the
+  /// duplicate-signal recovery tests pin that the dedup layer keeps this
+  /// path unreachable.
   bool satisfy(std::size_t id, double t) {
     raise_ready(id, t);
+    assert(remaining_[id] > 0 &&
+           "DepTracker::satisfy: no outstanding dependency "
+           "(duplicate or stray satisfy)");
     return --remaining_[id] == 0;
   }
 

@@ -73,6 +73,7 @@ class ReadyQueue {
         return t;
       }
       case Policy::kFifo:
+      case Policy::kAuto:  // resolved before any engine runs; FIFO if not
         break;
     }
     Task t = std::move(q_.front().task);

@@ -9,14 +9,23 @@
 //     (rma-retry / re-request / retransmit / oom-fallback ...).
 //   * EngineStats: the per-task span recorder. Every engine (and
 //     selected inversion) formats task names through task_span(), so
-//     "D k" / "F k:slot" / "U k:si:ti" / "S k" are spelled in exactly
-//     one place and every execution phase lands in the same Chrome
-//     trace with the same conventions.
+//     "D k" / "F k:slot" / "U k:si:ti" / "S k" — and the solve-phase
+//     spans "Y k" / "X k" / "C k:slot" / "Z k:slot" — are spelled in
+//     exactly one place and every execution phase lands in the same
+//     Chrome trace with the same conventions.
 //
 // EngineStats is a thin non-owning wrapper over core::Tracer; a null
 // tracer makes every call a no-op, which keeps untraced runs free of
 // formatting work (the engines additionally skip the call entirely on
 // the hot path when not tracing).
+//
+// Structured metadata (DESIGN.md §4g) is opt-in per engine instance
+// (SolverOptions::trace.metadata): when off, task_span records exactly
+// the historical events — same names, default Meta — and fetch_mark is
+// a no-op, so the golden schedule hashes are unaffected. When on, every
+// span carries the Tracer::Meta fields the critical-path analyzer uses
+// to rebuild the task DAG, and block fetches leave zero-width "g" marks
+// on the consumer rank so cross-rank gaps split into comm vs. wait.
 #pragma once
 
 #include <cstdio>
@@ -36,26 +45,43 @@ namespace sympack::core::taskrt {
 #undef SYMPACK_RECOVERY_COUNTER
 #undef SYMPACK_COMM_COUNTER
 
-/// Task kinds the engines trace. The letter is the span-name prefix.
+/// Task kinds the engines trace. The letter is the span-name prefix and
+/// (with metadata on) the event's "cat"/kind field.
 enum class TaskTag : char {
   kDiag = 'D',     // panel diagonal factorization (potrf)
   kFactor = 'F',   // off-diagonal panel factor (trsm); "F k:slot"
   kUpdate = 'U',   // trailing update (syrk/gemm); "U k:si:ti"
   kSelinv = 'S',   // selected-inversion panel; "S k"
+  kSolveFwd = 'Y',     // forward-sweep diagonal solve; "Y k"
+  kSolveBwd = 'X',     // backward-sweep diagonal solve; "X k"
+  kContribFwd = 'C',   // forward-sweep block contribution; "C k:slot"
+  kContribBwd = 'Z',   // backward-sweep block contribution; "Z k:slot"
 };
+
+/// Zero-width mark kind for a completed remote block/segment fetch on
+/// the consumer rank ("g k:slot"); metadata-gated.
+inline constexpr char kFetchKind = 'g';
 
 class EngineStats {
  public:
   EngineStats() = default;
-  explicit EngineStats(Tracer* tracer) : tracer_(tracer) {}
+  explicit EngineStats(Tracer* tracer, bool metadata = false)
+      : tracer_(tracer), metadata_(metadata) {}
 
   [[nodiscard]] Tracer* tracer() const { return tracer_; }
   [[nodiscard]] bool tracing() const { return tracer_ != nullptr; }
+  [[nodiscard]] bool metadata() const {
+    return metadata_ && tracer_ != nullptr;
+  }
 
   /// Record one task execution span. `a`/`b` are the tag-specific slot
-  /// indices (F: a = slot; U: a = si, b = ti; D/S: unused).
+  /// indices (F: a = slot; U: a = si, b = ti; C/Z: a = slot, b = operand
+  /// supernode; D/S/Y/X: unused). `tgt`/`tgt_slot` are the
+  /// dependency-edge hints (U: the updated block; C/Z: the segment the
+  /// contribution folds into); only recorded with metadata on.
   void task_span(int rank, TaskTag tag, sparse::idx_t k, sparse::idx_t a,
-                 sparse::idx_t b, double begin_s, double end_s) {
+                 sparse::idx_t b, double begin_s, double end_s,
+                 sparse::idx_t tgt = -1, sparse::idx_t tgt_slot = -1) {
     if (tracer_ == nullptr) return;
     char name[48];
     switch (tag) {
@@ -68,13 +94,48 @@ class EngineStats {
                       static_cast<long long>(k), static_cast<long long>(a),
                       static_cast<long long>(b));
         break;
+      case TaskTag::kContribFwd:
+      case TaskTag::kContribBwd:
+        std::snprintf(name, sizeof name, "%c %lld:%lld",
+                      static_cast<char>(tag), static_cast<long long>(k),
+                      static_cast<long long>(a));
+        break;
       case TaskTag::kDiag:
       case TaskTag::kSelinv:
+      case TaskTag::kSolveFwd:
+      case TaskTag::kSolveBwd:
         std::snprintf(name, sizeof name, "%c %lld", static_cast<char>(tag),
                       static_cast<long long>(k));
         break;
     }
-    tracer_->record(rank, name, begin_s, end_s);
+    if (!metadata_) {
+      tracer_->record(rank, name, begin_s, end_s);
+      return;
+    }
+    Tracer::Meta meta;
+    meta.kind = static_cast<char>(tag);
+    meta.snode = k;
+    meta.a = a;
+    meta.b = b;
+    meta.tgt = tgt;
+    meta.tgt_slot = tgt >= 0 ? tgt_slot : -1;
+    tracer_->record(rank, name, begin_s, end_s, meta);
+  }
+
+  /// Zero-width mark on the consumer rank at the simulated time a
+  /// remote block/segment (k, slot) finished arriving. Metadata-gated:
+  /// this is a *new* event class, so with metadata off nothing is
+  /// recorded and traced schedules stay byte-identical.
+  void fetch_mark(int rank, sparse::idx_t k, sparse::idx_t slot, double t) {
+    if (!metadata()) return;
+    char name[40];
+    std::snprintf(name, sizeof name, "g %lld:%lld", static_cast<long long>(k),
+                  static_cast<long long>(slot));
+    Tracer::Meta meta;
+    meta.kind = kFetchKind;
+    meta.snode = k;
+    meta.a = slot;
+    tracer_->record(rank, name, t, t, meta);
   }
 
   /// Zero-width marker (recovery events; pass a kTrace_* constant).
@@ -84,6 +145,7 @@ class EngineStats {
 
  private:
   Tracer* tracer_ = nullptr;
+  bool metadata_ = false;
 };
 
 }  // namespace sympack::core::taskrt

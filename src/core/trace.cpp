@@ -5,12 +5,20 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/json.hpp"
+
 namespace sympack::core {
 
 void Tracer::record(int rank, std::string name, double begin_s,
                     double end_s) {
   std::lock_guard<std::mutex> lock(mutex_);
-  events_.push_back(Event{rank, std::move(name), begin_s, end_s});
+  events_.push_back(Event{rank, std::move(name), begin_s, end_s, Meta{}});
+}
+
+void Tracer::record(int rank, std::string name, double begin_s, double end_s,
+                    const Meta& meta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{rank, std::move(name), begin_s, end_s, meta});
 }
 
 std::vector<Tracer::Event> Tracer::events() const {
@@ -33,16 +41,33 @@ std::string Tracer::to_chrome_json() const {
   std::ostringstream out;
   out << "[";
   bool first = true;
-  char buf[160];
+  char num[96];
   for (const auto& e : events_) {
     if (!first) out << ",\n";
     first = false;
-    std::snprintf(buf, sizeof buf,
-                  R"({"name":"%s","ph":"X","pid":0,"tid":%d,"ts":%.3f,)"
-                  R"("dur":%.3f})",
-                  e.name.c_str(), e.rank, e.begin_s * 1e6,
-                  (e.end_s - e.begin_s) * 1e6);
-    out << buf;
+    // Names are escaped and carried at full length: the pre-fix emitter
+    // pushed them through an unescaped %s into a fixed 160-byte buffer,
+    // so a long or quote-bearing name truncated the record mid-token and
+    // broke the whole document.
+    out << R"({"name":")" << support::json_escape(e.name) << '"';
+    std::snprintf(num, sizeof num,
+                  R"(,"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f)",
+                  e.rank, e.begin_s * 1e6, (e.end_s - e.begin_s) * 1e6);
+    out << num;
+    if (e.meta.kind != 0) {
+      const char cat[2] = {e.meta.kind, '\0'};
+      out << R"(,"cat":")" << support::json_escape(cat) << '"';
+      out << R"(,"args":{"kind":")" << support::json_escape(cat)
+          << R"(","snode":)" << e.meta.snode;
+      if (e.meta.a >= 0) out << R"(,"a":)" << e.meta.a;
+      if (e.meta.b >= 0) out << R"(,"b":)" << e.meta.b;
+      if (e.meta.tgt >= 0) {
+        out << R"(,"tgt":)" << e.meta.tgt << R"(,"tgt_slot":)"
+            << e.meta.tgt_slot;
+      }
+      out << '}';
+    }
+    out << '}';
   }
   out << "]\n";
   return out.str();

@@ -2,9 +2,14 @@
 // begin/end) and writes a Chrome trace-event JSON (chrome://tracing,
 // Perfetto) so schedules can be inspected visually — the kind of
 // diagnostics an "intra-node scheduling heuristics" study (paper §6)
-// needs.
+// needs. With structured metadata enabled (SolverOptions::trace), the
+// events additionally carry the machine-readable fields the
+// critical-path analyzer (core/critpath.hpp) needs to rebuild the task
+// DAG: task kind, supernode id, slot indices, and the dependency-edge
+// hints (target supernode/slot, operand supernode).
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -13,14 +18,30 @@ namespace sympack::core {
 
 class Tracer {
  public:
+  /// Structured event metadata (DESIGN.md §4g). Default-constructed
+  /// (kind == 0) means "none": the event serializes exactly as it did
+  /// before metadata existed, so the golden schedule hashes — which fold
+  /// rank + name per event — are unaffected either way.
+  struct Meta {
+    char kind = 0;           // task/category tag ('D','F','U','S',...)
+    std::int64_t snode = -1;  // supernode / source panel of the task
+    std::int64_t a = -1;      // tag-specific slot (F: slot; U: si; C/Z: slot)
+    std::int64_t b = -1;      // U: ti; C/Z: operand supernode
+    std::int64_t tgt = -1;      // dependency hint: target supernode
+    std::int64_t tgt_slot = -1; // dependency hint: target block slot
+  };
+
   struct Event {
     int rank;
     std::string name;   // e.g. "D 42", "F 42:3", "U 42:3:1"
     double begin_s;     // simulated seconds
     double end_s;
+    Meta meta{};        // kind == 0 when the producer attached none
   };
 
   void record(int rank, std::string name, double begin_s, double end_s);
+  void record(int rank, std::string name, double begin_s, double end_s,
+              const Meta& meta);
 
   /// Snapshot copy. record() may run concurrently from the threaded
   /// drive mode, so readers get a copy taken under the lock rather than
@@ -30,7 +51,9 @@ class Tracer {
   void clear();
 
   /// Serialize as a Chrome trace-event array ("X" complete events, one
-  /// tid per rank, microsecond timestamps).
+  /// tid per rank, microsecond timestamps). Names are JSON-escaped and
+  /// unbounded; events carrying metadata get a "cat" (the kind letter)
+  /// and an "args" object with the structured fields.
   [[nodiscard]] std::string to_chrome_json() const;
   void write_chrome_json(const std::string& path) const;
 

@@ -1,0 +1,236 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace sympack::support {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON validator. Tracks position only; values are
+/// never materialized.
+class Validator {
+ public:
+  explicit Validator(const std::string& text) : s_(text) {}
+
+  bool run(std::string* error) {
+    ok_ = true;
+    pos_ = 0;
+    skip_ws();
+    value();
+    skip_ws();
+    if (ok_ && pos_ != s_.size()) fail("trailing content after document");
+    if (!ok_ && error != nullptr) *error = error_;
+    return ok_;
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (!ok_) return;  // keep the first error
+    ok_ = false;
+    error_ = what + " at byte " + std::to_string(pos_);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : s_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                      s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  void expect(char c, const char* what) {
+    if (!consume(c)) fail(std::string("expected ") + what);
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!consume(*p)) {
+        fail(std::string("bad literal (expected \"") + word + "\")");
+        return;
+      }
+    }
+  }
+
+  void value() {
+    if (depth_ > kMaxDepth) {
+      fail("nesting too deep");
+      return;
+    }
+    switch (peek()) {
+      case '{': object(); break;
+      case '[': array(); break;
+      case '"': string(); break;
+      case 't': literal("true"); break;
+      case 'f': literal("false"); break;
+      case 'n': literal("null"); break;
+      default: number(); break;
+    }
+  }
+
+  void object() {
+    ++depth_;
+    expect('{', "'{'");
+    skip_ws();
+    if (consume('}')) {
+      --depth_;
+      return;
+    }
+    while (ok_) {
+      skip_ws();
+      if (peek() != '"') {
+        fail("object key must be a string");
+        break;
+      }
+      string();
+      skip_ws();
+      expect(':', "':'");
+      skip_ws();
+      value();
+      skip_ws();
+      if (consume('}')) break;
+      expect(',', "',' or '}'");
+    }
+    --depth_;
+  }
+
+  void array() {
+    ++depth_;
+    expect('[', "'['");
+    skip_ws();
+    if (consume(']')) {
+      --depth_;
+      return;
+    }
+    while (ok_) {
+      skip_ws();
+      value();
+      skip_ws();
+      if (consume(']')) break;
+      expect(',', "',' or ']'");
+    }
+    --depth_;
+  }
+
+  void string() {
+    expect('"', "'\"'");
+    while (ok_) {
+      if (eof()) {
+        fail("unterminated string");
+        return;
+      }
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return;
+      }
+      if (c < 0x20) {
+        fail("raw control character in string");
+        return;
+      }
+      if (c == '\\') {
+        ++pos_;
+        switch (peek()) {
+          case '"': case '\\': case '/': case 'b': case 'f':
+          case 'n': case 'r': case 't':
+            ++pos_;
+            break;
+          case 'u':
+            ++pos_;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(peek()))) {
+                fail("bad \\u escape");
+                return;
+              }
+              ++pos_;
+            }
+            break;
+          default:
+            fail("bad escape character");
+            return;
+        }
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
+  void number() {
+    const std::size_t start = pos_;
+    consume('-');
+    if (consume('0')) {
+      // no further integer digits allowed
+    } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    } else {
+      fail("expected a value");
+      return;
+    }
+    if (consume('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required after decimal point");
+        return;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required in exponent");
+        return;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+  }
+
+  static constexpr int kMaxDepth = 256;
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace
+
+bool json_validate(const std::string& text, std::string* error) {
+  return Validator(text).run(error);
+}
+
+}  // namespace sympack::support

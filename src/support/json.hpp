@@ -1,0 +1,33 @@
+// Minimal JSON helpers shared by every emitter in the tree (Chrome
+// traces, bench reports, the critical-path analyzer) and by the tests
+// that gate them:
+//
+//   * json_escape: RFC 8259 string escaping (quotes, backslashes, all
+//     control characters). Every string that lands between quotes in an
+//     emitted document must pass through here — the pre-fix
+//     Tracer::to_chrome_json formatted raw names through snprintf and
+//     produced invalid JSON for quote-bearing names.
+//   * json_validate: a strict recursive-descent validator (no DOM, no
+//     allocation proportional to the document) so round-trip tests and
+//     tools can assert "this parses" without an external parser.
+#pragma once
+
+#include <string>
+
+namespace sympack::support {
+
+/// Escape `s` for inclusion inside a JSON string literal (the
+/// surrounding quotes are NOT added). Handles '"', '\\', and every
+/// control character below 0x20 (named escapes for \b \f \n \r \t,
+/// \u00xx for the rest). Non-ASCII bytes pass through untouched (JSON
+/// permits raw UTF-8).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Strict validation of a complete JSON document (one value plus
+/// whitespace). Returns true when `text` parses; on failure returns
+/// false and, if `error` is non-null, stores a one-line diagnostic with
+/// the byte offset of the problem.
+[[nodiscard]] bool json_validate(const std::string& text,
+                                 std::string* error = nullptr);
+
+}  // namespace sympack::support
