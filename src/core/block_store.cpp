@@ -91,6 +91,36 @@ void BlockStore::assemble(const sparse::CscMatrix& a) {
   }
 }
 
+void BlockStore::assemble_subset(const sparse::CscMatrix& a,
+                                 const std::vector<char>& select) {
+  if (!numeric_) return;
+  for (idx_t bid = 0; bid < num_blocks(); ++bid) {
+    if (select[bid] != 0) std::memset(data_[bid], 0, bytes(bid));
+  }
+  const idx_t ns = sym_->num_snodes();
+  for (idx_t k = 0; k < ns; ++k) {
+    const auto& sn = sym_->snode(k);
+    for (idx_t j = sn.first; j <= sn.last; ++j) {
+      const idx_t col = j - sn.first;
+      for (idx_t p = a.colptr()[j]; p < a.colptr()[j + 1]; ++p) {
+        const idx_t i = a.rowind()[p];
+        const double v = a.values()[p];
+        if (i <= sn.last) {
+          const idx_t bid = base_[k];
+          if (select[bid] == 0) continue;
+          data_[bid][(i - sn.first) + col * nrows_[bid]] = v;
+        } else {
+          const idx_t slot = sym_->find_block(k, sym_->snode_of(i)) + 1;
+          const idx_t bid = base_[k] + slot;
+          if (select[bid] == 0) continue;
+          const idx_t off = row_offset_in_block(k, slot, i);
+          data_[bid][off + col * nrows_[bid]] = v;
+        }
+      }
+    }
+  }
+}
+
 std::vector<double> BlockStore::to_dense_lower() const {
   const idx_t n = sym_->n();
   std::vector<double> out(static_cast<std::size_t>(n) * n, 0.0);

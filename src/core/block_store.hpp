@@ -58,6 +58,14 @@ class BlockStore {
   /// protocol-only mode.
   void assemble(const sparse::CscMatrix& a_permuted);
 
+  /// Re-assemble only the blocks with select[bid] != 0 (zero, then
+  /// scatter the A entries that land in them). Recovery uses this to
+  /// rebuild the still-incomplete panels after a rank death without
+  /// touching completed (checkpoint-restored) blocks. No-op in
+  /// protocol-only mode.
+  void assemble_subset(const sparse::CscMatrix& a_permuted,
+                       const std::vector<char>& select);
+
   /// Gather the factor into a dense n x n lower-triangular matrix
   /// (column-major). Test/inspection helper for small problems.
   [[nodiscard]] std::vector<double> to_dense_lower() const;

@@ -12,12 +12,12 @@ namespace sympack::core {
 FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                            const symbolic::TaskGraph& tg, BlockStore& store,
                            Offload& offload, const SolverOptions& opts,
-                           Tracer* tracer)
+                           Tracer* tracer, RecoveryContext* rec)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
-      opts_(opts), stats_(tracer, opts.trace.metadata) {
+      opts_(opts), stats_(tracer, opts.trace.metadata), rec_(rec) {
   per_rank_.resize(rt.nranks());
   for (PerRank& pr : per_rank_) pr.rtq.set_policy(opts_.policy);
-  net_.init(rt, opts_.fault, tracer, opts_.comm);
+  net_.init(rt, opts_.fault, tracer, opts_.comm, opts_.resilience);
   // Supernodal elimination-tree depths for the critical-path policy.
   // The parent of a supernode holds its first below-row; parents have
   // larger indices, so a descending sweep resolves all depths.
@@ -29,12 +29,27 @@ FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
       snode_depth_[k] = snode_depth_[sym.snode_of(below.front())] + 1;
     }
   }
+  goal_factor_.resize(rt.nranks());
+  goal_update_.resize(rt.nranks());
+  for (int r = 0; r < rt.nranks(); ++r) {
+    goal_factor_[r] = tg.owned_factor_tasks(r);
+    goal_update_[r] = tg.owned_update_tasks(r);
+  }
+
   const idx_t nb = store.num_blocks();
   deps_.init(nb);
   for (idx_t k = 0; k < sym.num_snodes(); ++k) {
     const idx_t nslots = 1 + static_cast<idx_t>(sym.snode(k).blocks.size());
     for (BlockSlot slot = 0; slot < nslots; ++slot) {
       const idx_t bid = store.block_id(k, slot);
+      if (rec_ != nullptr && rec_->complete[bid] != 0) {
+        // Warm start: the block's factor task already ran in a previous
+        // attempt (data restored from the buddy checkpoint) — no deps,
+        // no task, one less goal for the owner.
+        deps_.set_count(bid, 0);
+        --goal_factor_[store.owner(bid)];
+        continue;
+      }
       // F tasks additionally wait for the panel's diagonal factor.
       deps_.set_count(bid, static_cast<int>(tg.update_count(k, slot)) +
                                (slot == 0 ? 0 : 1));
@@ -45,16 +60,84 @@ FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
       }
     }
   }
+  if (rec_ != nullptr) {
+    // Updates folding into a complete block never re-run: shrink their
+    // owners' termination goals to match (the owner of U_{k,si,ti} is
+    // the owner of its target block).
+    const auto& map = tg.mapping();
+    for (idx_t k = 0; k < sym.num_snodes(); ++k) {
+      const auto& sn = sym.snode(k);
+      const idx_t nbk = static_cast<idx_t>(sn.blocks.size());
+      for (idx_t si = 1; si <= nbk; ++si) {
+        for (idx_t ti = 1; ti <= si; ++ti) {
+          if (update_needed(k, si, ti)) continue;
+          --goal_update_[map(sn.blocks[si - 1].target,
+                             sn.blocks[ti - 1].target)];
+        }
+      }
+    }
+  }
+}
+
+FactorEngine::~FactorEngine() {
+  // An abnormal unwind (rank death mid-phase) can leave fetched blocks
+  // parked in the use caches; return their device allocations so the
+  // next attempt starts with the full segment.
+  for (int r = 0; r < static_cast<int>(per_rank_.size()); ++r) {
+    pgas::Rank& rank = rt_->rank(r);
+    per_rank_[r].cache.for_each([&rank](sparse::idx_t, RemoteFactor& rf) {
+      if (!rf.device.is_null()) rank.deallocate(rf.device);
+    });
+    per_rank_[r].cache.clear();
+  }
+}
+
+idx_t FactorEngine::update_target_bid(idx_t k, idx_t si, idx_t ti) const {
+  const auto& sn = sym_->snode(k);
+  const idx_t t = sn.blocks[ti - 1].target;
+  if (si == ti) return store_->block_id(t, 0);
+  const idx_t s = sn.blocks[si - 1].target;
+  return store_->block_id(t, sym_->find_block(t, s) + 1);
+}
+
+bool FactorEngine::update_needed(idx_t k, idx_t si, idx_t ti) const {
+  return rec_ == nullptr || rec_->complete[update_target_bid(k, si, ti)] == 0;
 }
 
 void FactorEngine::run() {
+  if (rec_ != nullptr) publish_restored();
   rt_->drive([this](pgas::Rank& rank) { return step(rank); },
              /*stall_limit=*/10000, opts_.interleave_seed);
+}
+
+void FactorEngine::publish_restored() {
+  for (idx_t k = 0; k < sym_->num_snodes(); ++k) {
+    const idx_t nslots = 1 + static_cast<idx_t>(sym_->snode(k).blocks.size());
+    for (BlockSlot slot = 0; slot < nslots; ++slot) {
+      const idx_t bid = store_->block_id(k, slot);
+      if (rec_->complete[bid] == 0) continue;
+      pgas::Rank& owner = rt_->rank(store_->owner(bid));
+      // Local consumers with pending tasks read the restored data in
+      // place; remote ones get a plain rendezvous signal and pull it.
+      if (local_uses(owner.id(), k, slot) > 0) {
+        deliver(owner, k, slot,
+                FactorRef{store_->data(bid), owner.now(), false, -1});
+      }
+      for (int r : tg_->recipients(k, slot)) {
+        if (local_uses(r, k, slot) == 0) continue;
+        net_.send(owner, r, Signal{k, slot});
+      }
+    }
+  }
 }
 
 pgas::Step FactorEngine::step(pgas::Rank& rank) {
   PerRank& pr = per_rank_[rank.id()];
   int worked = rank.progress();
+  // A killed rank stops participating: it holds no runnable state (die()
+  // dropped its inbox) and must not touch the protocol again until the
+  // recovery loop resurrects it.
+  if (net_.recovery() && !rank.alive()) return pgas::Step::kIdle;
 
   const std::vector<Signal> sigs = net_.drain(rank.id());
   for (const Signal& sig : sigs) handle_signal(rank, sig);
@@ -79,8 +162,8 @@ pgas::Step FactorEngine::step(pgas::Rank& rank) {
   }
 
   const int me = rank.id();
-  const bool done = pr.done_factor == tg_->owned_factor_tasks(me) &&
-                    pr.done_update == tg_->owned_update_tasks(me) &&
+  const bool done = pr.done_factor == goal_factor_[me] &&
+                    pr.done_update == goal_update_[me] &&
                     pr.rtq.empty() && !net_.has_pending(me) &&
                     !rank.has_pending_rpcs();
   if (done) return pgas::Step::kDone;
@@ -95,17 +178,26 @@ int FactorEngine::local_uses(int rank, idx_t k, BlockSlot slot) const {
   int uses = 0;
   if (slot == 0) {
     for (idx_t fs = 1; fs <= nb; ++fs) {
-      if (map(sn.blocks[fs - 1].target, k) == rank) ++uses;
+      if (map(sn.blocks[fs - 1].target, k) != rank) continue;
+      if (rec_ != nullptr && rec_->complete[store_->block_id(k, fs)] != 0) {
+        continue;  // that F task already ran in a previous attempt
+      }
+      ++uses;
     }
     return uses;
   }
   const idx_t si = slot;
   const idx_t s = sn.blocks[si - 1].target;
   for (idx_t ti = 1; ti <= si; ++ti) {
-    if (map(s, sn.blocks[ti - 1].target) == rank) ++uses;
+    if (map(s, sn.blocks[ti - 1].target) == rank && update_needed(k, si, ti)) {
+      ++uses;
+    }
   }
   for (idx_t si2 = si + 1; si2 <= nb; ++si2) {
-    if (map(sn.blocks[si2 - 1].target, s) == rank) ++uses;
+    if (map(sn.blocks[si2 - 1].target, s) == rank &&
+        update_needed(k, si2, si)) {
+      ++uses;
+    }
   }
   return uses;
 }
@@ -216,6 +308,7 @@ void FactorEngine::deliver(pgas::Rank& rank, idx_t k, BlockSlot slot,
     for (idx_t fs = 1; fs <= nb; ++fs) {
       if (map(sn.blocks[fs - 1].target, k) != me) continue;
       const idx_t bid = store_->block_id(k, fs);
+      if (rec_ != nullptr && rec_->complete[bid] != 0) continue;
       if (deps_.satisfy(bid, ref.ready)) {
         enqueue(pr, Task{TaskType::kFactor, k, fs, 0, 0, deps_.ready(bid)});
       }
@@ -228,14 +321,15 @@ void FactorEngine::deliver(pgas::Rank& rank, idx_t k, BlockSlot slot,
   // As the source operand of U_{s,k,t}, t <= s (includes the SYRK task
   // at ti == si, which has a single operand).
   for (idx_t ti = 1; ti <= si; ++ti) {
-    if (map(s, sn.blocks[ti - 1].target) == me) {
+    if (map(s, sn.blocks[ti - 1].target) == me && update_needed(k, si, ti)) {
       satisfy_update(rank, k, si, ti, ref, /*as_source=*/true);
     }
   }
   // As the pivot operand of U_{s',k,s}, s' > s (strictly, so the SYRK
   // task is not double-counted).
   for (idx_t si2 = si + 1; si2 <= nb; ++si2) {
-    if (map(sn.blocks[si2 - 1].target, s) == me) {
+    if (map(sn.blocks[si2 - 1].target, s) == me &&
+        update_needed(k, si2, si)) {
       satisfy_update(rank, k, si2, si, ref, /*as_source=*/false);
     }
   }
@@ -263,6 +357,19 @@ void FactorEngine::satisfy_update(pgas::Rank& rank, idx_t j, idx_t si,
 
 void FactorEngine::publish(pgas::Rank& rank, idx_t k, BlockSlot slot) {
   ++per_rank_[rank.id()].done_factor;
+  if (rec_ != nullptr) {
+    // Resilience: the finished panel is now part of the completed
+    // sub-DAG (a later attempt will not re-run it) and its bytes are
+    // replicated to the buddy before any consumer depends on them.
+    const idx_t bid = store_->block_id(k, slot);
+    rec_->complete[bid] = 1;
+    if (rec_->ckpt != nullptr) {
+      net_.with_retry(rank, [&] {
+        rec_->ckpt->save(rank, bid);
+        return rank.now();
+      });
+    }
+  }
   // Local consumers are satisfied directly (no message, data in place).
   if (local_uses(rank.id(), k, slot) > 0) {
     const idx_t bid = store_->block_id(k, slot);

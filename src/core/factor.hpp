@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/block_store.hpp"
+#include "core/checkpoint.hpp"
 #include "core/offload.hpp"
 #include "core/options.hpp"
 #include "core/taskrt/dep_tracker.hpp"
@@ -54,13 +55,25 @@ namespace sympack::core {
 
 class FactorEngine {
  public:
+  /// `rec` (may be null) is the resilience hand-off: when set, every
+  /// published block is marked complete + checkpointed to its buddy, and
+  /// — on a recovery attempt, when rec->complete already has entries —
+  /// the completed sub-DAG is cut out: those blocks' tasks never re-run,
+  /// their data (restored by the solver) is re-published to the
+  /// still-pending consumers from run()'s prologue, and the per-rank
+  /// termination goals shrink accordingly.
   FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                const symbolic::TaskGraph& tg, BlockStore& store,
                Offload& offload, const SolverOptions& opts,
-               Tracer* tracer = nullptr);
+               Tracer* tracer = nullptr, RecoveryContext* rec = nullptr);
+  ~FactorEngine();
+  FactorEngine(const FactorEngine&) = delete;
+  FactorEngine& operator=(const FactorEngine&) = delete;
 
   /// Run the factorization to completion. Throws std::runtime_error if a
-  /// diagonal pivot fails (matrix not positive definite).
+  /// diagonal pivot fails (matrix not positive definite), and
+  /// pgas::RankDeathError when a killed rank is confirmed dead (the
+  /// solver's recovery loop catches that one).
   void run();
 
  private:
@@ -135,7 +148,17 @@ class FactorEngine {
   pgas::Step step(pgas::Rank& rank);
   void handle_signal(pgas::Rank& rank, const Signal& sig);
   /// Count the U/F tasks at `rank` that consume factor block (k, slot).
+  /// On a recovery attempt, tasks whose target block is already complete
+  /// are excluded (they will not re-run).
   int local_uses(int rank, idx_t k, BlockSlot slot) const;
+  /// Block id update task U_{k, si, ti} folds into.
+  idx_t update_target_bid(idx_t k, idx_t si, idx_t ti) const;
+  /// Does U_{k, si, ti} (re-)run this attempt? Always true without a
+  /// recovery context; false when its target block is already complete.
+  bool update_needed(idx_t k, idx_t si, idx_t ti) const;
+  /// Recovery prologue: re-publish every already-complete block (data
+  /// restored by the solver) to the consumers that still need it.
+  void publish_restored();
   /// Make factor block (k, slot) available at `rank` via `ref`.
   void deliver(pgas::Rank& rank, idx_t k, BlockSlot slot,
                const FactorRef& ref);
@@ -159,6 +182,13 @@ class FactorEngine {
   Offload* offload_;
   SolverOptions opts_;
   taskrt::EngineStats stats_;
+  /// Resilience hand-off (null without buddy checkpointing). The solver
+  /// owns it; it outlives every factorization attempt's engine.
+  RecoveryContext* rec_ = nullptr;
+  /// Per-rank termination goals. Equal to the TaskGraph totals normally;
+  /// reduced by the completed sub-DAG on a recovery attempt.
+  std::vector<idx_t> goal_factor_;
+  std::vector<idx_t> goal_update_;
 
   /// Scheduling priority of a ready task (kCriticalPath policy): the
   /// elimination-tree depth of the supernode the task feeds.

@@ -13,15 +13,19 @@ namespace sympack::core {
 FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
                          const symbolic::TaskGraph& tg, BlockStore& store,
                          Offload& offload, const SolverOptions& opts,
-                         Tracer* tracer)
+                         Tracer* tracer, RecoveryContext* rec)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
-      opts_(opts), stats_(tracer, opts.trace.metadata) {
+      opts_(opts), stats_(tracer, opts.trace.metadata), rec_(rec) {
   per_rank_.resize(rt.nranks());
-  net_.init(rt, opts_.fault, tracer, opts_.comm);
+  net_.init(rt, opts_.fault, tracer, opts_.comm, opts_.resilience);
   owned_u_.assign(rt.nranks(), 0);
   const idx_t nb = store.num_blocks();
   deps_.init(nb);
   bid_snode_.resize(nb);
+  goal_factor_.resize(rt.nranks());
+  for (int r = 0; r < rt.nranks(); ++r) {
+    goal_factor_[r] = tg.owned_factor_tasks(r);
+  }
 
   const auto& map = tg.mapping();
   std::vector<std::unordered_set<int>> producers(nb);
@@ -31,7 +35,11 @@ FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
       bid_snode_[store.block_id(k, slot)] = k;
     }
   }
-  // Sweep the update tasks: producer = owner of the source block.
+  // Sweep the update tasks: producer = owner of the source block. On a
+  // recovery attempt, updates folding into an already-complete block are
+  // skipped entirely — their producers owe nothing, so the aggregate
+  // pending counts, the producer sets (dependency counters), and the
+  // per-rank update goals all shrink consistently.
   for (idx_t j = 0; j < sym.num_snodes(); ++j) {
     const auto& sn = sym.snode(j);
     const idx_t nbk = static_cast<idx_t>(sn.blocks.size());
@@ -43,6 +51,7 @@ FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
         BlockSlot slot = 0;
         if (s != t) slot = sym.find_block(t, s) + 1;
         const idx_t bid = store.block_id(t, slot);
+        if (rec_ != nullptr && rec_->complete[bid] != 0) continue;
         producers[bid].insert(producer);
         ++per_rank_[producer].aggs[bid].pending;
         ++owned_u_[producer];
@@ -53,6 +62,11 @@ FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
     const idx_t nslots = 1 + static_cast<idx_t>(sym.snode(k).blocks.size());
     for (BlockSlot slot = 0; slot < nslots; ++slot) {
       const idx_t bid = store.block_id(k, slot);
+      if (rec_ != nullptr && rec_->complete[bid] != 0) {
+        deps_.set_count(bid, 0);
+        --goal_factor_[store.owner(bid)];
+        continue;
+      }
       deps_.set_count(bid, static_cast<int>(producers[bid].size()) +
                                (slot == 0 ? 0 : 1));
       if (slot == 0 && deps_.count(bid) == 0) {
@@ -63,7 +77,83 @@ FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
   }
 }
 
+FanInEngine::~FanInEngine() {
+  // An abnormal unwind (rank death mid-phase) can leave sent aggregate
+  // staging buffers unreturned; run() frees them on normal completion.
+  for (int r = 0; r < rt_->nranks(); ++r) {
+    for (auto& g : per_rank_[r].out_buffers) rt_->rank(r).pool_deallocate(g);
+    per_rank_[r].out_buffers.clear();
+  }
+}
+
+idx_t FanInEngine::update_target_bid(idx_t k, idx_t si, idx_t ti) const {
+  const auto& sn = sym_->snode(k);
+  const idx_t t = sn.blocks[ti - 1].target;
+  if (si == ti) return store_->block_id(t, 0);
+  const idx_t s = sn.blocks[si - 1].target;
+  return store_->block_id(t, sym_->find_block(t, s) + 1);
+}
+
+bool FanInEngine::update_needed(idx_t k, idx_t si, idx_t ti) const {
+  return rec_ == nullptr || rec_->complete[update_target_bid(k, si, ti)] == 0;
+}
+
+void FanInEngine::publish_restored() {
+  const auto& map = tg_->mapping();
+  for (idx_t k = 0; k < sym_->num_snodes(); ++k) {
+    const auto& sn = sym_->snode(k);
+    const idx_t nbk = static_cast<idx_t>(sn.blocks.size());
+    for (BlockSlot slot = 0; slot <= nbk; ++slot) {
+      const idx_t bid = store_->block_id(k, slot);
+      if (rec_->complete[bid] == 0) continue;
+      pgas::Rank& owner = rt_->rank(store_->owner(bid));
+      const int me = owner.id();
+      const PivotRef local_ref{store_->data(bid), owner.now(), -1};
+      std::vector<int> recipients;
+      if (slot == 0) {
+        // Restored diagonal: enables the panel's still-pending F tasks.
+        bool local = false;
+        for (idx_t fs = 1; fs <= nbk; ++fs) {
+          const idx_t fbid = store_->block_id(k, fs);
+          if (rec_->complete[fbid] != 0) continue;
+          const int o = map(sn.blocks[fs - 1].target, k);
+          if (o == me) {
+            local = true;
+          } else {
+            recipients.push_back(o);
+          }
+        }
+        if (local) deliver_pivot(owner, k, 0, local_ref);
+      } else {
+        // Restored off-diagonal: source operand of the owner's own
+        // still-needed updates, pivot operand of the others'.
+        for (idx_t ti = 1; ti <= slot; ++ti) {
+          if (update_needed(k, slot, ti)) {
+            satisfy_update(owner, k, slot, ti, local_ref, /*as_source=*/true);
+          }
+        }
+        bool local_pivot = false;
+        for (idx_t si2 = slot + 1; si2 <= nbk; ++si2) {
+          if (!update_needed(k, si2, slot)) continue;
+          const int o = map(sn.blocks[si2 - 1].target, k);
+          if (o == me) {
+            local_pivot = true;
+          } else {
+            recipients.push_back(o);
+          }
+        }
+        if (local_pivot) deliver_pivot(owner, k, slot, local_ref);
+      }
+      std::sort(recipients.begin(), recipients.end());
+      recipients.erase(std::unique(recipients.begin(), recipients.end()),
+                       recipients.end());
+      send_pivot(owner, k, slot, recipients);
+    }
+  }
+}
+
 void FanInEngine::run() {
+  if (rec_ != nullptr) publish_restored();
   rt_->drive([this](pgas::Rank& rank) { return step(rank); },
              /*stall_limit=*/10000, opts_.interleave_seed);
   // Sent aggregate buffers are consumed by their receivers before their
@@ -77,6 +167,9 @@ void FanInEngine::run() {
 pgas::Step FanInEngine::step(pgas::Rank& rank) {
   PerRank& pr = per_rank_[rank.id()];
   int worked = rank.progress();
+  // A killed rank stops participating until the recovery loop
+  // resurrects it (same contract as the fan-out engine).
+  if (net_.recovery() && !rank.alive()) return pgas::Step::kIdle;
 
   const std::vector<Signal> sigs = net_.drain(rank.id());
   for (const Signal& sig : sigs) handle_signal(rank, sig);
@@ -97,7 +190,7 @@ pgas::Step FanInEngine::step(pgas::Rank& rank) {
     return pgas::Step::kWorked;
   }
   const int me = rank.id();
-  const bool done = pr.done_factor == tg_->owned_factor_tasks(me) &&
+  const bool done = pr.done_factor == goal_factor_[me] &&
                     pr.done_update == owned_u_[me] && pr.rtq.empty() &&
                     !net_.has_pending(me) && !rank.has_pending_rpcs();
   if (done) return pgas::Step::kDone;
@@ -145,11 +238,19 @@ void FanInEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
   const idx_t nbk = static_cast<idx_t>(sn.blocks.size());
   if (sig.slot == 0) {
     for (idx_t fs = 1; fs <= nbk; ++fs) {
-      if (map(sn.blocks[fs - 1].target, sig.k) == me) ++uses;
+      if (map(sn.blocks[fs - 1].target, sig.k) != me) continue;
+      if (rec_ != nullptr &&
+          rec_->complete[store_->block_id(sig.k, fs)] != 0) {
+        continue;  // that F task already ran in a previous attempt
+      }
+      ++uses;
     }
   } else {
     for (idx_t si2 = sig.slot + 1; si2 <= nbk; ++si2) {
-      if (map(sn.blocks[si2 - 1].target, sig.k) == me) ++uses;
+      if (map(sn.blocks[si2 - 1].target, sig.k) == me &&
+          update_needed(sig.k, si2, sig.slot)) {
+        ++uses;
+      }
     }
   }
   if (uses == 0) return;
@@ -213,6 +314,7 @@ void FanInEngine::deliver_pivot(pgas::Rank& rank, idx_t k, BlockSlot slot,
     for (idx_t fs = 1; fs <= nbk; ++fs) {
       if (map(sn.blocks[fs - 1].target, k) != me) continue;
       const idx_t bid = store_->block_id(k, fs);
+      if (rec_ != nullptr && rec_->complete[bid] != 0) continue;
       if (deps_.satisfy(bid, ref.ready)) {
         pr.rtq.push(Task{TaskType::kFactor, k, fs, 0, 0, deps_.ready(bid)});
       }
@@ -223,7 +325,8 @@ void FanInEngine::deliver_pivot(pgas::Rank& rank, idx_t k, BlockSlot slot,
   // Off-diagonal factor block (s, k): pivot operand of U(k, si2, slot)
   // for all si2 > slot owned here.
   for (idx_t si2 = slot + 1; si2 <= nbk; ++si2) {
-    if (map(sn.blocks[si2 - 1].target, k) == me) {
+    if (map(sn.blocks[si2 - 1].target, k) == me &&
+        update_needed(k, si2, slot)) {
       satisfy_update(rank, k, si2, slot, ref, /*as_source=*/false);
     }
   }
@@ -257,11 +360,27 @@ void FanInEngine::publish_factor(pgas::Rank& rank, idx_t k, BlockSlot slot) {
   const idx_t nbk = static_cast<idx_t>(sn.blocks.size());
   const idx_t bid = store_->block_id(k, slot);
 
+  if (rec_ != nullptr) {
+    // Resilience: mark complete and replicate to the buddy (same
+    // contract as the fan-out engine).
+    rec_->complete[bid] = 1;
+    if (rec_->ckpt != nullptr) {
+      net_.with_retry(rank, [&] {
+        rec_->ckpt->save(rank, bid);
+        return rank.now();
+      });
+    }
+  }
+
   if (slot == 0) {
     // Diagonal: local F blocks directly, remote F owners via signal.
     std::vector<int> recipients;
     bool local = false;
     for (idx_t fs = 1; fs <= nbk; ++fs) {
+      if (rec_ != nullptr &&
+          rec_->complete[store_->block_id(k, fs)] != 0) {
+        continue;  // that F task will not re-run this attempt
+      }
       const int o = map(sn.blocks[fs - 1].target, k);
       if (o == me) {
         local = true;
@@ -285,13 +404,16 @@ void FanInEngine::publish_factor(pgas::Rank& rank, idx_t k, BlockSlot slot) {
   //    which run here (fan-in!).
   const PivotRef local_ref{store_->data(bid), rank.now(), -1};
   for (idx_t ti = 1; ti <= slot; ++ti) {
-    satisfy_update(rank, k, slot, ti, local_ref, /*as_source=*/true);
+    if (update_needed(k, slot, ti)) {
+      satisfy_update(rank, k, slot, ti, local_ref, /*as_source=*/true);
+    }
   }
   // 2. It is the *pivot* operand of U(k, si2, slot) for si2 > slot, which
   //    run on the owners of the other blocks of panel k.
   std::vector<int> recipients;
   bool local_pivot = false;
   for (idx_t si2 = slot + 1; si2 <= nbk; ++si2) {
+    if (!update_needed(k, si2, slot)) continue;
     const int o = map(sn.blocks[si2 - 1].target, k);
     if (o == me) {
       local_pivot = true;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/block_store.hpp"
+#include "core/checkpoint.hpp"
 #include "core/offload.hpp"
 #include "core/options.hpp"
 #include "core/taskrt/dep_tracker.hpp"
@@ -51,10 +52,18 @@ class FanInEngine {
   /// `tracer` (optional) records every task's simulated execution span,
   /// same span-name conventions as the fan-out engine; the variant
   /// ablation and the critical-path profiler read both the same way.
+  /// `rec` (may be null): the resilience hand-off, same contract as the
+  /// fan-out engine — completed blocks are marked + buddy-checkpointed,
+  /// and a recovery attempt cuts the completed sub-DAG out (restored
+  /// pivots re-published, aggregate pending counts rebuilt over the
+  /// still-needed updates only).
   FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
               const symbolic::TaskGraph& tg, BlockStore& store,
               Offload& offload, const SolverOptions& opts,
-              Tracer* tracer = nullptr);
+              Tracer* tracer = nullptr, RecoveryContext* rec = nullptr);
+  ~FanInEngine();
+  FanInEngine(const FanInEngine&) = delete;
+  FanInEngine& operator=(const FanInEngine&) = delete;
 
   void run();
 
@@ -144,6 +153,14 @@ class FanInEngine {
   void release_pivot(pgas::Rank& rank, const PivotRef& ref);
   /// Target supernode/slot of block id (reverse lookup).
   std::pair<idx_t, BlockSlot> locate(idx_t bid) const;
+  /// Block id update task U_{k, si, ti} folds into.
+  idx_t update_target_bid(idx_t k, idx_t si, idx_t ti) const;
+  /// Does U_{k, si, ti} (re-)run this attempt? (False only on a recovery
+  /// attempt, when its target block is already complete.)
+  bool update_needed(idx_t k, idx_t si, idx_t ti) const;
+  /// Recovery prologue: re-publish every already-complete pivot block to
+  /// the consumers that still need it.
+  void publish_restored();
 
   pgas::Runtime* rt_;
   const symbolic::Symbolic* sym_;
@@ -162,6 +179,11 @@ class FanInEngine {
   taskrt::DepTracker deps_;       // per target block: aggregates (+ diag)
   std::vector<idx_t> bid_snode_;  // block id -> supernode (for locate)
   std::vector<idx_t> owned_u_;    // per rank: fan-in update-task count
+  /// Resilience hand-off (null without buddy checkpointing).
+  RecoveryContext* rec_ = nullptr;
+  /// Per-rank factor-task goals (TaskGraph totals minus the completed
+  /// sub-DAG on a recovery attempt; owned_u_ is filtered directly).
+  std::vector<idx_t> goal_factor_;
 };
 
 }  // namespace sympack::core

@@ -84,6 +84,36 @@ struct FaultToleranceOptions {
   support::BackoffPolicy rma_backoff{};
 };
 
+/// Rank-death resilience (DESIGN.md §4h): buddy checkpoint replication
+/// of completed factor panels plus restart-based re-execution recovery.
+/// buddy_replicas = 0 (the default) turns the whole subsystem off — no
+/// checkpoint traffic, no death scan, no recovery attempts — so every
+/// golden schedule hash is bit-identical to a build without it.
+struct ResilienceOptions {
+  /// Buddy copies kept of every completed supernode factor panel
+  /// (replicated to rank (owner+1) mod nranks as it completes). 0 = off;
+  /// currently at most 1 is meaningful (single-failure model).
+  int buddy_replicas = 0;
+  /// Consecutive idle step() calls before a rank scans its peers for a
+  /// death (the failure-detection timeout, in units of the rank's own
+  /// heartbeat). Confirmation throws pgas::RankDeathError, which the
+  /// solver's recovery loop catches.
+  int detect_idle = 64;
+  /// Simulated seconds charged to the resurrected rank on top of the
+  /// survivors' clock frontier (process restart + re-join cost). Kept
+  /// small relative to typical phase times so the recovery-overhead gate
+  /// (<= 1.5x fault-free) measures the protocol, not this constant.
+  double restart_delay_s = 1e-4;
+  /// Recovery attempts per phase before the death is surfaced to the
+  /// caller as fatal.
+  int max_recoveries = 3;
+};
+
+/// Overlay SYMPACK_BUDDY_REPLICAS / SYMPACK_DETECT_IDLE /
+/// SYMPACK_RESTART_DELAY_S / SYMPACK_MAX_RECOVERIES onto `base` (applied
+/// at solver construction).
+ResilienceOptions env_resilience_options(ResilienceOptions base);
+
 /// Eager/coalesced signal-transport tuning (DESIGN.md §4e). Both knobs
 /// default OFF so the wire protocol — and with it every golden schedule
 /// hash — is unchanged unless a run opts in.
@@ -178,6 +208,9 @@ struct SolverOptions {
   /// Self-healing knobs for runs under fault injection (see
   /// FaultToleranceOptions; no-op when the runtime has no injector).
   FaultToleranceOptions fault{};
+  /// Rank-death resilience: buddy checkpointing + restart recovery
+  /// (default off: zero overhead, schedules bit-identical).
+  ResilienceOptions resilience{};
   /// Eager/coalesced signal transport (default off: rendezvous-only,
   /// bit-identical to the historical protocol).
   CommOptions comm{};

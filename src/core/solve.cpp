@@ -35,7 +35,7 @@ SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
   seg_.resize(ns);
   deps_.init(ns);  // once: ready times carry across the two sweeps
   per_rank_.resize(rt.nranks());
-  net_.init(rt, opts_.fault, tracer, opts_.comm);
+  net_.init(rt, opts_.fault, tracer, opts_.comm, opts_.resilience);
 }
 
 SolveEngine::~SolveEngine() { free_buffers(); }
@@ -163,6 +163,9 @@ pgas::Step SolveEngine::step(pgas::Rank& rank, bool backward) {
   const int me = rank.id();
   PerRank& pr = per_rank_[me];
   int worked = rank.progress();
+  // A killed rank stops participating; the solve recovery path restores
+  // its factor panels from the buddy checkpoints and re-runs the sweep.
+  if (net_.recovery() && !rank.alive()) return pgas::Step::kIdle;
   const std::vector<Msg> msgs = net_.drain(me);
   for (const Msg& m : msgs) handle_msg(rank, m, backward);
   worked += static_cast<int>(msgs.size());

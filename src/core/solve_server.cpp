@@ -57,6 +57,63 @@ std::vector<std::vector<double>> SolveServer::drain() {
 
   const int conf = solver_->opts_.solve.rhs_panel;
   const int w = conf <= 0 ? total : std::min(conf, total);
+
+  pgas::Runtime& rt = *solver_->rt_;
+  rt.reset_clocks();
+  std::vector<double> xp(static_cast<std::size_t>(n) * total, 0.0);
+  const bool overlap = solver_->opts_.solve.server_overlap;
+  constexpr int kStallLimit = 10000;
+  const std::uint64_t seed = solver_->opts_.interleave_seed;
+
+  // Recovery loop (DESIGN.md §4h): a rank death mid-drain unwinds the
+  // drive, the solver restores the victim's factor panels from the buddy
+  // replicas, and the whole drain re-runs on fresh engines — in-flight
+  // panels re-execute, queued requests are untouched (queue_ is only
+  // cleared after the sweeps succeed). Degraded, not failed.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      run_sweeps(rt, bp, xp, total, w, overlap, kStallLimit, seed);
+      break;
+    } catch (const pgas::RankDeathError& e) {
+      if (solver_->ckpt_ == nullptr ||
+          attempt >= solver_->opts_.resilience.max_recoveries) {
+        throw;
+      }
+      solver_->recover_from_death(e);
+      ++solver_->rec_.attempt;
+      // The failed attempt's engines hold partial sweep state keyed to
+      // the dead drive; rebuild from scratch and restart every panel.
+      for (auto& eng : engines_) eng.reset();
+      std::fill(xp.begin(), xp.end(), 0.0);
+    }
+  }
+  stats_.serve_sim_s += rt.max_clock();
+
+  // Split the solution block back into per-request vectors, unpermuted.
+  std::vector<std::vector<double>> out;
+  out.reserve(queue_.size());
+  std::size_t c = 0;
+  for (const Request& req : queue_) {
+    std::vector<double> x(static_cast<std::size_t>(n) * req.nrhs);
+    for (int j = 0; j < req.nrhs; ++j, ++c) {
+      const double* src = xp.data() + c * n;
+      double* dst = x.data() + static_cast<std::size_t>(j) * n;
+      for (idx_t k = 0; k < n; ++k) {
+        dst[perm[static_cast<std::size_t>(k)]] = src[k];
+      }
+    }
+    out.push_back(std::move(x));
+  }
+  queue_.clear();
+  queued_columns_ = 0;
+  return out;
+}
+
+void SolveServer::run_sweeps(pgas::Runtime& rt, const std::vector<double>& bp,
+                             std::vector<double>& xp, int total, int w,
+                             bool overlap, int kStallLimit,
+                             std::uint64_t seed) {
+  const idx_t n = solver_->sym_.n();
   if (!engines_[0]) {
     for (auto& e : engines_) {
       e = std::make_unique<SolveEngine>(*solver_->rt_, solver_->sym_,
@@ -65,13 +122,6 @@ std::vector<std::vector<double>> SolveServer::drain() {
                                         solver_->tracer_);
     }
   }
-
-  pgas::Runtime& rt = *solver_->rt_;
-  rt.reset_clocks();
-  std::vector<double> xp(static_cast<std::size_t>(n) * total, 0.0);
-  const bool overlap = solver_->opts_.solve.server_overlap;
-  constexpr int kStallLimit = 10000;
-  const std::uint64_t seed = solver_->opts_.interleave_seed;
 
   if (!overlap) {
     SolveEngine* e = engines_[0].get();
@@ -129,26 +179,6 @@ std::vector<std::vector<double>> SolveServer::drain() {
              kStallLimit, seed);
     prev->gather(xp.data() + static_cast<std::size_t>(prev_c0) * n);
   }
-  stats_.serve_sim_s += rt.max_clock();
-
-  // Split the solution block back into per-request vectors, unpermuted.
-  std::vector<std::vector<double>> out;
-  out.reserve(queue_.size());
-  std::size_t c = 0;
-  for (const Request& req : queue_) {
-    std::vector<double> x(static_cast<std::size_t>(n) * req.nrhs);
-    for (int j = 0; j < req.nrhs; ++j, ++c) {
-      const double* src = xp.data() + c * n;
-      double* dst = x.data() + static_cast<std::size_t>(j) * n;
-      for (idx_t k = 0; k < n; ++k) {
-        dst[perm[static_cast<std::size_t>(k)]] = src[k];
-      }
-    }
-    out.push_back(std::move(x));
-  }
-  queue_.clear();
-  queued_columns_ = 0;
-  return out;
 }
 
 void SolveServer::refactorize(const sparse::CscMatrix& a) {

@@ -77,6 +77,14 @@ class SolveServer {
     int nrhs;
   };
 
+  /// One full drain attempt: panel sweeps of the packed RHS block `bp`
+  /// into `xp`. Factored out so a pgas::RankDeathError can unwind the
+  /// whole attempt and drain()'s recovery loop can re-run it on fresh
+  /// engines after the solver restores the victim's blocks.
+  void run_sweeps(pgas::Runtime& rt, const std::vector<double>& bp,
+                  std::vector<double>& xp, int total, int w, bool overlap,
+                  int kStallLimit, std::uint64_t seed);
+
   SymPackSolver* solver_;
   std::vector<Request> queue_;
   int queued_columns_ = 0;

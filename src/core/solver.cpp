@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 #include "core/critpath.hpp"
 #include "core/factor.hpp"
 #include "core/fanin.hpp"
 #include "core/solve.hpp"
+#include "core/taskrt/reliable.hpp"
 #include "ordering/etree.hpp"
 #include "pgas/pool.hpp"
 #include "sparse/permute.hpp"
@@ -20,6 +22,18 @@ CommOptions env_comm_options(CommOptions base) {
   base.eager_bytes =
       support::env_int("SYMPACK_EAGER_BYTES", base.eager_bytes);
   base.coalesce = support::env_bool("SYMPACK_COALESCE", base.coalesce);
+  return base;
+}
+
+ResilienceOptions env_resilience_options(ResilienceOptions base) {
+  base.buddy_replicas = static_cast<int>(
+      support::env_int("SYMPACK_BUDDY_REPLICAS", base.buddy_replicas));
+  base.detect_idle = static_cast<int>(
+      support::env_int("SYMPACK_DETECT_IDLE", base.detect_idle));
+  base.restart_delay_s =
+      support::env_double("SYMPACK_RESTART_DELAY_S", base.restart_delay_s);
+  base.max_recoveries = static_cast<int>(
+      support::env_int("SYMPACK_MAX_RECOVERIES", base.max_recoveries));
   return base;
 }
 
@@ -76,6 +90,7 @@ SymPackSolver::SymPackSolver(pgas::Runtime& rt, SolverOptions opts)
   // BLAS routines read it on every call); adopt this solver's choice.
   blas::kernels::set_config(opts_.kernel_tiles);
   opts_.comm = env_comm_options(opts_.comm);
+  opts_.resilience = env_resilience_options(opts_.resilience);
   opts_.solve = env_solve_options(opts_.solve);
   opts_.trace = env_trace_options(opts_.trace);
 }
@@ -152,12 +167,43 @@ void SymPackSolver::factorize() {
     });
   }
 
-  if (opts_.variant == Variant::kFanOut) {
-    FactorEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_, tracer_);
-    engine.run();
-  } else {
-    FanInEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_, tracer_);
-    engine.run();
+  // Arm the resilience layer: fresh buddy replicas + completed-block
+  // ledger per numeric factorization (refactorize starts clean).
+  RecoveryContext* rec = nullptr;
+  if (opts_.resilience.buddy_replicas > 0) {
+    ckpt_ = std::make_unique<CheckpointStore>(
+        *rt_, *store_, opts_.resilience.buddy_replicas, tracer_);
+    rec_ = RecoveryContext{};
+    rec_.ckpt = ckpt_.get();
+    rec_.complete.assign(static_cast<std::size_t>(store_->num_blocks()), 0);
+    rec = &rec_;
+  }
+
+  // The recovery loop (DESIGN.md §4h): a confirmed rank death unwinds
+  // the engine as pgas::RankDeathError; we resurrect the victim, restore
+  // its completed panels from the buddies, re-assemble the incomplete
+  // blocks, and re-drive with the completed sub-DAG cut out. Clocks and
+  // stats are NOT reset between attempts — recovery time is part of the
+  // phase's simulated makespan (the overhead gate measures exactly this).
+  for (int attempt = 0;; ++attempt) {
+    try {
+      if (opts_.variant == Variant::kFanOut) {
+        FactorEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_,
+                            tracer_, rec);
+        engine.run();
+      } else {
+        FanInEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_,
+                           tracer_, rec);
+        engine.run();
+      }
+      break;
+    } catch (const pgas::RankDeathError& e) {
+      if (rec == nullptr || attempt >= opts_.resilience.max_recoveries) {
+        throw;
+      }
+      recover_from_death(e);
+      ++rec_.attempt;
+    }
   }
   if (tracer_ != nullptr && comm_fast_path) rt_->pool().set_event_hook({});
 
@@ -207,8 +253,26 @@ std::vector<double> SymPackSolver::solve(const std::vector<double>& b,
 
   const double t0 = support::WallClock::now();
   rt_->reset_clocks();
-  SolveEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_, tracer_);
-  auto x_perm = engine.solve(b_perm, nrhs);
+  // Same recovery loop as factorize(): a kill landing in the solve phase
+  // unwinds the engine, the victim's factor panels come back from the
+  // buddies (all blocks are complete post-factorization), and the whole
+  // triangular solve re-runs on a fresh engine — the partial sweeps of
+  // the failed attempt are engine-local and die with it.
+  std::vector<double> x_perm;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      SolveEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_,
+                         tracer_);
+      x_perm = engine.solve(b_perm, nrhs);
+      break;
+    } catch (const pgas::RankDeathError& e) {
+      if (ckpt_ == nullptr || attempt >= opts_.resilience.max_recoveries) {
+        throw;
+      }
+      recover_from_death(e);
+      ++rec_.attempt;
+    }
+  }
   report_.solve_wall_s = support::WallClock::now() - t0;
   report_.solve_sim_s = rt_->max_clock();
   // Fold solve-phase ops and comm into the report totals.
@@ -280,6 +344,40 @@ std::vector<double> SymPackSolver::dense_factor() const {
     throw std::logic_error("dense_factor() requires factorize()");
   }
   return store_->to_dense_lower();
+}
+
+void SymPackSolver::recover_from_death(const pgas::RankDeathError& e) {
+  // Drop every in-flight RPC: the parked lambdas capture the failed
+  // attempt's engine and must never run inside the next attempt.
+  rt_->purge_inboxes();
+  pgas::Rank& dead = rt_->rank(e.dead_rank);
+  dead.resurrect(rt_->max_clock() + opts_.resilience.restart_delay_s);
+
+  // The victim's memory is gone with the process: wipe its completed
+  // blocks and pull the buddy replicas back (the charge lands on the
+  // resurrected rank — restart cost is part of the makespan). Blocks
+  // nobody finished — any owner — are re-zeroed and re-scattered from A
+  // so the re-driven tasks fold updates into pristine panels.
+  support::Xoshiro256 rng(rt_->config().faults.seed ^ 0x9e3779b97f4a7c15ull);
+  const idx_t nb = store_->num_blocks();
+  std::vector<char> select(static_cast<std::size_t>(nb), 0);
+  for (idx_t bid = 0; bid < nb; ++bid) {
+    if (rec_.complete[static_cast<std::size_t>(bid)] != 0) {
+      if (store_->owner(bid) != e.dead_rank) continue;
+      if (store_->numeric()) {
+        std::memset(store_->data(bid), 0, store_->bytes(bid));
+      }
+      taskrt::with_rma_retry(dead, opts_.fault.rma_backoff, rng, tracer_,
+                             [&] {
+                               ckpt_->restore(dead, bid);
+                               return dead.now();
+                             });
+    } else {
+      select[static_cast<std::size_t>(bid)] = 1;
+      ++rt_->rank(store_->owner(bid)).stats().blocks_reassembled;
+    }
+  }
+  store_->assemble_subset(a_perm_, select);
 }
 
 const BlockStore& SymPackSolver::block_store() const {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/block_store.hpp"
+#include "core/checkpoint.hpp"
 #include "core/offload.hpp"
 #include "core/options.hpp"
 #include "core/report.hpp"
@@ -107,6 +108,13 @@ class SymPackSolver {
   /// symbolic/task-graph/store internals directly.
   friend class SolveServer;
 
+  /// Rank-death recovery (DESIGN.md §4h): purge stale inboxes, resurrect
+  /// the victim at the survivors' clock frontier plus the restart
+  /// penalty, pull its completed blocks back from the buddy replicas,
+  /// and re-assemble every still-incomplete block from A. The caller
+  /// then re-drives the phase with a fresh engine.
+  void recover_from_death(const pgas::RankDeathError& e);
+
   pgas::Runtime* rt_;
   SolverOptions opts_;
   Report report_;
@@ -117,6 +125,10 @@ class SymPackSolver {
   std::unique_ptr<symbolic::TaskGraph> tg_;
   std::unique_ptr<BlockStore> store_;
   std::unique_ptr<Offload> offload_;
+  /// Buddy checkpoint replicas + completed-block ledger; engaged only
+  /// when resilience.buddy_replicas > 0 (null/empty otherwise).
+  std::unique_ptr<CheckpointStore> ckpt_;
+  RecoveryContext rec_;
   Tracer* tracer_ = nullptr;
   std::unique_ptr<AutoTuneChoice> auto_choice_;
   bool factorized_ = false;

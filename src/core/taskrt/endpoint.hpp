@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -64,16 +65,28 @@ class Endpoint {
   /// replays the payload inline, so eager messages never need the pull
   /// re-request round trip (the recovery protocol treats them as
   /// already-delivered data).
+  /// `resilience` arms the rank-death scan: with buddy_replicas > 0 an
+  /// idle rank periodically polls its peers' liveness and converts a
+  /// confirmed death into pgas::RankDeathError for the solver's recovery
+  /// loop (default: off, the scan never runs).
   void init(pgas::Runtime& rt, const FaultToleranceOptions& fault,
-            Tracer* tracer = nullptr, CommOptions comm = {}) {
+            Tracer* tracer = nullptr, CommOptions comm = {},
+            ResilienceOptions resilience = {}) {
+    unregister_dumper();
     rt_ = &rt;
     fault_ = fault;
     comm_ = comm;
+    resilience_ = resilience;
     tracer_ = tracer;
     recovery_ = rt.fault_injection_enabled();
     slots_.clear();
     slots_.resize(rt.nranks());
     if (recovery_) {
+      // Surface per-peer protocol state (ledger/stash/re-request round)
+      // in the watchdog stall dump, so a hung run shows *where* the
+      // sequenced stream stopped, not just that it stopped.
+      dumper_token_ =
+          rt.add_state_dumper([this](int r) { return debug_dump(r); });
       const std::uint64_t fseed = rt.config().faults.seed;
       for (int r = 0; r < rt.nranks(); ++r) {
         Slot& s = slots_[r];
@@ -87,6 +100,11 @@ class Endpoint {
       }
     }
   }
+
+  Endpoint() = default;
+  ~Endpoint() { unregister_dumper(); }
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
 
   [[nodiscard]] bool recovery() const { return recovery_; }
 
@@ -146,6 +164,7 @@ class Endpoint {
     if (!recovery_) return;
     Slot& s = slots_[rank_id];
     s.idle_streak = 0;
+    s.death_scan_streak = 0;
     s.rerequest_threshold = fault_.rerequest_idle_limit;
   }
 
@@ -155,9 +174,18 @@ class Endpoint {
   /// slow producer is not stormed. The round cap lets the driver's stall
   /// guard fire on unrecoverable bugs (re-request RPCs would otherwise
   /// count as work forever). No-op with faults off.
+  /// When resilience is on, a sustained idle streak also runs the
+  /// failure detector: scan every peer's liveness and convert a
+  /// confirmed death into pgas::RankDeathError (caught by the solver's
+  /// recovery loop) instead of re-requesting from a corpse forever.
   void on_idle(pgas::Rank& rank) {
     if (!recovery_) return;
     Slot& s = slots_[rank.id()];
+    if (resilience_.buddy_replicas > 0 &&
+        ++s.death_scan_streak >= resilience_.detect_idle) {
+      s.death_scan_streak = 0;
+      scan_for_deaths(rank);
+    }
     if (++s.idle_streak < s.rerequest_threshold ||
         s.rerequest_rounds >= fault_.max_rerequest_rounds) {
       return;
@@ -193,6 +221,29 @@ class Endpoint {
     }
   }
 
+  /// One line of per-peer protocol state for rank `rank_id`, appended to
+  /// the watchdog stall dump: re-request round, then for every peer with
+  /// nonzero state the ledger size, current/high-water stash depth, and
+  /// next expected sequence number.
+  [[nodiscard]] std::string debug_dump(int rank_id) const {
+    if (!recovery_ || slots_.empty()) return {};
+    const Slot& s = slots_[rank_id];
+    std::string out = "ep rounds=" + std::to_string(s.rerequest_rounds);
+    for (int p = 0; p < rt_->nranks(); ++p) {
+      if (p == rank_id) continue;
+      const std::size_t ledger = s.link.sent(p).size();
+      const std::size_t stash = s.link.stash_depth(p);
+      const std::size_t hw = s.link.stash_high_water(p);
+      const std::uint64_t next = s.link.next_expected(p);
+      if (ledger == 0 && stash == 0 && hw == 0 && next == 0) continue;
+      out += " peer" + std::to_string(p) + "[ledger=" +
+             std::to_string(ledger) + " stash=" + std::to_string(stash) +
+             " hw=" + std::to_string(hw) + " next=" + std::to_string(next) +
+             "]";
+    }
+    return out;
+  }
+
  private:
   struct Slot {
     std::vector<Msg> inbox;
@@ -200,9 +251,33 @@ class Endpoint {
     ReliableLink<Msg> link;            // seq ledger/stash per peer
     support::Xoshiro256 retry_rng{0};  // jitter stream for RMA backoff
     int idle_streak = 0;               // consecutive idle steps
+    int death_scan_streak = 0;         // idle steps since last peer scan
     int rerequest_threshold = 0;       // idle steps before re-request
     int rerequest_rounds = 0;          // re-request rounds fired so far
   };
+
+  void unregister_dumper() {
+    if (rt_ != nullptr && dumper_token_ >= 0) {
+      rt_->remove_state_dumper(dumper_token_);
+      dumper_token_ = -1;
+    }
+  }
+
+  /// Failure detector: confirm whether any peer has died. Throwing from
+  /// here unwinds the drive loop; the solver's recovery path purges,
+  /// restores from the buddy checkpoints, and re-executes.
+  void scan_for_deaths(pgas::Rank& rank) {
+    const int me = rank.id();
+    for (int p = 0; p < rt_->nranks(); ++p) {
+      if (p == me || rt_->rank(p).alive()) continue;
+      ++rank.stats().peer_deaths_detected;
+      if (tracer_ != nullptr) {
+        tracer_->record(me, kTrace_peer_deaths_detected, rank.now(),
+                        rank.now());
+      }
+      throw pgas::RankDeathError(p, me, rank.now());
+    }
+  }
 
   /// Route one signal RPC through the configured transport: plain rpc()
   /// when coalescing is off (the historical wire behavior), otherwise
@@ -273,8 +348,10 @@ class Endpoint {
   pgas::Runtime* rt_ = nullptr;
   FaultToleranceOptions fault_{};
   CommOptions comm_{};
+  ResilienceOptions resilience_{};
   Tracer* tracer_ = nullptr;
   bool recovery_ = false;
+  int dumper_token_ = -1;  // watchdog state-dumper registration
   std::vector<Slot> slots_;
 };
 

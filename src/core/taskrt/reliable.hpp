@@ -20,8 +20,10 @@
 // as the rest of the engines — DESIGN.md §4d).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -72,6 +74,7 @@ class ReliableLink {
       if (!in.stash.emplace(seq, std::move(m)).second) {
         ++stats.duplicates_dropped;  // duplicate of an already-stashed seq
       }
+      in.stash_high_water = std::max(in.stash_high_water, in.stash.size());
       return false;
     }
     run.push_back(std::move(m));
@@ -91,6 +94,17 @@ class ReliableLink {
     return in_[producer].next;
   }
 
+  /// Consumer: messages currently stashed ahead of the gap from
+  /// `producer` (diagnostics: the watchdog dump and the stash tests).
+  [[nodiscard]] std::size_t stash_depth(int producer) const {
+    return in_[producer].stash.size();
+  }
+  /// Consumer: the deepest the stash from `producer` has ever been
+  /// (high-water; survives the stash draining back to empty).
+  [[nodiscard]] std::size_t stash_high_water(int producer) const {
+    return in_[producer].stash_high_water;
+  }
+
   /// Forget everything (solve phases reuse one link across phases).
   void reset() {
     for (auto& o : out_) o = Outgoing{};
@@ -104,28 +118,59 @@ class ReliableLink {
   struct Incoming {
     std::uint64_t next = 0;
     std::map<std::uint64_t, Msg> stash;  // seq -> message, gap buffer
+    std::size_t stash_high_water = 0;
   };
   std::vector<Outgoing> out_;
   std::vector<Incoming> in_;
 };
 
+/// Thrown by with_rma_retry when the backoff schedule is exhausted:
+/// unlike the transient pgas::TransferError it wraps, it carries the
+/// retrying rank, how many attempts were burned, and how long the rank
+/// waited — everything a watchdog-dump reader needs to distinguish "a
+/// link is hard-down" from "one unlucky packet". Derives TransferError
+/// so existing catch sites keep working.
+class RmaRetryError : public pgas::TransferError {
+ public:
+  RmaRetryError(int rank_, int attempts_, double waited_s_,
+                const std::string& cause)
+      : pgas::TransferError(
+            "rma retry exhausted at rank " + std::to_string(rank_) +
+            " after " + std::to_string(attempts_) + " attempts (" +
+            std::to_string(waited_s_) + "s of backoff); last error: " +
+            cause),
+        rank(rank_),
+        attempts(attempts_),
+        waited_s(waited_s_) {}
+  int rank;
+  int attempts;     // retry attempts burned before giving up
+  double waited_s;  // total simulated backoff waited
+};
+
 /// Run `fn` (an rget/copy) with bounded exponential backoff against
 /// transient pgas::TransferError. Each retry charges the retry delay to
 /// the rank's clock (the simulated cost of waiting out the NIC hiccup)
-/// and bumps stats().retries; exhaustion rethrows the last error. The
+/// and bumps stats().retries; exhaustion bumps stats().rma_exhausted and
+/// throws RmaRetryError with the rank/attempt/backoff context. The
 /// deterministic jitter comes from the caller's per-rank RNG, so replays
 /// are bitwise identical. Returns fn()'s completion time.
 template <typename Fn>
 double with_rma_retry(pgas::Rank& rank, const support::BackoffPolicy& policy,
                       support::Xoshiro256& rng, Tracer* tracer, Fn&& fn) {
   support::Backoff backoff(policy);
+  double waited_s = 0.0;
   for (;;) {
     try {
       return fn();
-    } catch (const pgas::TransferError&) {
-      if (backoff.exhausted()) throw;
+    } catch (const pgas::TransferError& e) {
+      if (backoff.exhausted()) {
+        ++rank.stats().rma_exhausted;
+        throw RmaRetryError(rank.id(), backoff.attempts(), waited_s,
+                            e.what());
+      }
       ++rank.stats().retries;
       const double delay = backoff.next_delay(rng);
+      waited_s += delay;
       if (tracer != nullptr) {
         tracer->record(rank.id(), kTrace_retries, rank.now(), rank.now());
       }

@@ -19,6 +19,23 @@ FaultConfig env_fault_config(FaultConfig base) {
       support::env_double("SYMPACK_FAULT_TRANSFER", base.transfer_fail_rate);
   base.device_deny_rate =
       support::env_double("SYMPACK_FAULT_DEVICE", base.device_deny_rate);
+  // SYMPACK_FAULT_KILL = "<rank>@<event>" | "random@<seed>". A kill
+  // schedule implies enabled: a victim needs an attached injector.
+  const std::string kill = support::env_string("SYMPACK_FAULT_KILL", "");
+  if (!kill.empty()) {
+    const std::size_t at = kill.find('@');
+    const std::string who = at == std::string::npos ? kill : kill.substr(0, at);
+    const std::string when =
+        at == std::string::npos ? std::string() : kill.substr(at + 1);
+    if (who == "random") {
+      base.kill_rank = -2;
+      if (!when.empty()) base.kill_seed = std::stoull(when);
+    } else {
+      base.kill_rank = std::stoi(who);
+      if (!when.empty()) base.kill_event = std::stoull(when);
+    }
+    base.enabled = true;
+  }
   return base;
 }
 
@@ -32,6 +49,30 @@ FaultInjector::FaultInjector(const FaultConfig& cfg, int nranks) : cfg_(cfg) {
                           (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(r) + 1)));
   }
   counters_.assign(static_cast<std::size_t>(nranks), Counters{});
+  // Resolve the kill schedule now, from its own stream: the transient
+  // decision streams above stay bit-identical whether or not a kill is
+  // configured, so a kill overlays cleanly on any existing chaos seed.
+  if (cfg.kill_rank == -2) {
+    support::Xoshiro256 krng(cfg.kill_seed);
+    kill_rank_ = static_cast<int>(
+        krng.next_below(static_cast<std::uint64_t>(nranks)));
+    const std::uint64_t window =
+        cfg.kill_max_event > 0 ? cfg.kill_max_event : 1;
+    kill_event_ = 1 + krng.next_below(window);
+  } else {
+    kill_rank_ = cfg.kill_rank;
+    kill_event_ = cfg.kill_event;
+  }
+}
+
+bool FaultInjector::should_kill(int rank, std::uint64_t epoch) {
+  if (rank != kill_rank_ || kill_rank_ < 0 || killed_ ||
+      epoch < kill_event_) {
+    return false;
+  }
+  killed_ = true;
+  ++counters_[rank].kills;
+  return true;
 }
 
 FaultInjector::RpcPlan FaultInjector::plan_rpc(int sender) {
@@ -88,6 +129,7 @@ FaultInjector::Counters FaultInjector::total() const {
     t.reorders += c.reorders;
     t.transfer_failures += c.transfer_failures;
     t.device_denials += c.device_denials;
+    t.kills += c.kills;
   }
   return t;
 }

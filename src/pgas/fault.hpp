@@ -56,15 +56,36 @@ struct FaultConfig {
   /// P(a nothrow allocate_device is denied despite free share) — device
   /// memory pressure forcing the §4.2 host fallbacks.
   double device_deny_rate = 0.0;
+
+  // --- Process-death injection (rank kill). Unlike the transient
+  // classes above, a kill is a scheduled one-shot: rank `kill_rank` dies
+  // at its `kill_event`-th progress() call (its heartbeat epoch), stops
+  // progressing, and drops every in-flight inbox/outbox entry. -1 = no
+  // kill (the default); -2 = random mode, where the victim rank and
+  // event are drawn deterministically from `kill_seed` at injector
+  // construction (the chaos-CI rotation). At most one rank dies per
+  // injector lifetime (single-failure model).
+  int kill_rank = -1;
+  /// Heartbeat epoch (per-rank progress() count) at which the kill
+  /// fires. 0 with kill_rank >= 0 kills on the very first progress call.
+  std::uint64_t kill_event = 0;
+  /// Seed for random mode (kill_rank = -2): victim in [0, nranks),
+  /// event in [1, kill_max_event].
+  std::uint64_t kill_seed = 0;
+  /// Upper bound of the random-mode kill event window.
+  std::uint64_t kill_max_event = 2000;
 };
 
 /// Overlay SYMPACK_FAULT_* environment variables onto `base`:
 ///   SYMPACK_FAULT_ENABLED, SYMPACK_FAULT_SEED, SYMPACK_FAULT_DROP,
 ///   SYMPACK_FAULT_DUP, SYMPACK_FAULT_DELAY, SYMPACK_FAULT_DELAY_S,
-///   SYMPACK_FAULT_REORDER, SYMPACK_FAULT_TRANSFER, SYMPACK_FAULT_DEVICE.
-/// Unset variables leave the corresponding field untouched. Applied by
-/// the Runtime constructor, so any binary can be chaos-tested without a
-/// rebuild.
+///   SYMPACK_FAULT_REORDER, SYMPACK_FAULT_TRANSFER, SYMPACK_FAULT_DEVICE,
+///   SYMPACK_FAULT_KILL.
+/// SYMPACK_FAULT_KILL accepts "<rank>@<event>" (deterministic kill) or
+/// "random@<seed>" (seeded random victim/event) and implies
+/// enabled = true. Unset variables leave the corresponding field
+/// untouched. Applied by the Runtime constructor, so any binary can be
+/// chaos-tested without a rebuild.
 FaultConfig env_fault_config(FaultConfig base);
 
 class FaultInjector {
@@ -88,6 +109,7 @@ class FaultInjector {
     std::uint64_t reorders = 0;
     std::uint64_t transfer_failures = 0;
     std::uint64_t device_denials = 0;
+    std::uint64_t kills = 0;
   };
 
   FaultInjector(const FaultConfig& cfg, int nranks);
@@ -99,6 +121,18 @@ class FaultInjector {
   bool fail_transfer(int rank);
   /// True if this nothrow allocate_device at `rank` should be denied.
   bool deny_device(int rank);
+
+  /// True exactly once: when `rank` is the scheduled victim and its
+  /// heartbeat epoch has reached the kill event. Draws no randoms (the
+  /// random-mode victim is resolved at construction), so configuring a
+  /// kill perturbs none of the transient-fault decision streams.
+  bool should_kill(int rank, std::uint64_t epoch);
+  /// The resolved kill schedule (-1 rank = no kill configured).
+  [[nodiscard]] int kill_rank() const { return kill_rank_; }
+  [[nodiscard]] std::uint64_t kill_event() const { return kill_event_; }
+  /// True after the kill has fired (the single-failure latch: a
+  /// recovered run proceeds with no further deaths).
+  [[nodiscard]] bool any_killed() const { return killed_; }
 
   [[nodiscard]] const FaultConfig& config() const { return cfg_; }
   [[nodiscard]] const Counters& counters(int rank) const {
@@ -113,6 +147,12 @@ class FaultInjector {
   // streams_[r] / counters_[r].
   std::vector<support::Xoshiro256> streams_;
   std::vector<Counters> counters_;
+  // Kill schedule, resolved (random mode included) at construction.
+  // killed_ is written only by the victim's driving thread; other ranks
+  // compare against kill_rank_ first and never touch it.
+  int kill_rank_ = -1;
+  std::uint64_t kill_event_ = 0;
+  bool killed_ = false;
 };
 
 }  // namespace sympack::pgas

@@ -13,6 +13,13 @@
 
 namespace sympack::pgas {
 
+namespace {
+// Consecutive all-idle sweeps before the sequential driver checks for a
+// dead rank (well under every caller's stall_limit, well over the
+// Endpoint re-request cadence so transient chaos never trips it).
+constexpr int kDeadRankBackstopSweeps = 512;
+}  // namespace
+
 // ---------------------------------------------------------------- Rank
 
 int Rank::nranks() const { return runtime_->nranks(); }
@@ -104,8 +111,11 @@ void Rank::rpc(int target, std::function<void(Rank&)> fn,
   ++stats_.rpcs_sent;
   FaultInjector* inj = runtime_->injector();
   if (inj == nullptr) {
-    // Fault-free fast path: identical to the historical behavior.
+    // Fault-free fast path: identical to the historical behavior (a
+    // rank can only be dead under an attached injector, so the alive
+    // check inside the lock never fires here).
     std::lock_guard<std::mutex> lock(t.inbox_mutex_);
+    if (!t.alive_) return;
     t.inbox_.push_back({arrival, 0.0, payload_bytes, std::move(fn)});
     return;
   }
@@ -119,6 +129,10 @@ void Rank::rpc(int target, std::function<void(Rank&)> fn,
     entry.held_until = entry.arrival;
   }
   std::lock_guard<std::mutex> lock(t.inbox_mutex_);
+  // Signals to a dead process vanish: its NIC no longer acks anything.
+  // The sender was still charged the injection cost above — it cannot
+  // know the peer is gone until the death scan confirms it.
+  if (!t.alive_) return;
   if (plan.duplicate) t.inbox_.push_back(entry);  // copy, then the original
   if (plan.reorder && !t.inbox_.empty()) {
     const std::size_t pos =
@@ -190,10 +204,38 @@ bool Rank::has_unflushed_signals_to(int target) const {
          !outboxes_[static_cast<std::size_t>(target)].fns.empty();
 }
 
+void Rank::die() {
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  alive_ = false;
+  // A dead process takes its in-flight state with it: pending inbox
+  // entries and parked coalescing batches are gone, not deferred.
+  inbox_.clear();
+  for (auto& ob : outboxes_) {
+    ob.fns.clear();
+    ob.payload_bytes = 0;
+  }
+  open_outboxes_ = 0;
+}
+
+void Rank::resurrect(double clock_floor) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    alive_ = true;
+  }
+  merge_clock(clock_floor);
+}
+
 int Rank::progress() {
   // Age out coalescing outboxes first: a batch parked for
   // coalesce_defer progress calls stops waiting for more riders.
   ++progress_epoch_;
+  // Heartbeat check: the progress epoch is this rank's heartbeat, and
+  // the kill schedule fires on it. A dead rank makes no progress at all
+  // (its step() degenerates to kIdle via the engines' alive guard).
+  if (FaultInjector* inj = runtime_->injector(); inj != nullptr) {
+    if (alive_ && inj->should_kill(id_, progress_epoch_)) die();
+    if (!alive_) return 0;
+  }
   int flushed = 0;
   if (open_outboxes_ > 0) {
     const int defer_cfg = runtime_->config().coalesce_defer;
@@ -402,7 +444,9 @@ std::string Runtime::dump_rank_states(const std::vector<char>& done) const {
   for (int r = 0; r < nranks(); ++r) {
     const Rank& rk = *ranks_[r];
     os << "\n  rank " << r << ": "
-       << (r < static_cast<int>(done.size()) && done[r] ? "done" : "not done")
+       << (!rk.alive() ? "DEAD"
+           : r < static_cast<int>(done.size()) && done[r] ? "done"
+                                                          : "not done")
        << ", inbox=" << rk.pending_rpc_count() << ", clock=" << rk.now()
        << "s, rpcs_sent=" << rk.stats().rpcs_sent
        << ", rpcs_executed=" << rk.stats().rpcs_executed
@@ -434,8 +478,36 @@ std::string Runtime::dump_rank_states(const std::vector<char>& done) const {
 #include "core/taskrt/counters.def"
 #undef SYMPACK_COMM_COUNTER
     }
+    // Protocol-layer state (Endpoint ledgers/stashes/re-request rounds):
+    // whatever the live engines registered, so a hung recovery is
+    // diagnosable from the dump alone.
+    std::lock_guard<std::mutex> lock(dumper_mutex_);
+    for (const auto& [token, dumper] : state_dumpers_) {
+      (void)token;
+      os << dumper(r);
+    }
   }
   return os.str();
+}
+
+int Runtime::add_state_dumper(StateDumper dumper) {
+  std::lock_guard<std::mutex> lock(dumper_mutex_);
+  const int token = next_dumper_token_++;
+  state_dumpers_.emplace(token, std::move(dumper));
+  return token;
+}
+
+void Runtime::remove_state_dumper(int token) {
+  std::lock_guard<std::mutex> lock(dumper_mutex_);
+  state_dumpers_.erase(token);
+}
+
+void Runtime::throw_if_rank_dead() const {
+  for (int r = 0; r < nranks(); ++r) {
+    if (!ranks_[r]->alive()) {
+      throw RankDeathError(r, /*detector=*/-1, max_clock());
+    }
+  }
 }
 
 void Runtime::purge_inboxes() {
@@ -510,14 +582,25 @@ void Runtime::drive_sequential(const std::function<Step(Rank&)>& step,
     }
     if (any_work) {
       stalled_sweeps = 0;
-    } else if (++stalled_sweeps > stall_limit) {
-      const std::string msg =
-          "Runtime::drive: no rank made progress for " +
-          std::to_string(stall_limit) +
-          " sweeps (deadlock?); interleave_seed=" + std::to_string(seed) +
-          dump_rank_states(done);
-      SYMPACK_LOG_ERROR("%s", msg.c_str());
-      throw std::runtime_error(msg);
+    } else {
+      ++stalled_sweeps;
+      // Death backstop: survivors of a rank kill normally confirm the
+      // death themselves (the Endpoint idle scan throws RankDeathError
+      // long before this), but when that layer is off — resilience
+      // disabled, or a phase without an Endpoint — the stall must still
+      // resolve to a diagnosable death instead of a generic deadlock.
+      if (injector_ != nullptr && stalled_sweeps > kDeadRankBackstopSweeps) {
+        throw_if_rank_dead();
+      }
+      if (stalled_sweeps > stall_limit) {
+        const std::string msg =
+            "Runtime::drive: no rank made progress for " +
+            std::to_string(stall_limit) +
+            " sweeps (deadlock?); interleave_seed=" + std::to_string(seed) +
+            dump_rank_states(done);
+        SYMPACK_LOG_ERROR("%s", msg.c_str());
+        throw std::runtime_error(msg);
+      }
     }
   }
   // Injected duplicates/retransmissions can leave already-discarded
@@ -621,6 +704,9 @@ void Runtime::drive_threaded(const std::function<Step(Rank&)>& step) {
 
   if (step_error) std::rethrow_exception(step_error);
   if (watchdog_fired) {
+    // A dead rank starves the survivors into the watchdog; surface it
+    // as the recoverable death it is, not a generic stall.
+    if (injector_ != nullptr) throw_if_rank_dead();
     const std::string msg =
         "Runtime::drive(threaded): all ranks idle for " +
         std::to_string(config_.threaded_watchdog_ms) +

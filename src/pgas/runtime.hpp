@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -66,6 +67,28 @@ class TransferError : public std::runtime_error {
  public:
   explicit TransferError(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+/// Thrown when a dead rank is confirmed: either by a survivor's
+/// Endpoint-level death scan (detector >= 0) or by the driver's stall
+/// backstop (detector = -1). Carries enough context for the recovery
+/// layer to resurrect the victim, restore its buddy checkpoints, and
+/// re-drive the phase; a run without resilience enabled surfaces it as
+/// the phase failure.
+class RankDeathError : public std::runtime_error {
+ public:
+  RankDeathError(int dead_rank_, int detector_, double sim_time_)
+      : std::runtime_error("rank " + std::to_string(dead_rank_) +
+                           " is dead (detected by " +
+                           (detector_ < 0 ? std::string("the drive backstop")
+                                          : "rank " + std::to_string(detector_)) +
+                           " at t=" + std::to_string(sim_time_) + "s)"),
+        dead_rank(dead_rank_),
+        detector(detector_),
+        sim_time(sim_time_) {}
+  int dead_rank;
+  int detector;    // detecting rank, or -1 for the driver backstop
+  double sim_time; // detector's simulated clock at confirmation
 };
 
 /// Per-rank communication statistics. The recovery block counts what the
@@ -114,6 +137,24 @@ class Rank {
   void advance(double seconds) { clock_ += seconds; }
   /// clock = max(clock, t): merge an externally-imposed availability time.
   void merge_clock(double t) { clock_ = clock_ < t ? t : clock_; }
+
+  // --- Liveness (process-death injection, pgas/fault.hpp kill schedule).
+  /// False after the fault injector killed this rank: progress() stops
+  /// draining, rpc() to it drops silently, and the engines step it as a
+  /// no-op. Locks the inbox mutex (die() flips the flag under it), so
+  /// survivors may poll it from their own driving threads.
+  [[nodiscard]] bool alive() const {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    return alive_;
+  }
+  /// Kill this rank: mark it dead and drop all in-flight state (inbox
+  /// entries and parked coalescing outboxes). Called from this rank's
+  /// own progress() when the injector's kill event fires.
+  void die();
+  /// Recovery: bring the rank back with its clock merged to
+  /// `clock_floor` (the survivors' frontier plus the restart penalty).
+  /// In-flight state stays dropped; the caller re-arms the lost work.
+  void resurrect(double clock_floor);
 
   // --- Memory.
   GlobalPtr allocate_host(std::size_t bytes);
@@ -236,6 +277,9 @@ class Rank {
   int id_ = -1;
   Runtime* runtime_ = nullptr;
   double clock_ = 0.0;
+  // Written by this rank's thread under inbox_mutex_ (die/resurrect);
+  // this thread reads it unlocked, peers through the locking alive().
+  bool alive_ = true;
   CommStats stats_;
   mutable std::mutex inbox_mutex_;
   std::vector<InboxEntry> inbox_;
@@ -348,6 +392,22 @@ class Runtime {
   [[nodiscard]] CommStats total_stats() const;
   void reset_stats();
 
+  /// Drop every RPC entry still parked in rank inboxes/outboxes. Called
+  /// internally after a fault-injected drive completes (stale duplicate
+  /// hygiene), and by the recovery layer before re-driving a phase after
+  /// a rank death: the purged lambdas capture the failed attempt's
+  /// engine and must never execute inside the next attempt's progress().
+  void purge_inboxes();
+
+  /// Extra per-rank diagnostics appended to the watchdog/stall dump.
+  /// Protocol layers (taskrt::Endpoint) register a dumper so a hung
+  /// recovery shows ledger/stash/re-request state without a debugger;
+  /// remove_state_dumper must be called before the callable dies.
+  /// Returns a token for removal.
+  using StateDumper = std::function<std::string(int rank)>;
+  int add_state_dumper(StateDumper dumper);
+  void remove_state_dumper(int token);
+
   /// Device segment occupancy (bytes in use) for diagnostics/tests.
   [[nodiscard]] std::size_t device_bytes_in_use(int device) const;
   /// Current and peak bytes allocated through the runtime (host +
@@ -395,16 +455,19 @@ class Runtime {
   void drive_sequential(const std::function<Step(Rank&)>& step,
                         int stall_limit, std::uint64_t seed);
   void drive_threaded(const std::function<Step(Rank&)>& step);
-  /// Drop any RPC entries left in the inboxes after a successful drive.
-  /// Only reachable under fault injection (a retransmitted duplicate can
-  /// still be in flight to an already-done rank when the phase ends);
-  /// purging keeps the stale lambdas — which capture the phase's engine —
-  /// from ever executing inside a later phase's progress().
-  void purge_inboxes();
   /// Per-rank state dump for deadlock diagnostics (clock, inbox depth,
-  /// comm counters, done flag).
+  /// comm counters, done flag, registered protocol dumpers).
   [[nodiscard]] std::string dump_rank_states(
       const std::vector<char>& done) const;
+  /// If any rank is dead, throw RankDeathError for the first one (the
+  /// drive backstop; detector = -1). No-op when all ranks are alive.
+  void throw_if_rank_dead() const;
+
+  // Registered diagnostic dumpers (token -> callable; ordered so the
+  // dump is deterministic), guarded for the threaded watchdog path.
+  mutable std::mutex dumper_mutex_;
+  std::map<int, StateDumper> state_dumpers_;
+  int next_dumper_token_ = 0;
 };
 
 }  // namespace sympack::pgas

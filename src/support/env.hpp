@@ -3,10 +3,17 @@
 // Knob families read through these helpers:
 //   SYMPACK_TILE_* / SYMPACK_PANEL_*  dense-kernel tiling (blas/kernels)
 //   SYMPACK_FAULT_*                   fault injection (pgas/fault.hpp):
-//     ENABLED, SEED, DROP, DUP, DELAY, DELAY_S, REORDER, TRANSFER, DEVICE
+//     ENABLED, SEED, DROP, DUP, DELAY, DELAY_S, REORDER, TRANSFER, DEVICE,
+//     KILL ("<rank>@<event>" or "random@<seed>" rank-death schedule)
 //   SYMPACK_FAULT_SEED_BASE           chaos-CI base seed, read only by
-//                                     tests/test_faults.cpp (mixed into its
+//                                     tests/test_faults.cpp and
+//                                     tests/test_resilience.cpp (mixed into
 //                                     per-case seeds, never by the runtime)
+//   SYMPACK_BUDDY_REPLICAS / SYMPACK_DETECT_IDLE /
+//   SYMPACK_RESTART_DELAY_S / SYMPACK_MAX_RECOVERIES
+//                                     rank-death resilience
+//                                     (core/options.hpp
+//                                     env_resilience_options)
 //   SYMPACK_EAGER_BYTES / SYMPACK_COALESCE
 //                                     eager/coalesced signal transport
 //                                     (core/options.hpp env_comm_options)

@@ -44,6 +44,9 @@ bool fault_env_overridden() {
       "SYMPACK_FAULT_ENABLED", "SYMPACK_FAULT_SEED",    "SYMPACK_FAULT_DROP",
       "SYMPACK_FAULT_DUP",     "SYMPACK_FAULT_DELAY",   "SYMPACK_FAULT_DELAY_S",
       "SYMPACK_FAULT_REORDER", "SYMPACK_FAULT_TRANSFER", "SYMPACK_FAULT_DEVICE",
+      "SYMPACK_FAULT_KILL",    "SYMPACK_BUDDY_REPLICAS",
+      "SYMPACK_DETECT_IDLE",   "SYMPACK_RESTART_DELAY_S",
+      "SYMPACK_MAX_RECOVERIES",
   };
   for (const char* v : kVars) {
     if (std::getenv(v) != nullptr) return true;
