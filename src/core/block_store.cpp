@@ -5,8 +5,8 @@
 
 namespace sympack::core {
 
-BlockStore::BlockStore(const symbolic::Symbolic& sym,
-                       const symbolic::TaskGraph& tg, pgas::Runtime& rt,
+BlockStore::BlockStore(const symbolic::SymbolicView& sym,
+                       const symbolic::TaskGraphView& tg, pgas::Runtime& rt,
                        bool numeric)
     : sym_(&sym), rt_(&rt), numeric_(numeric) {
   const idx_t ns = sym.num_snodes();

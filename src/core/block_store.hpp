@@ -14,8 +14,7 @@
 
 #include "pgas/runtime.hpp"
 #include "sparse/csc.hpp"
-#include "symbolic/symbolic.hpp"
-#include "symbolic/taskgraph.hpp"
+#include "symbolic/view.hpp"
 
 namespace sympack::core {
 
@@ -27,8 +26,9 @@ class BlockStore {
   /// Allocates every block on its owner. When `numeric` is false no
   /// buffers are allocated (protocol-only runs); geometry queries still
   /// work.
-  BlockStore(const symbolic::Symbolic& sym, const symbolic::TaskGraph& tg,
-             pgas::Runtime& rt, bool numeric);
+  BlockStore(const symbolic::SymbolicView& sym,
+             const symbolic::TaskGraphView& tg, pgas::Runtime& rt,
+             bool numeric);
   ~BlockStore();
   BlockStore(const BlockStore&) = delete;
   BlockStore& operator=(const BlockStore&) = delete;
@@ -76,7 +76,7 @@ class BlockStore {
                                           idx_t row) const;
 
  private:
-  const symbolic::Symbolic* sym_;
+  const symbolic::SymbolicView* sym_;
   pgas::Runtime* rt_;
   bool numeric_;
   std::vector<idx_t> base_;    // snode -> first block id

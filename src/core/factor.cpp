@@ -9,8 +9,8 @@
 
 namespace sympack::core {
 
-FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
-                           const symbolic::TaskGraph& tg, BlockStore& store,
+FactorEngine::FactorEngine(pgas::Runtime& rt, const symbolic::SymbolicView& sym,
+                           const symbolic::TaskGraphView& tg, BlockStore& store,
                            Offload& offload, const SolverOptions& opts,
                            Tracer* tracer, RecoveryContext* rec)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
@@ -203,6 +203,10 @@ int FactorEngine::local_uses(int rank, idx_t k, BlockSlot slot) const {
 }
 
 void FactorEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
+  // A signal dereferences the source panel's metadata on the consumer;
+  // under a sharded view a non-resident panel costs one metadata pull
+  // here (then caches).
+  tg_->touch(rank, sig.k);
   const int me = rank.id();
   const int uses = local_uses(me, sig.k, sig.slot);
   if (uses == 0) return;  // defensive; senders target consumers only

@@ -49,7 +49,7 @@
 #include "core/taskrt/use_cache.hpp"
 #include "core/trace.hpp"
 #include "pgas/runtime.hpp"
-#include "symbolic/taskgraph.hpp"
+#include "symbolic/view.hpp"
 
 namespace sympack::core {
 
@@ -62,8 +62,8 @@ class FactorEngine {
   /// their data (restored by the solver) is re-published to the
   /// still-pending consumers from run()'s prologue, and the per-rank
   /// termination goals shrink accordingly.
-  FactorEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
-               const symbolic::TaskGraph& tg, BlockStore& store,
+  FactorEngine(pgas::Runtime& rt, const symbolic::SymbolicView& sym,
+               const symbolic::TaskGraphView& tg, BlockStore& store,
                Offload& offload, const SolverOptions& opts,
                Tracer* tracer = nullptr, RecoveryContext* rec = nullptr);
   ~FactorEngine();
@@ -176,8 +176,8 @@ class FactorEngine {
   void enqueue(PerRank& pr, const Task& task);
 
   pgas::Runtime* rt_;
-  const symbolic::Symbolic* sym_;
-  const symbolic::TaskGraph* tg_;
+  const symbolic::SymbolicView* sym_;
+  const symbolic::TaskGraphView* tg_;
   BlockStore* store_;
   Offload* offload_;
   SolverOptions opts_;

@@ -10,8 +10,8 @@
 
 namespace sympack::core {
 
-FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
-                         const symbolic::TaskGraph& tg, BlockStore& store,
+FanInEngine::FanInEngine(pgas::Runtime& rt, const symbolic::SymbolicView& sym,
+                         const symbolic::TaskGraphView& tg, BlockStore& store,
                          Offload& offload, const SolverOptions& opts,
                          Tracer* tracer, RecoveryContext* rec)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
@@ -232,6 +232,10 @@ void FanInEngine::handle_signal(pgas::Rank& rank, const Signal& sig) {
   }
 
   // kPivot: a factor block of panel sig.k arrived for local U (or F) use.
+  // Consuming it dereferences the panel's metadata; a sharded view
+  // charges a pull here when the panel is not resident (aggregates land
+  // on the target block's owner, which is always resident).
+  tg_->touch(rank, sig.k);
   int uses = 0;
   const auto& sn = sym_->snode(sig.k);
   const auto& map = tg_->mapping();

@@ -43,7 +43,7 @@
 #include "core/taskrt/use_cache.hpp"
 #include "core/trace.hpp"
 #include "pgas/runtime.hpp"
-#include "symbolic/taskgraph.hpp"
+#include "symbolic/view.hpp"
 
 namespace sympack::core {
 
@@ -57,8 +57,8 @@ class FanInEngine {
   /// and a recovery attempt cuts the completed sub-DAG out (restored
   /// pivots re-published, aggregate pending counts rebuilt over the
   /// still-needed updates only).
-  FanInEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
-              const symbolic::TaskGraph& tg, BlockStore& store,
+  FanInEngine(pgas::Runtime& rt, const symbolic::SymbolicView& sym,
+              const symbolic::TaskGraphView& tg, BlockStore& store,
               Offload& offload, const SolverOptions& opts,
               Tracer* tracer = nullptr, RecoveryContext* rec = nullptr);
   ~FanInEngine();
@@ -163,8 +163,8 @@ class FanInEngine {
   void publish_restored();
 
   pgas::Runtime* rt_;
-  const symbolic::Symbolic* sym_;
-  const symbolic::TaskGraph* tg_;
+  const symbolic::SymbolicView* sym_;
+  const symbolic::TaskGraphView* tg_;
   BlockStore* store_;
   Offload* offload_;
   SolverOptions opts_;

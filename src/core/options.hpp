@@ -181,6 +181,11 @@ struct TraceOptions {
 /// construction).
 TraceOptions env_trace_options(TraceOptions base);
 
+/// Overlay SYMPACK_SYMBOLIC_SHARD onto `base` (applied at solver
+/// construction). Sharding changes only where symbolic metadata lives —
+/// the factor, schedule, and CommStats protocol counters are unchanged.
+symbolic::SymbolicOptions env_symbolic_options(symbolic::SymbolicOptions base);
+
 struct SolverOptions {
   ordering::Method ordering = ordering::Method::kNestedDissection;
   Variant variant = Variant::kFanOut;

@@ -8,8 +8,8 @@
 
 namespace sympack::core {
 
-SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
-                         const symbolic::TaskGraph& tg, BlockStore& store,
+SolveEngine::SolveEngine(pgas::Runtime& rt, const symbolic::SymbolicView& sym,
+                         const symbolic::TaskGraphView& tg, BlockStore& store,
                          Offload& offload, const SolverOptions& opts,
                          Tracer* tracer)
     : rt_(&rt), sym_(&sym), tg_(&tg), store_(&store), offload_(&offload),
@@ -311,6 +311,11 @@ void SolveEngine::publish_solution(pgas::Rank& rank, idx_t k, bool backward) {
 
 void SolveEngine::handle_msg(pgas::Rank& rank, const Msg& msg,
                              bool backward) {
+  // Either message type dereferences a panel's metadata on the receiver
+  // (solution segments in particular cross supernode neighborhoods the
+  // receiver may not retain under a sharded view — first touch pulls and
+  // caches).
+  tg_->touch(rank, msg.type == Msg::Type::kX ? msg.k : msg.panel);
   const int me = rank.id();
   PerRank& pr = per_rank_[me];
   if (msg.type == Msg::Type::kX) {

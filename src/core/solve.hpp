@@ -44,7 +44,7 @@
 #include "core/taskrt/stats.hpp"
 #include "core/trace.hpp"
 #include "pgas/runtime.hpp"
-#include "symbolic/taskgraph.hpp"
+#include "symbolic/view.hpp"
 
 namespace sympack::core {
 
@@ -57,8 +57,8 @@ class SolveEngine {
   /// profiler can analyze either phase. The solve-phase goldens hash
   /// CommStats only and never attach a tracer, so this is purely
   /// additive.
-  SolveEngine(pgas::Runtime& rt, const symbolic::Symbolic& sym,
-              const symbolic::TaskGraph& tg, BlockStore& store,
+  SolveEngine(pgas::Runtime& rt, const symbolic::SymbolicView& sym,
+              const symbolic::TaskGraphView& tg, BlockStore& store,
               Offload& offload, const SolverOptions& opts,
               Tracer* tracer = nullptr);
   ~SolveEngine();
@@ -141,8 +141,8 @@ class SolveEngine {
   void free_buffers();
 
   pgas::Runtime* rt_;
-  const symbolic::Symbolic* sym_;
-  const symbolic::TaskGraph* tg_;
+  const symbolic::SymbolicView* sym_;
+  const symbolic::TaskGraphView* tg_;
   BlockStore* store_;
   Offload* offload_;
   SolverOptions opts_;

@@ -116,8 +116,8 @@ void SolveServer::run_sweeps(pgas::Runtime& rt, const std::vector<double>& bp,
   const idx_t n = solver_->sym_.n();
   if (!engines_[0]) {
     for (auto& e : engines_) {
-      e = std::make_unique<SolveEngine>(*solver_->rt_, solver_->sym_,
-                                        *solver_->tg_, *solver_->store_,
+      e = std::make_unique<SolveEngine>(*solver_->rt_, *solver_->sview_,
+                                        *solver_->tgview_, *solver_->store_,
                                         *solver_->offload_, solver_->opts_,
                                         solver_->tracer_);
     }

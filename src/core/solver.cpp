@@ -52,6 +52,11 @@ TraceOptions env_trace_options(TraceOptions base) {
   return base;
 }
 
+symbolic::SymbolicOptions env_symbolic_options(symbolic::SymbolicOptions base) {
+  base.shard = support::env_bool("SYMPACK_SYMBOLIC_SHARD", base.shard);
+  return base;
+}
+
 Policy parse_policy(const std::string& name) {
   if (name == "fifo") return Policy::kFifo;
   if (name == "lifo") return Policy::kLifo;
@@ -93,6 +98,7 @@ SymPackSolver::SymPackSolver(pgas::Runtime& rt, SolverOptions opts)
   opts_.resilience = env_resilience_options(opts_.resilience);
   opts_.solve = env_solve_options(opts_.solve);
   opts_.trace = env_trace_options(opts_.trace);
+  opts_.symbolic = env_symbolic_options(opts_.symbolic);
 }
 
 SymPackSolver::~SymPackSolver() = default;
@@ -122,15 +128,34 @@ void SymPackSolver::symbolic_factorize(const sparse::CscMatrix& a) {
 
   t0 = WallClock::now();
   const auto parent = ordering::elimination_tree(a_perm_);
-  sym_ = symbolic::analyze(a_perm_, parent, opts_.symbolic);
-  const auto mapping =
+  // Sharded runs parallelize the analysis across the ranks (cyclic panel
+  // slices; the per-rank work/exchange attribution lands in sym_stats_).
+  // Replicated runs keep the serial prologue every rank repeats.
+  sym_stats_ = symbolic::AnalyzeStats{};
+  sym_ = symbolic::analyze(a_perm_, parent, opts_.symbolic,
+                           opts_.symbolic.shard ? rt_->nranks() : 0,
+                           &sym_stats_);
+  auto mapping = std::make_shared<const symbolic::Mapping>(
       opts_.mapping == symbolic::Mapping::Kind::kProportional
           ? symbolic::Mapping::proportional(rt_->nranks(), sym_)
-          : symbolic::Mapping(rt_->nranks(), opts_.mapping);
-  tg_ = std::make_unique<symbolic::TaskGraph>(sym_, mapping);
-  store_ = std::make_unique<BlockStore>(sym_, *tg_, *rt_, opts_.numeric);
+          : symbolic::Mapping(rt_->nranks(), opts_.mapping));
+  tg_ = std::make_unique<symbolic::TaskGraph>(sym_, std::move(mapping));
+  if (opts_.symbolic.shard) {
+    auto sv = std::make_unique<symbolic::ShardedSymbolicView>(
+        sym_, *tg_, rt_->model(), rt_->nranks(), sym_stats_);
+    tgview_ = std::make_unique<symbolic::ShardedTaskGraphView>(*tg_, *sv);
+    sview_ = std::move(sv);
+  } else {
+    auto sv = std::make_unique<symbolic::ReplicatedSymbolicView>(
+        sym_, *tg_, sym_stats_.wall_s);
+    tgview_ = std::make_unique<symbolic::ReplicatedTaskGraphView>(*tg_, *sv);
+    sview_ = std::move(sv);
+  }
+  store_ = std::make_unique<BlockStore>(*sview_, *tgview_, *rt_,
+                                        opts_.numeric);
   offload_ = std::make_unique<Offload>(opts_.gpu, *rt_, opts_.numeric);
   report_.symbolic_wall_s = WallClock::now() - t0;
+  seed_symbolic_counters();
 
   report_.n = a.n();
   report_.matrix_nnz = a.nnz_stored();
@@ -149,6 +174,7 @@ void SymPackSolver::factorize() {
   store_->assemble(a_perm_);
   rt_->reset_clocks();
   rt_->reset_stats();
+  seed_symbolic_counters();
   offload_->reset_counters();
 
   // Pool hit/miss tracer marks are gated on the fast comm path being
@@ -188,12 +214,12 @@ void SymPackSolver::factorize() {
   for (int attempt = 0;; ++attempt) {
     try {
       if (opts_.variant == Variant::kFanOut) {
-        FactorEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_,
-                            tracer_, rec);
+        FactorEngine engine(*rt_, *sview_, *tgview_, *store_, *offload_,
+                            opts_, tracer_, rec);
         engine.run();
       } else {
-        FanInEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_,
-                           tracer_, rec);
+        FanInEngine engine(*rt_, *sview_, *tgview_, *store_, *offload_,
+                           opts_, tracer_, rec);
         engine.run();
       }
       break;
@@ -261,7 +287,7 @@ std::vector<double> SymPackSolver::solve(const std::vector<double>& b,
   std::vector<double> x_perm;
   for (int attempt = 0;; ++attempt) {
     try {
-      SolveEngine engine(*rt_, sym_, *tg_, *store_, *offload_, opts_,
+      SolveEngine engine(*rt_, *sview_, *tgview_, *store_, *offload_, opts_,
                          tracer_);
       x_perm = engine.solve(b_perm, nrhs);
       break;
@@ -344,6 +370,22 @@ std::vector<double> SymPackSolver::dense_factor() const {
     throw std::logic_error("dense_factor() requires factorize()");
   }
   return store_->to_dense_lower();
+}
+
+void SymPackSolver::seed_symbolic_counters() {
+  if (!sview_) return;
+  // The views keep the cumulative per-rank truth (build share, resident
+  // footprint, pulls); the CommStats mirror is re-seeded from them after
+  // every reset so the invariant stats == view accessors always holds —
+  // touch() bumps both sides by the same amounts during a run.
+  for (int r = 0; r < rt_->nranks(); ++r) {
+    auto& s = rt_->rank(r).stats();
+    s.symbolic_build_us =
+        static_cast<std::uint64_t>(sview_->build_seconds(r) * 1e6);
+    s.symbolic_bytes =
+        static_cast<std::uint64_t>(sview_->resident_bytes(r));
+    s.symbolic_pull_rpcs = sview_->pull_rpcs(r);
+  }
 }
 
 void SymPackSolver::recover_from_death(const pgas::RankDeathError& e) {

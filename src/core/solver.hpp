@@ -24,7 +24,7 @@
 #include "core/trace.hpp"
 #include "pgas/runtime.hpp"
 #include "sparse/csc.hpp"
-#include "symbolic/taskgraph.hpp"
+#include "symbolic/view.hpp"
 
 namespace sympack::core {
 
@@ -79,6 +79,15 @@ class SymPackSolver {
     return perm_;
   }
   [[nodiscard]] const symbolic::Symbolic& symbolic() const { return sym_; }
+  /// The per-rank views the engines run against (replicated by default;
+  /// sharded with SolverOptions::symbolic.shard / SYMPACK_SYMBOLIC_SHARD).
+  /// Valid after symbolic_factorize().
+  [[nodiscard]] const symbolic::SymbolicView& symbolic_view() const {
+    return *sview_;
+  }
+  [[nodiscard]] const symbolic::TaskGraphView& taskgraph_view() const {
+    return *tgview_;
+  }
   [[nodiscard]] const SolverOptions& options() const { return opts_; }
 
   /// Attach a tracer: subsequent factorize() calls record every task's
@@ -119,10 +128,19 @@ class SymPackSolver {
   SolverOptions opts_;
   Report report_;
 
+  /// Seed the per-rank symbolic counters (symbolic_build_us /
+  /// symbolic_pull_rpcs / symbolic_bytes) from the views — called after
+  /// every Runtime::reset_stats() so the watchdog dump and Report see
+  /// the symbolic phase regardless of which phase reset the stats.
+  void seed_symbolic_counters();
+
   sparse::CscMatrix a_perm_;  // permuted matrix kept for re-assembly
   std::vector<sparse::idx_t> perm_;
   symbolic::Symbolic sym_;
+  symbolic::AnalyzeStats sym_stats_;
   std::unique_ptr<symbolic::TaskGraph> tg_;
+  std::unique_ptr<symbolic::SymbolicView> sview_;
+  std::unique_ptr<symbolic::TaskGraphView> tgview_;
   std::unique_ptr<BlockStore> store_;
   std::unique_ptr<Offload> offload_;
   /// Buddy checkpoint replicas + completed-block ledger; engaged only

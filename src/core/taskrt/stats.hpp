@@ -41,9 +41,12 @@ namespace sympack::core::taskrt {
   inline constexpr const char* kTrace_##field = trace_name;
 #define SYMPACK_COMM_COUNTER(field, label, trace_name) \
   inline constexpr const char* kTrace_##field = trace_name;
+#define SYMPACK_SYMBOLIC_COUNTER(field, label, trace_name) \
+  inline constexpr const char* kTrace_##field = trace_name;
 #include "core/taskrt/counters.def"
 #undef SYMPACK_RECOVERY_COUNTER
 #undef SYMPACK_COMM_COUNTER
+#undef SYMPACK_SYMBOLIC_COUNTER
 
 /// Task kinds the engines trace. The letter is the span-name prefix and
 /// (with metadata on) the event's "cat"/kind field.

@@ -478,6 +478,19 @@ std::string Runtime::dump_rank_states(const std::vector<char>& done) const {
 #include "core/taskrt/counters.def"
 #undef SYMPACK_COMM_COUNTER
     }
+    // Symbolic-phase activity (sharded views), shown whenever any
+    // happened.
+    const std::uint64_t symbolic_total = 0
+#define SYMPACK_SYMBOLIC_COUNTER(field, label, trace_name) +s.field
+#include "core/taskrt/counters.def"
+#undef SYMPACK_SYMBOLIC_COUNTER
+        ;
+    if (symbolic_total > 0) {
+#define SYMPACK_SYMBOLIC_COUNTER(field, label, trace_name) \
+  os << ", " << label << "=" << s.field;
+#include "core/taskrt/counters.def"
+#undef SYMPACK_SYMBOLIC_COUNTER
+    }
     // Protocol-layer state (Endpoint ledgers/stashes/re-request rounds):
     // whatever the live engines registered, so a hung recovery is
     // diagnosable from the dump alone.
@@ -749,9 +762,12 @@ CommStats Runtime::total_stats() const {
   total.field += s.field;
 #define SYMPACK_COMM_COUNTER(field, label, trace_name) \
   total.field += s.field;
+#define SYMPACK_SYMBOLIC_COUNTER(field, label, trace_name) \
+  total.field += s.field;
 #include "core/taskrt/counters.def"
 #undef SYMPACK_RECOVERY_COUNTER
 #undef SYMPACK_COMM_COUNTER
+#undef SYMPACK_SYMBOLIC_COUNTER
   }
   return total;
 }

@@ -113,9 +113,12 @@ struct CommStats {
   std::uint64_t field = 0;
 #define SYMPACK_COMM_COUNTER(field, label, trace_name) \
   std::uint64_t field = 0;
+#define SYMPACK_SYMBOLIC_COUNTER(field, label, trace_name) \
+  std::uint64_t field = 0;
 #include "core/taskrt/counters.def"
 #undef SYMPACK_RECOVERY_COUNTER
 #undef SYMPACK_COMM_COUNTER
+#undef SYMPACK_SYMBOLIC_COUNTER
 
   [[nodiscard]] std::uint64_t total_bytes() const {
     return bytes_from_host + bytes_from_device;

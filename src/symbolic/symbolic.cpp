@@ -1,6 +1,7 @@
 #include "symbolic/symbolic.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
@@ -85,11 +86,31 @@ idx_t Symbolic::find_block(idx_t k, idx_t t) const {
 }
 
 Symbolic analyze(const sparse::CscMatrix& a, const std::vector<idx_t>& parent,
-                 const SymbolicOptions& opts) {
+                 const SymbolicOptions& opts, int nranks,
+                 AnalyzeStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int slices = nranks > 1 ? nranks : 1;
+  const bool attribute = stats != nullptr && slices > 1;
+  if (attribute) {
+    stats->rank_work.assign(static_cast<std::size_t>(slices), 0);
+    stats->rank_exchange_bytes.assign(static_cast<std::size_t>(slices), 0);
+    stats->rank_exchange_msgs.assign(static_cast<std::size_t>(slices), 0);
+  }
+  auto stamp_wall = [&] {
+    if (stats != nullptr) {
+      stats->wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+  };
+
   const idx_t n = a.n();
   Symbolic sym;
   sym.n_ = n;
-  if (n == 0) return sym;
+  if (n == 0) {
+    stamp_wall();
+    return sym;
+  }
 
   const auto counts = ordering::column_counts(a, parent);
 
@@ -124,21 +145,46 @@ Symbolic analyze(const sparse::CscMatrix& a, const std::vector<idx_t>& parent,
   // ---- 3. Panel row structures: union of the panel's A-rows and the
   // below-rows contributed by child panels, truncated to rows beyond the
   // panel's own columns.
+  //
+  // Organized as the SPMD slice computation of the parallel symbolic
+  // phase (DESIGN.md §4i): panels are dealt cyclically over `slices`
+  // ranks, each rank merges the structures of its own panels in
+  // ascending panel order (a topological order of the assembly tree —
+  // every child has a lower id than its parent), and a child's
+  // below-list crosses the wire exactly once whenever its parent panel
+  // lives on a different rank. The merge sweep itself is order-identical
+  // to the historical serial loop, so the resulting structure is
+  // bit-for-bit the same regardless of the slice count.
   std::vector<std::vector<idx_t>> children(ns);
   for (idx_t s = 0; s < ns; ++s) {
     auto& sn = sym.snodes_[s];
+    const int slice_owner = static_cast<int>(s % slices);
+    std::uint64_t ops = 0;
     std::vector<idx_t> rows;
     for (idx_t j = sn.first; j <= sn.last; ++j) {
+      ops += static_cast<std::uint64_t>(a.colptr()[j + 1] - a.colptr()[j]);
       for (idx_t p = a.colptr()[j]; p < a.colptr()[j + 1]; ++p) {
         const idx_t i = a.rowind()[p];
         if (i > sn.last) rows.push_back(i);
       }
     }
     for (idx_t c : children[s]) {
-      for (idx_t r : sym.snodes_[c].below) {
+      const auto& child_below = sym.snodes_[c].below;
+      ops += static_cast<std::uint64_t>(child_below.size());
+      if (attribute && static_cast<int>(c % slices) != slice_owner) {
+        // Child lives on another rank: its below-list is exchanged to
+        // the parent's owner before the merge (one message per
+        // cross-slice assembly-tree edge).
+        stats->rank_exchange_bytes[slice_owner] +=
+            child_below.size() * sizeof(idx_t);
+        ++stats->rank_exchange_msgs[slice_owner];
+      }
+      for (idx_t r : child_below) {
         if (r > sn.last) rows.push_back(r);
       }
     }
+    ops += static_cast<std::uint64_t>(rows.size());  // sort+unique share
+    if (attribute) stats->rank_work[slice_owner] += ops;
     std::sort(rows.begin(), rows.end());
     rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
     sn.below = std::move(rows);
@@ -171,6 +217,7 @@ Symbolic analyze(const sparse::CscMatrix& a, const std::vector<idx_t>& parent,
     sym.flops_ += static_cast<double>(w) * w * b;          // panel TRSM
     sym.flops_ += static_cast<double>(w) * b * (b + 1.0);  // trailing update
   }
+  stamp_wall();
   return sym;
 }
 

@@ -11,6 +11,7 @@
 // blocks to balance.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sparse/csc.hpp"
@@ -31,6 +32,37 @@ struct SymbolicOptions {
   /// Split supernodes wider than this (0 = unlimited). Narrower panels
   /// mean more blocks and better 2D load balance.
   idx_t max_width = 128;
+  /// Build per-rank sharded symbolic/task-graph views instead of
+  /// replicating the full structure on every rank: each rank retains only
+  /// its locally relevant supernodes plus ancestor closure and pulls
+  /// anything else on demand through the pgas runtime
+  /// (SYMPACK_SYMBOLIC_SHARD). Off by default — the replicated views are
+  /// bit-identical to the historical solver.
+  bool shard = false;
+};
+
+/// Cost accounting for the symbolic phase, filled by analyze(). The
+/// row-structure phase is organized as an SPMD slice computation: panels
+/// are dealt cyclically (k mod nranks), each rank merges the structures
+/// of its own slice, and a child panel's below-list crosses the wire
+/// once whenever its parent lives on a different rank. With nranks <= 1
+/// (or sharding off) only `wall_s` is filled.
+struct AnalyzeStats {
+  /// Wall-clock seconds of the whole analyze() call.
+  double wall_s = 0.0;
+  /// Per-rank share of the row-structure merge work, in abstract merge
+  /// operations (rows scanned + rows sorted); proportional attribution
+  /// of wall_s gives the per-rank compute time.
+  std::vector<std::uint64_t> rank_work;
+  /// Bytes of child below-lists received from other ranks (the symbolic
+  /// exchange protocol) and the number of such transfers.
+  std::vector<std::uint64_t> rank_exchange_bytes;
+  std::vector<std::uint64_t> rank_exchange_msgs;
+  [[nodiscard]] std::uint64_t total_work() const {
+    std::uint64_t t = 0;
+    for (std::uint64_t w : rank_work) t += w;
+    return t;
+  }
 };
 
 /// A dense block of a supernodal panel (paper Alg. 2): the rows of
@@ -84,8 +116,8 @@ class Symbolic {
   void validate(const sparse::CscMatrix& a) const;
 
  private:
-  friend Symbolic analyze(const sparse::CscMatrix&,
-                          const std::vector<idx_t>&, const SymbolicOptions&);
+  friend Symbolic analyze(const sparse::CscMatrix&, const std::vector<idx_t>&,
+                          const SymbolicOptions&, int, AnalyzeStats*);
   idx_t n_ = 0;
   std::vector<idx_t> snode_of_;
   std::vector<Supernode> snodes_;
@@ -94,8 +126,13 @@ class Symbolic {
 };
 
 /// Run the full symbolic phase on the *permuted* matrix. `parent` is its
-/// elimination tree.
+/// elimination tree. With nranks > 1 the row-structure phase runs as a
+/// per-rank slice computation (2D-cyclic panel ownership, explicit child
+/// below-list exchange between slices) and `stats`, if given, receives
+/// the per-rank work/exchange attribution; the resulting structure is
+/// identical to the replicated (nranks <= 1) path in either case.
 Symbolic analyze(const sparse::CscMatrix& a, const std::vector<idx_t>& parent,
-                 const SymbolicOptions& opts = {});
+                 const SymbolicOptions& opts = {}, int nranks = 0,
+                 AnalyzeStats* stats = nullptr);
 
 }  // namespace sympack::symbolic

@@ -5,21 +5,22 @@
 
 namespace sympack::symbolic {
 
-TaskGraph::TaskGraph(const Symbolic& sym, const Mapping& map)
-    : sym_(&sym), map_(map) {
+TaskGraph::TaskGraph(const Symbolic& sym, std::shared_ptr<const Mapping> map)
+    : sym_(&sym), map_(std::move(map)) {
+  const Mapping& m = *map_;
   const idx_t ns = sym.num_snodes();
   ucount_.resize(ns);
   for (idx_t k = 0; k < ns; ++k) {
     ucount_[k].assign(1 + sym.snode(k).blocks.size(), 0);
   }
-  owned_f_.assign(map.nranks(), 0);
-  owned_u_.assign(map.nranks(), 0);
+  owned_f_.assign(m.nranks(), 0);
+  owned_u_.assign(m.nranks(), 0);
 
   for (idx_t j = 0; j < ns; ++j) {
     const auto& sn = sym.snode(j);
     // Factor tasks of panel j.
-    ++owned_f_[map(j, j)];
-    for (const auto& blk : sn.blocks) ++owned_f_[map(blk.target, j)];
+    ++owned_f_[m(j, j)];
+    for (const auto& blk : sn.blocks) ++owned_f_[m(blk.target, j)];
     total_f_ += 1 + static_cast<idx_t>(sn.blocks.size());
 
     // Update tasks: every ordered pair (ti <= si) of panel-j blocks.
@@ -40,46 +41,70 @@ TaskGraph::TaskGraph(const Symbolic& sym, const Mapping& map)
           slot = bi + 1;
         }
         ++ucount_[t][slot];
-        ++owned_u_[map(s, t)];
+        ++owned_u_[m(s, t)];
         ++total_u_;
       }
     }
   }
+
+  build_consumer_tables();
 }
+
+TaskGraph::TaskGraph(const Symbolic& sym, const Mapping& map)
+    : TaskGraph(sym, std::make_shared<const Mapping>(map)) {}
 
 int TaskGraph::owner(idx_t k, BlockSlot slot) const {
-  if (slot == 0) return map_(k, k);
-  return map_(sym_->snode(k).blocks[slot - 1].target, k);
+  const Mapping& m = *map_;
+  if (slot == 0) return m(k, k);
+  return m(sym_->snode(k).blocks[slot - 1].target, k);
 }
 
-std::vector<int> TaskGraph::consumers(idx_t k, BlockSlot slot) const {
-  const auto& sn = sym_->snode(k);
-  std::vector<int> out;
-  if (slot == 0) {
-    // The diagonal factor L_{k,k} is consumed by every F task of panel k.
-    for (const auto& blk : sn.blocks) out.push_back(map_(blk.target, k));
-  } else {
-    const idx_t bi = slot - 1;
-    const idx_t s = sn.blocks[bi].target;
-    // As the source operand of U_{s,k,t} for every t <= s in the panel.
-    for (idx_t ti = 0; ti <= bi; ++ti) {
-      out.push_back(map_(s, sn.blocks[ti].target));
-    }
-    // As the pivot operand of U_{s',k,s} for every s' >= s in the panel.
-    for (idx_t si = bi; si < static_cast<idx_t>(sn.blocks.size()); ++si) {
-      out.push_back(map_(sn.blocks[si].target, s));
+void TaskGraph::build_consumer_tables() {
+  const Mapping& m = *map_;
+  const idx_t ns = sym_->num_snodes();
+  consumers_.resize(ns);
+  recipients_.resize(ns);
+  for (idx_t k = 0; k < ns; ++k) {
+    const auto& sn = sym_->snode(k);
+    const idx_t nslots = 1 + static_cast<idx_t>(sn.blocks.size());
+    consumers_[k].resize(nslots);
+    recipients_[k].resize(nslots);
+    for (BlockSlot slot = 0; slot < nslots; ++slot) {
+      std::vector<int>& out = consumers_[k][slot];
+      if (slot == 0) {
+        // The diagonal factor L_{k,k} is consumed by every F task of
+        // panel k.
+        for (const auto& blk : sn.blocks) out.push_back(m(blk.target, k));
+      } else {
+        const idx_t bi = slot - 1;
+        const idx_t s = sn.blocks[bi].target;
+        // As the source operand of U_{s,k,t} for every t <= s in the
+        // panel.
+        for (idx_t ti = 0; ti <= bi; ++ti) {
+          out.push_back(m(s, sn.blocks[ti].target));
+        }
+        // As the pivot operand of U_{s',k,s} for every s' >= s in the
+        // panel.
+        for (idx_t si = bi; si < static_cast<idx_t>(sn.blocks.size()); ++si) {
+          out.push_back(m(sn.blocks[si].target, s));
+        }
+      }
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+
+      std::vector<int>& rec = recipients_[k][slot];
+      rec = out;
+      const int self = owner(k, slot);
+      rec.erase(std::remove(rec.begin(), rec.end(), self), rec.end());
     }
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
 }
 
-std::vector<int> TaskGraph::recipients(idx_t k, BlockSlot slot) const {
-  auto out = consumers(k, slot);
-  const int self = owner(k, slot);
-  out.erase(std::remove(out.begin(), out.end(), self), out.end());
-  return out;
+std::size_t TaskGraph::panel_table_bytes(idx_t k) const {
+  std::size_t bytes = ucount_[k].size() * sizeof(idx_t);
+  for (const auto& list : consumers_[k]) bytes += list.size() * sizeof(int);
+  for (const auto& list : recipients_[k]) bytes += list.size() * sizeof(int);
+  return bytes;
 }
 
 }  // namespace sympack::symbolic

@@ -13,9 +13,13 @@
 //     dependency counters of the D and F tasks),
 //   - per-rank task totals (termination detection),
 //   - the recipient sets P_F and P_D of every factor block (who must be
-//     signalled when it completes).
+//     signalled when it completes). The sets are materialized once at
+//     build and served as const references — recipients() sits on the
+//     per-signal hot path of every engine.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "symbolic/mapping.hpp"
@@ -29,10 +33,17 @@ using BlockSlot = idx_t;
 
 class TaskGraph {
  public:
+  /// The mapping is shared, not copied: every consumer of the graph
+  /// (engines, recovery, autotune pilots) reads the same immutable
+  /// Mapping instance through mapping()/mapping_ptr().
+  TaskGraph(const Symbolic& sym, std::shared_ptr<const Mapping> map);
   TaskGraph(const Symbolic& sym, const Mapping& map);
 
   [[nodiscard]] const Symbolic& symbolic() const { return *sym_; }
-  [[nodiscard]] const Mapping& mapping() const { return map_; }
+  [[nodiscard]] const Mapping& mapping() const { return *map_; }
+  [[nodiscard]] std::shared_ptr<const Mapping> mapping_ptr() const {
+    return map_;
+  }
 
   /// Number of update tasks whose target is block `slot` of supernode k.
   [[nodiscard]] idx_t update_count(idx_t k, BlockSlot slot) const {
@@ -55,19 +66,35 @@ class TaskGraph {
 
   /// Ranks that must be notified when factor block (k, slot) completes
   /// (paper's P_F for off-diagonal blocks, P_D for slot 0), excluding the
-  /// owner itself. Sorted, deduplicated.
-  [[nodiscard]] std::vector<int> recipients(idx_t k, BlockSlot slot) const;
+  /// owner itself. Sorted, deduplicated. Precomputed at build; the
+  /// reference stays valid for the graph's lifetime.
+  [[nodiscard]] const std::vector<int>& recipients(idx_t k,
+                                                   BlockSlot slot) const {
+    return recipients_[k][slot];
+  }
 
   /// Ranks (including the owner if it has such tasks) that execute
   /// updates consuming factor block (k, slot); recipients() is this set
   /// minus the owner for off-diagonal blocks, plus F-task owners for the
   /// diagonal. Exposed for tests.
-  [[nodiscard]] std::vector<int> consumers(idx_t k, BlockSlot slot) const;
+  [[nodiscard]] const std::vector<int>& consumers(idx_t k,
+                                                  BlockSlot slot) const {
+    return consumers_[k][slot];
+  }
+
+  /// Bytes of per-panel task-graph tables (update-count row plus the
+  /// recipient/consumer lists of every slot) — the table share of what a
+  /// sharded view retains for a resident panel.
+  [[nodiscard]] std::size_t panel_table_bytes(idx_t k) const;
 
  private:
+  void build_consumer_tables();
+
   const Symbolic* sym_;
-  Mapping map_;
+  std::shared_ptr<const Mapping> map_;
   std::vector<std::vector<idx_t>> ucount_;  // [snode][slot]
+  std::vector<std::vector<std::vector<int>>> consumers_;   // [snode][slot]
+  std::vector<std::vector<std::vector<int>>> recipients_;  // [snode][slot]
   std::vector<idx_t> owned_f_;
   std::vector<idx_t> owned_u_;
   idx_t total_u_ = 0;

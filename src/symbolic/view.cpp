@@ -1,0 +1,195 @@
+#include "symbolic/view.hpp"
+
+#include <cstddef>
+
+#include "pgas/machine_model.hpp"
+#include "pgas/runtime.hpp"
+
+namespace sympack::symbolic {
+
+namespace {
+
+/// Metadata bytes a rank retains for one resident panel: the supernode
+/// record, its below-row and block arrays, and the per-panel task-graph
+/// tables (update counts + recipient/consumer lists).
+std::uint64_t panel_meta_bytes(const Symbolic& sym, const TaskGraph& tg,
+                               idx_t k) {
+  const Supernode& sn = sym.snode(k);
+  std::uint64_t bytes = sizeof(Supernode);
+  bytes += sn.below.size() * sizeof(idx_t);
+  bytes += sn.blocks.size() * sizeof(Block);
+  bytes += tg.panel_table_bytes(k);
+  return bytes;
+}
+
+/// Assembly-tree parent of supernode k (-1 at a root): the supernode
+/// holding the first row below the panel.
+idx_t parent_snode(const Symbolic& sym, idx_t k) {
+  const Supernode& sn = sym.snode(k);
+  if (sn.below.empty()) return -1;
+  return sym.snode_of(sn.below.front());
+}
+
+}  // namespace
+
+SymbolicView::~SymbolicView() = default;
+TaskGraphView::~TaskGraphView() = default;
+
+ReplicatedSymbolicView::ReplicatedSymbolicView(const Symbolic& sym,
+                                               const TaskGraph& tg,
+                                               double build_wall_s)
+    : SymbolicView(sym), build_wall_s_(build_wall_s) {
+  // Full global footprint, present on every rank: all panel metadata
+  // plus the O(n) column->supernode directory.
+  for (idx_t k = 0; k < sym.num_snodes(); ++k) {
+    replicated_bytes_ += panel_meta_bytes(sym, tg, k);
+  }
+  replicated_bytes_ += static_cast<std::uint64_t>(sym.n()) * sizeof(idx_t);
+}
+
+struct ShardedSymbolicView::State {
+  const TaskGraph* tg = nullptr;
+  const pgas::MachineModel* model = nullptr;
+  int nranks = 0;
+  /// Residency bitmap, [rank][snode]. Grows at runtime as pulls cache
+  /// panels; each rank's row is only written by that rank's driving
+  /// thread (same single-writer discipline as the rank clocks).
+  std::vector<std::vector<std::uint8_t>> member;
+  std::vector<std::uint64_t> resident_bytes;
+  std::vector<std::uint64_t> pulls;
+  std::vector<double> build_s;
+  std::vector<std::uint64_t> panel_bytes;
+  /// Fixed per-rank directory: first/last column of every supernode, so
+  /// snode_of resolves by binary search without the O(n) map.
+  std::uint64_t directory_bytes = 0;
+};
+
+ShardedSymbolicView::ShardedSymbolicView(const Symbolic& sym,
+                                         const TaskGraph& tg,
+                                         const pgas::MachineModel& model,
+                                         int nranks, const AnalyzeStats& stats)
+    : SymbolicView(sym), st_(std::make_unique<State>()) {
+  State& st = *st_;
+  st.tg = &tg;
+  st.model = &model;
+  st.nranks = nranks;
+  const idx_t ns = sym.num_snodes();
+  st.member.assign(static_cast<std::size_t>(nranks),
+                   std::vector<std::uint8_t>(static_cast<std::size_t>(ns), 0));
+  st.directory_bytes = static_cast<std::uint64_t>(ns) * 2 * sizeof(idx_t);
+  st.resident_bytes.assign(static_cast<std::size_t>(nranks),
+                           st.directory_bytes);
+  st.pulls.assign(static_cast<std::size_t>(nranks), 0);
+  st.panel_bytes.resize(static_cast<std::size_t>(ns));
+  for (idx_t k = 0; k < ns; ++k) {
+    st.panel_bytes[k] = panel_meta_bytes(sym, tg, k);
+  }
+
+  auto mark = [&st](int r, idx_t k) {
+    auto& row = st.member[static_cast<std::size_t>(r)];
+    if (row[static_cast<std::size_t>(k)] == 0) {
+      row[static_cast<std::size_t>(k)] = 1;
+      st.resident_bytes[static_cast<std::size_t>(r)] += st.panel_bytes[k];
+    }
+  };
+
+  // Local relevance: a rank retains panel k when it owns one of k's
+  // blocks, when it executes an update task consuming one of k's factor
+  // blocks (= it is in a consumer set), or when it owns a block
+  // *targeting* k (it scatters updates into k's panel and receives k's
+  // solution segment in the backward solve sweep).
+  for (idx_t k = 0; k < ns; ++k) {
+    const Supernode& sn = sym.snode(k);
+    const idx_t nslots = 1 + static_cast<idx_t>(sn.blocks.size());
+    for (BlockSlot slot = 0; slot < nslots; ++slot) {
+      mark(tg.owner(k, slot), k);
+      for (int c : tg.consumers(k, slot)) mark(c, k);
+      if (slot > 0) mark(tg.owner(k, slot), sn.blocks[slot - 1].target);
+    }
+  }
+
+  // Ancestor closure: every resident panel drags in its assembly-tree
+  // ancestor chain. Ascending panel order makes the early-stop sound: a
+  // chain walk that hits an already-resident panel either inherited a
+  // fully closed chain or will close it when the loop reaches that
+  // panel's (higher) id.
+  for (int r = 0; r < nranks; ++r) {
+    auto& row = st.member[static_cast<std::size_t>(r)];
+    for (idx_t k = 0; k < ns; ++k) {
+      if (row[static_cast<std::size_t>(k)] == 0) continue;
+      for (idx_t p = parent_snode(sym, k);
+           p >= 0 && row[static_cast<std::size_t>(p)] == 0;
+           p = parent_snode(sym, p)) {
+        mark(r, p);
+      }
+    }
+  }
+
+  // Per-rank symbolic-phase time: proportional share of the measured
+  // row-structure wall time plus the RPC cost of the child below-list
+  // exchanges this rank received (AnalyzeStats's slice attribution).
+  st.build_s.assign(static_cast<std::size_t>(nranks), 0.0);
+  const std::uint64_t total_work = stats.total_work();
+  for (int r = 0; r < nranks; ++r) {
+    const auto ri = static_cast<std::size_t>(r);
+    double t = 0.0;
+    if (total_work > 0 && ri < stats.rank_work.size()) {
+      t = stats.wall_s * static_cast<double>(stats.rank_work[ri]) /
+          static_cast<double>(total_work);
+    } else {
+      t = stats.wall_s / static_cast<double>(nranks);
+    }
+    if (ri < stats.rank_exchange_msgs.size()) {
+      t += static_cast<double>(stats.rank_exchange_msgs[ri]) *
+           model.rpc_overhead_s;
+      t += static_cast<double>(stats.rank_exchange_bytes[ri]) /
+           model.rpc_byte_Bps;
+    }
+    st.build_s[ri] = t;
+  }
+}
+
+ShardedSymbolicView::~ShardedSymbolicView() = default;
+
+void ShardedSymbolicView::touch(pgas::Rank& rank, idx_t k) const {
+  State& st = *st_;
+  const auto r = static_cast<std::size_t>(rank.id());
+  auto& row = st.member[r];
+  if (row[static_cast<std::size_t>(k)] != 0) return;
+  // Remote metadata pull: one RPC round trip to the panel's home rank,
+  // then cache. Deliberately kept out of the wire-protocol counters
+  // (rpcs_sent/gets/bytes_from_host) so sharding never perturbs the
+  // golden CommStats block — the symbolic_* family owns this traffic.
+  const std::uint64_t bytes = st.panel_bytes[static_cast<std::size_t>(k)];
+  rank.advance(st.model->rpc_time(static_cast<std::size_t>(bytes)));
+  ++rank.stats().symbolic_pull_rpcs;
+  rank.stats().symbolic_bytes += bytes;
+  row[static_cast<std::size_t>(k)] = 1;
+  st.resident_bytes[r] += bytes;
+  ++st.pulls[r];
+}
+
+bool ShardedSymbolicView::resident(int rank, idx_t k) const {
+  return st_->member[static_cast<std::size_t>(rank)]
+                    [static_cast<std::size_t>(k)] != 0;
+}
+
+std::uint64_t ShardedSymbolicView::resident_bytes(int rank) const {
+  return st_->resident_bytes[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t ShardedSymbolicView::pull_rpcs(int rank) const {
+  return st_->pulls[static_cast<std::size_t>(rank)];
+}
+
+double ShardedSymbolicView::build_seconds(int rank) const {
+  return st_->build_s[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t ShardedSymbolicView::panel_bytes(idx_t k) const {
+  return st_->panel_bytes[static_cast<std::size_t>(k)];
+}
+
+int ShardedSymbolicView::nranks() const { return st_->nranks; }
+
+}  // namespace sympack::symbolic

@@ -56,9 +56,12 @@ bool fault_env_overridden() {
 
 /// Same idea for the eager/coalesce transport knobs: the solver overlays
 /// them onto SolverOptions::comm, which changes the schedule by design.
+/// SYMPACK_SYMBOLIC_SHARD keeps the protocol counters identical but
+/// perturbs the simulated clocks (metadata pulls), so it is guarded too.
 bool comm_env_overridden() {
   return std::getenv("SYMPACK_EAGER_BYTES") != nullptr ||
-         std::getenv("SYMPACK_COALESCE") != nullptr;
+         std::getenv("SYMPACK_COALESCE") != nullptr ||
+         std::getenv("SYMPACK_SYMBOLIC_SHARD") != nullptr;
 }
 
 void fnv_mix(std::uint64_t& h, const void* data, std::size_t n) {

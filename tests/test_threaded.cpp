@@ -26,6 +26,7 @@
 #include "sparse/generators.hpp"
 #include "sparse/permute.hpp"
 #include "symbolic/taskgraph.hpp"
+#include "symbolic/view.hpp"
 
 namespace sympack::core {
 
@@ -241,10 +242,12 @@ TEST(ThreadedLeakRegression, DuplicateSignalDoesNotLeakDeviceMemory) {
   const auto sym = symbolic::analyze(ap, parent, opts.symbolic);
   const symbolic::Mapping mapping(rt.nranks(), opts.mapping);
   const symbolic::TaskGraph tg(sym, mapping);
-  core::BlockStore store(sym, tg, rt, /*numeric=*/true);
+  const symbolic::ReplicatedSymbolicView sview(sym, tg, 0.0);
+  const symbolic::ReplicatedTaskGraphView tgview(tg, sview);
+  core::BlockStore store(sview, tgview, rt, /*numeric=*/true);
   core::Offload offload(opts.gpu, rt, /*numeric=*/true);
   store.assemble(ap);
-  core::FactorEngine engine(rt, sym, tg, store, offload, opts);
+  core::FactorEngine engine(rt, sview, tgview, store, offload, opts);
 
   // Find a factor block with at least one remote consumer.
   idx_t sig_k = -1;

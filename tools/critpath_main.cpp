@@ -20,11 +20,15 @@
 //   --auto    bool                 shorthand for --policy auto
 //   --numeric bool                 real numerics (default false:
 //                                  protocol-only, same schedule, cheap)
+//   --shard   bool                 sharded per-rank symbolic views
+//                                  (default false; DESIGN.md §4i)
 //   --nrhs    int                  right-hand sides to solve (default 1;
 //                                  0 skips the solve phase)
 //   --topk    int                  path segments to print (default 8)
 //   --trace   path                 write the Chrome trace JSON
 //   --json    path                 write the analyzer reports as JSON
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -140,6 +144,7 @@ int main(int argc, char** argv) {
   sopts.ordering = ordering::Method::kNatural;  // proxy is pre-permuted
   sopts.policy = core::parse_policy(policy_name);
   sopts.numeric = numeric;
+  sopts.symbolic.shard = opts.get_bool("shard", false);
   sopts.trace.metadata = true;  // structured events for the analyzer
 
   core::SymPackSolver solver(rt, sopts);
@@ -169,6 +174,29 @@ int main(int argc, char** argv) {
   factor_an.set_comm_stats(factor_stats);
   const auto factor_rep = factor_an.analyze(top_k);
   print_report("factor", factor_rep, top_k);
+
+  // Symbolic-phase counters (the counters.def symbolic family): seeded
+  // per rank from the views after every stats reset, so the phase is
+  // visible here whether sharding is on or off.
+  {
+    std::uint64_t max_build_us = 0, max_bytes = 0;
+    for (int r = 0; r < cfg.nranks; ++r) {
+      const auto& s = rt.rank(r).stats();
+      max_build_us = std::max(max_build_us, s.symbolic_build_us);
+      max_bytes = std::max(max_bytes, s.symbolic_bytes);
+    }
+    std::printf("-- symbolic: build (slowest rank) %.6f s, peak resident "
+                "%.1f KiB/rank, views %s --\n   totals:",
+                static_cast<double>(max_build_us) * 1e-6,
+                static_cast<double>(max_bytes) / 1024.0,
+                solver.symbolic_view().sharded() ? "sharded" : "replicated");
+#define SYMPACK_SYMBOLIC_COUNTER(field, label, trace_name) \
+  std::printf(" %s=%llu", label,                           \
+              static_cast<unsigned long long>(factor_stats.field));
+#include "core/taskrt/counters.def"
+#undef SYMPACK_SYMBOLIC_COUNTER
+    std::printf("\n");
+  }
 
   // Solve phase (the clocks reset between phases, so it is analyzed as
   // its own trace).
@@ -204,6 +232,13 @@ int main(int argc, char** argv) {
     if (const auto* choice = solver.autotune_choice()) {
       doc += ",\"autotune\":" + autotune_json(*choice);
     }
+    doc += ",\"symbolic\":{\"sharded\":";
+    doc += solver.symbolic_view().sharded() ? "true" : "false";
+#define SYMPACK_SYMBOLIC_COUNTER(field, label, trace_name) \
+  doc += ",\"" label "\":" + std::to_string(factor_stats.field);
+#include "core/taskrt/counters.def"
+#undef SYMPACK_SYMBOLIC_COUNTER
+    doc += "}";
     doc += ",\"factor\":" + factor_rep.to_json();
     if (have_solve) doc += ",\"solve\":" + solve_rep.to_json();
     doc += "}\n";
