@@ -41,7 +41,10 @@ std::vector<double> random_matrix(int rows, int cols, std::uint64_t seed) {
 /// the unblocked reference kernels, the "tiled" variant forces the
 /// blocked engine regardless of size.
 TileConfig variant_config(bool tiled) {
-  TileConfig cfg;  // default cache blocks
+  // Start from the active configuration so SYMPACK_TILE_* overrides
+  // (cache blocks, trsm_block, potrf_crossover) apply to the sweep;
+  // only the dispatch threshold is forced.
+  TileConfig cfg = blas::kernels::config();
   cfg.tiled_min_flops =
       tiled ? 0 : std::numeric_limits<std::int64_t>::max();
   return cfg;
@@ -81,10 +84,18 @@ struct Measurement {
 };
 
 /// Run `fn` under both dispatch variants and record GFLOP/s.
+/// `overhead_s` is subtracted from each per-call time: in-place kernels
+/// (trsm, potrf) must restore their operand every rep, and that copy
+/// would otherwise be billed to the kernel — compressing the tiled/naive
+/// ratio the regression gate watches. Clamped so a measurement never
+/// drops below half its raw time.
 template <typename Fn>
 Measurement measure(const std::string& kernel, const std::string& shape,
                     int m, int n, int k, double flops, double min_time,
-                    Fn&& fn) {
+                    double overhead_s, Fn&& fn) {
+  const auto net = [&](double per_call) {
+    return std::max(per_call - overhead_s, per_call * 0.5);
+  };
   Measurement ms;
   ms.kernel = kernel;
   ms.shape = shape;
@@ -93,11 +104,11 @@ Measurement measure(const std::string& kernel, const std::string& shape,
   ms.k = k;
   {
     TileConfigGuard guard(variant_config(/*tiled=*/false));
-    ms.naive_gflops = flops / time_per_call(fn, min_time) * 1e-9;
+    ms.naive_gflops = flops / net(time_per_call(fn, min_time)) * 1e-9;
   }
   {
     TileConfigGuard guard(variant_config(/*tiled=*/true));
-    ms.tiled_gflops = flops / time_per_call(fn, min_time) * 1e-9;
+    ms.tiled_gflops = flops / net(time_per_call(fn, min_time)) * 1e-9;
   }
   std::printf("  %-6s %-12s m=%-5d n=%-5d k=%-5d  naive %7.2f  tiled %7.2f "
               "GFLOP/s  (%.2fx)\n",
@@ -105,6 +116,20 @@ Measurement measure(const std::string& kernel, const std::string& shape,
               ms.tiled_gflops, ms.tiled_gflops / ms.naive_gflops);
   std::fflush(stdout);
   return ms;
+}
+
+template <typename Fn>
+Measurement measure(const std::string& kernel, const std::string& shape,
+                    int m, int n, int k, double flops, double min_time,
+                    Fn&& fn) {
+  return measure(kernel, shape, m, n, k, flops, min_time, 0.0,
+                 std::forward<Fn>(fn));
+}
+
+/// Time of one operand-restore copy (the overhead_s argument above).
+double copy_overhead(std::vector<double>& dst, const std::vector<double>& src,
+                     double min_time) {
+  return time_per_call([&] { dst = src; }, min_time);
 }
 
 }  // namespace
@@ -193,7 +218,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- TRSM, the panel-factorization solve B := B * L^{-T}.
+  // --- TRSM, the panel-factorization solve B := B * L^{-T} (right-lt)
+  // and the forward-substitution panel solve L X = B (left-ln).
   {
     std::vector<int> heights =
         quick ? std::vector<int>{256} : std::vector<int>{256, 1024};
@@ -203,14 +229,32 @@ int main(int argc, char** argv) {
     for (const int m : heights) {
       auto b = random_matrix(m, n, 7);
       auto work = b;
+      const double restore = copy_overhead(work, b, min_time);
       results.push_back(measure(
           "trsm", "right-lt", m, n, 0,
           static_cast<double>(blas::trsm_flops(blas::Side::kRight, m, n)),
-          min_time, [&] {
+          min_time, restore, [&] {
             work = b;
             blas::trsm(blas::Side::kRight, blas::UpLo::kLower,
                        blas::Trans::kYes, blas::Diag::kNonUnit, m, n, 1.0,
                        l.data(), n, work.data(), m);
+          }));
+    }
+    std::vector<int> widths =
+        quick ? std::vector<int>{256} : std::vector<int>{256, 1024};
+    const int ml = 64;
+    for (const int nr : widths) {
+      auto b = random_matrix(ml, nr, 11);
+      auto work = b;
+      const double restore = copy_overhead(work, b, min_time);
+      results.push_back(measure(
+          "trsm", "left-ln", ml, nr, 0,
+          static_cast<double>(blas::trsm_flops(blas::Side::kLeft, ml, nr)),
+          min_time, restore, [&] {
+            work = b;
+            blas::trsm(blas::Side::kLeft, blas::UpLo::kLower, blas::Trans::kNo,
+                       blas::Diag::kNonUnit, ml, nr, 1.0, l.data(), ml,
+                       work.data(), ml);
           }));
     }
   }
@@ -231,9 +275,10 @@ int main(int argc, char** argv) {
         }
       }
       auto work = base;
+      const double restore = copy_overhead(work, base, min_time);
       results.push_back(measure(
           "potrf", "diag", n, n, 0,
-          static_cast<double>(blas::potrf_flops(n)), min_time, [&] {
+          static_cast<double>(blas::potrf_flops(n)), min_time, restore, [&] {
             work = base;
             (void)blas::potrf(blas::UpLo::kLower, n, work.data(), n);
           }));
@@ -265,9 +310,30 @@ int main(int argc, char** argv) {
           .set("microkernel",
                tiled ? blas::kernels::microkernel_variant() : "reference");
     }
-    // Regression gate: big square GEMM/SYRK must hold the 2x advantage.
+    // Regression gates at the reference shapes:
+    //   - big square GEMM/SYRK must hold the 2x advantage;
+    //   - the packed SYRK must hold 2x on the narrow supernode shape;
+    //   - the packed TRSM must hold 2x on the right-side panel solve
+    //     (left-ln is informational: its deepest shape is a 64-row
+    //     triangle behind two transposes, which caps its headroom);
+    //   - the recursive POTRF must hold 1.5x at n >= 128.
+    bool bad = false;
     if ((ms.kernel == "gemm" || ms.kernel == "syrk") && ms.shape != "narrow" &&
-        ms.m >= 256 && ms.n >= 256 && ms.k >= 256 && speedup < 2.0) {
+        ms.m >= 256 && ms.n >= 256 && ms.k >= 256) {
+      bad = speedup < 2.0;
+    } else if (ms.kernel == "syrk" && ms.shape == "narrow" && ms.m >= 256) {
+      bad = speedup < 2.0;
+    } else if (ms.kernel == "trsm" && ms.shape == "right-lt" && ms.m >= 256) {
+      bad = speedup < 2.0;
+    } else if (ms.kernel == "potrf" && ms.m >= 128) {
+      bad = speedup < 1.5;
+    }
+    if (bad) {
+      std::fprintf(stderr,
+                   "REGRESSION: %s %s m=%d n=%d k=%d speedup %.2fx below "
+                   "gate\n",
+                   ms.kernel.c_str(), ms.shape.c_str(), ms.m, ms.n, ms.k,
+                   speedup);
       gate_ok = false;
     }
   }
@@ -275,8 +341,8 @@ int main(int argc, char** argv) {
   if (!bench::maybe_write_json(opts, report)) return 1;
 
   if (!gate_ok) {
-    std::fprintf(stderr, "REGRESSION: tiled GEMM/SYRK below 2x naive at "
-                         "m=n=k>=256 (microkernel: %s)\n",
+    std::fprintf(stderr, "REGRESSION: tiled kernels below the reference-shape "
+                         "gates (microkernel: %s)\n",
                  blas::kernels::microkernel_variant());
     // Only fail hard where the fast microkernel is available: the
     // portable fallback (non-x86 or pre-AVX2 hosts) legitimately sits

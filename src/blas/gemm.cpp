@@ -121,9 +121,10 @@ void gemm(Trans trans_a, Trans trans_b, int m, int n, int k, double alpha,
   if (m == 0 || n == 0) return;
   scale_c(m, n, beta, c, ldc);
   if (k == 0 || alpha == 0.0) return;
-  if (kernels::gemm_use_tiled(m, n, k)) {
-    kernels::gemm_accumulate(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
-                             c, ldc);
+  const kernels::TileConfig cfg = kernels::config();
+  if (kernels::gemm_use_tiled(cfg, m, n, k)) {
+    kernels::gemm_accumulate(cfg, trans_a, trans_b, m, n, k, alpha, a, lda, b,
+                             ldb, c, ldc);
     return;
   }
   naive::gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, 1.0, c, ldc);

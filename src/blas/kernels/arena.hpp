@@ -18,9 +18,20 @@ class PackArena {
   double* a_panel(std::size_t elems) { return grow(a_, elems); }
   /// Buffer for a packed B panel of at least `elems` doubles.
   double* b_panel(std::size_t elems) { return grow(b_, elems); }
+  /// Buffer for a packed triangular diagonal block (+ RHS tile scratch)
+  /// of the blocked TRSM (triangular.cpp). Separate from the A/B panels
+  /// so the diagonal solve can hold its pack while the following rank
+  /// update repacks A/B.
+  double* tri_panel(std::size_t elems) { return grow(t_, elems); }
+  /// Staging buffer for the transposed right-hand-side block of small
+  /// left-side TRSMs (routed through the right-side kernel). Distinct
+  /// from tri_panel because the solve holds the transposed RHS across
+  /// every diagonal-block pack of the sweep.
+  double* rhs_panel(std::size_t elems) { return grow(r_, elems); }
 
   [[nodiscard]] std::size_t capacity_bytes() const {
-    return sizeof(double) * (a_.capacity() + b_.capacity());
+    return sizeof(double) * (a_.capacity() + b_.capacity() + t_.capacity() +
+                             r_.capacity());
   }
 
  private:
@@ -31,6 +42,8 @@ class PackArena {
 
   std::vector<double> a_;
   std::vector<double> b_;
+  std::vector<double> t_;
+  std::vector<double> r_;
 };
 
 /// The calling thread's arena.

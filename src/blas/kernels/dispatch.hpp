@@ -5,9 +5,10 @@
 // performance model charges) against TileConfig::tiled_min_flops, so a
 // single knob moves all four routines between regimes: 0 forces the
 // tiled engine everywhere, INT64_MAX forces the naive paths (used by the
-// numerical cross-check tests). TRSM additionally requires the
-// triangular dimension to exceed the inner solve block — below that the
-// "blocked" algorithm would degenerate into one unblocked solve.
+// numerical cross-check tests). The helpers take the caller's TileConfig
+// snapshot: each public blas:: entry point reads config() exactly once
+// and threads it through dispatch, packing, and the engine, so a
+// set_config() racing with a running kernel cannot tear the tiling.
 #pragma once
 
 #include "blas/blas.hpp"
@@ -15,33 +16,31 @@
 
 namespace sympack::blas::kernels {
 
-/// Diagonal-block width of the blocked TRSM. Deliberately much smaller
-/// than TileConfig::panel: the unblocked substitution is O(nb^2) per RHS
-/// column and runs at scalar speed, so shrinking nb pushes ~(1 - nb/tri)
-/// of the flops into the packed microkernel rank update. 16 keeps two
-/// microkernel rows per diagonal block while leaving 3/4 of the work in
-/// GEMM even at tri=64 (the supernode panel width the solve uses).
-inline constexpr int kTrsmBlock = 16;
-
-inline bool gemm_use_tiled(int m, int n, int k) {
-  return use_tiled(gemm_flops(m, n, k));
+inline bool gemm_use_tiled(const TileConfig& cfg, int m, int n, int k) {
+  return use_tiled(cfg, gemm_flops(m, n, k));
 }
 
-inline bool syrk_use_blocked(int n, int k) {
-  return use_tiled(syrk_flops(n, k)) && n > config().panel;
+/// The packed SYRK driver (triangular.cpp) covers the full triangle with
+/// the register-tiled microkernel, so unlike the old panel-blocked
+/// driver it needs no minimum panel count — the flop threshold alone
+/// decides.
+inline bool syrk_use_blocked(const TileConfig& cfg, int n, int k) {
+  return use_tiled(cfg, syrk_flops(n, k));
 }
 
-inline bool trsm_use_blocked(Side side, int m, int n) {
+/// TRSM additionally requires the triangular dimension to exceed the
+/// diagonal solve block — below that the "blocked" algorithm would
+/// degenerate into one unblocked solve.
+inline bool trsm_use_blocked(const TileConfig& cfg, Side side, int m, int n) {
   const int tri = side == Side::kLeft ? m : n;
-  return use_tiled(trsm_flops(side, m, n)) && tri > kTrsmBlock;
+  return use_tiled(cfg, trsm_flops(side, m, n)) && tri > cfg.trsm_block;
 }
 
-/// POTRF crossover: below this the panel loop's trsm/syrk calls are all
-/// small enough that packing costs eat the microkernel win (measured:
-/// m=128 tiled 5.27 vs naive 5.26 GFLOPS, m=256 7.6 vs 5.5), so fall
-/// back to the unblocked right-looking kernel.
-inline bool potrf_use_blocked(int n) {
-  return use_tiled(potrf_flops(n)) && n > 2 * config().panel;
+/// POTRF crossover: at or below cfg.potrf_crossover the recursion's
+/// trailing trsm/syrk calls are small enough that packing costs eat the
+/// microkernel win, so fall back to the unblocked right-looking kernel.
+inline bool potrf_use_blocked(const TileConfig& cfg, int n) {
+  return use_tiled(cfg, potrf_flops(n)) && n > cfg.potrf_crossover;
 }
 
 }  // namespace sympack::blas::kernels

@@ -5,20 +5,11 @@
 
 #include "blas/kernels/arena.hpp"
 #include "blas/kernels/microkernel.hpp"
+#include "blas/kernels/packing.hpp"
 #include "blas/kernels/tiling.hpp"
 
 namespace sympack::blas::kernels {
-namespace {
 
-inline double op_at(const double* a, int lda, Trans trans, int row, int col) {
-  return trans == Trans::kNo
-             ? a[row + static_cast<std::ptrdiff_t>(col) * lda]
-             : a[col + static_cast<std::ptrdiff_t>(row) * lda];
-}
-
-// Pack op(A)(ic:ic+mc, pc:pc+kc) into strips of kMR rows, zero-padded to
-// the full register tile. Strip s occupies kc*kMR contiguous doubles;
-// within a strip, column l holds the kMR rows of op(A)(:, pc+l).
 void pack_a(Trans trans, int mc, int kc, const double* a, int lda, int ic,
             int pc, double* buf) {
   for (int s = 0; s < mc; s += kMR) {
@@ -36,7 +27,7 @@ void pack_a(Trans trans, int mc, int kc, const double* a, int lda, int ic,
     }
     for (int l = 0; l < kc; ++l) {
       for (int i = 0; i < rows; ++i) {
-        buf[i] = op_at(a, lda, trans, ic + s + i, pc + l);
+        buf[i] = pack_op_at(a, lda, trans, ic + s + i, pc + l);
       }
       for (int i = rows; i < kMR; ++i) buf[i] = 0.0;
       buf += kMR;
@@ -44,9 +35,6 @@ void pack_a(Trans trans, int mc, int kc, const double* a, int lda, int ic,
   }
 }
 
-// Pack alpha * op(B)(pc:pc+kc, jc:jc+nc) into strips of kNR columns,
-// zero-padded. Strip s occupies kc*kNR doubles; within a strip, row l
-// holds the kNR entries of alpha * op(B)(pc+l, :).
 void pack_b(Trans trans, int kc, int nc, double alpha, const double* b,
             int ldb, int pc, int jc, double* buf) {
   for (int s = 0; s < nc; s += kNR) {
@@ -64,15 +52,13 @@ void pack_b(Trans trans, int kc, int nc, double alpha, const double* b,
     }
     for (int l = 0; l < kc; ++l) {
       for (int j = 0; j < cols; ++j) {
-        buf[j] = alpha * op_at(b, ldb, trans, pc + l, jc + s + j);
+        buf[j] = alpha * pack_op_at(b, ldb, trans, pc + l, jc + s + j);
       }
       for (int j = cols; j < kNR; ++j) buf[j] = 0.0;
       buf += kNR;
     }
   }
 }
-
-}  // namespace
 
 PackArena& thread_arena() {
   thread_local PackArena arena;
@@ -82,8 +68,14 @@ PackArena& thread_arena() {
 void gemm_accumulate(Trans trans_a, Trans trans_b, int m, int n, int k,
                      double alpha, const double* a, int lda, const double* b,
                      int ldb, double* c, int ldc) {
+  gemm_accumulate(config(), trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb,
+                  c, ldc);
+}
+
+void gemm_accumulate(const TileConfig& cfg, Trans trans_a, Trans trans_b,
+                     int m, int n, int k, double alpha, const double* a,
+                     int lda, const double* b, int ldb, double* c, int ldc) {
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
-  const TileConfig cfg = config();
   static const MicroKernelFn mk = select_microkernel();
   PackArena& arena = thread_arena();
 

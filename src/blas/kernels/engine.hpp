@@ -9,14 +9,22 @@
 #pragma once
 
 #include "blas/blas.hpp"
+#include "blas/kernels/tiling.hpp"
 
 namespace sympack::blas::kernels {
 
 /// C(0:m, 0:n) += alpha * op(A) * op(B). Unlike blas::gemm, beta is NOT
 /// applied here — callers scale C first (or come from a path that
-/// already did).
+/// already did). Reads the process-wide tile configuration once.
 void gemm_accumulate(Trans trans_a, Trans trans_b, int m, int n, int k,
                      double alpha, const double* a, int lda, const double* b,
                      int ldb, double* c, int ldc);
+
+/// Same, against an explicit tile configuration. The blocked drivers load
+/// config() once per top-level call and thread it through here so a
+/// concurrent set_config() cannot tear the tiling mid-operation.
+void gemm_accumulate(const TileConfig& cfg, Trans trans_a, Trans trans_b,
+                     int m, int n, int k, double alpha, const double* a,
+                     int lda, const double* b, int ldb, double* c, int ldc);
 
 }  // namespace sympack::blas::kernels

@@ -1,0 +1,41 @@
+// Panel packing for the register-tiled kernels.
+//
+// The BLIS-style engine (engine.cpp) and the packed triangular drivers
+// (triangular.cpp) share one pair of packing routines so every kernel
+// agrees on the panel layout the microkernel consumes:
+//   A panels: strips of kMR rows, column-major within a strip, zero-
+//             padded to the full register tile;
+//   B panels: strips of kNR columns, row-major within a strip, with
+//             alpha folded into the packed values.
+// Buffers come from the per-thread PackArena (arena.hpp): a_panel /
+// b_panel are owned by whichever top-level kernel call is on the stack —
+// callers must not hold a panel across a nested call that packs again.
+#pragma once
+
+#include <cstddef>
+
+#include "blas/blas.hpp"
+#include "blas/kernels/tiling.hpp"
+
+namespace sympack::blas::kernels {
+
+inline double pack_op_at(const double* a, int lda, Trans trans, int row,
+                         int col) {
+  return trans == Trans::kNo
+             ? a[row + static_cast<std::ptrdiff_t>(col) * lda]
+             : a[col + static_cast<std::ptrdiff_t>(row) * lda];
+}
+
+/// Pack op(A)(ic:ic+mc, pc:pc+kc) into strips of kMR rows, zero-padded to
+/// the full register tile. Strip s occupies kc*kMR contiguous doubles;
+/// within a strip, column l holds the kMR rows of op(A)(:, pc+l).
+void pack_a(Trans trans, int mc, int kc, const double* a, int lda, int ic,
+            int pc, double* buf);
+
+/// Pack alpha * op(B)(pc:pc+kc, jc:jc+nc) into strips of kNR columns,
+/// zero-padded. Strip s occupies kc*kNR doubles; within a strip, row l
+/// holds the kNR entries of alpha * op(B)(pc+l, :).
+void pack_b(Trans trans, int kc, int nc, double alpha, const double* b,
+            int ldb, int pc, int jc, double* buf);
+
+}  // namespace sympack::blas::kernels

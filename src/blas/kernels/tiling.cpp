@@ -16,6 +16,8 @@ TileConfig sanitize(TileConfig cfg) {
   cfg.kc = std::max(cfg.kc, 4);
   cfg.nc = round_up(std::max(cfg.nc, kNR), kNR);
   cfg.panel = std::max(cfg.panel, 1);
+  cfg.trsm_block = std::min(std::max(cfg.trsm_block, 4), 256);
+  cfg.potrf_crossover = std::max(cfg.potrf_crossover, 8);
   cfg.tiled_min_flops = std::max<std::int64_t>(cfg.tiled_min_flops, 0);
   return cfg;
 }
@@ -27,6 +29,10 @@ TileConfig initial_config() {
   cfg.nc = static_cast<int>(support::env_int("SYMPACK_TILE_NC", cfg.nc));
   cfg.panel =
       static_cast<int>(support::env_int("SYMPACK_TILE_PANEL", cfg.panel));
+  cfg.trsm_block = static_cast<int>(
+      support::env_int("SYMPACK_TILE_TRSM_BLOCK", cfg.trsm_block));
+  cfg.potrf_crossover = static_cast<int>(
+      support::env_int("SYMPACK_TILE_POTRF_XOVER", cfg.potrf_crossover));
   cfg.tiled_min_flops =
       support::env_int("SYMPACK_TILED_MIN_FLOPS", cfg.tiled_min_flops);
   return sanitize(cfg);

@@ -33,6 +33,21 @@ struct TileConfig {
   /// Panel width of the blocked POTRF/TRSM/SYRK drivers (the former
   /// hard-coded kPanel in potrf.cpp).
   int panel = 64;
+  /// Diagonal-block width of the blocked TRSM (the former hard-coded
+  /// kTrsmBlock in dispatch.hpp). The diagonal substitution runs on the
+  /// packed register-tiled solver in triangular.cpp, so it is no longer
+  /// scalar-bound; the knob trades substitution work against the k-depth
+  /// of the microkernel rank updates. 8 (one register-tile row strip)
+  /// benched fastest on AVX2 across the right/left reference shapes;
+  /// 16 was the old scalar-solver sweet spot. Clamped to [4, 256].
+  int trsm_block = 8;
+  /// POTRF recursion crossover: subproblems at or below this order run
+  /// the unblocked right-looking kernel; above it the recursive driver
+  /// splits and routes the trailing update through the packed TRSM/SYRK
+  /// paths. Retuned from the former `2 * panel` dispatch rule now that
+  /// the packed triangular kernels pay off at smaller sizes: 48 benched
+  /// ~25% faster than 64 at n = 128 and no worse at 256/384 on AVX2.
+  int potrf_crossover = 48;
   /// Operations below this many flops stay on the unblocked paths
   /// (packing overhead dominates tiny blocks). Compared against the
   /// blas::*_flops() count of the call. Set to INT64_MAX to force the
@@ -52,6 +67,13 @@ void set_config(const TileConfig& cfg);
 /// route through the tiled engine.
 inline bool use_tiled(std::int64_t flops) {
   return flops >= config().tiled_min_flops;
+}
+
+/// Same, against an explicit configuration snapshot (the blocked drivers
+/// load config() once per top-level call and key every decision off the
+/// snapshot so a concurrent set_config() cannot tear the tiling).
+inline bool use_tiled(const TileConfig& cfg, std::int64_t flops) {
+  return flops >= cfg.tiled_min_flops;
 }
 
 /// RAII helper for tests and autotuning sweeps: swaps in a configuration

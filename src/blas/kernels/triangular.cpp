@@ -1,0 +1,384 @@
+// Packed register-tiled SYRK and blocked TRSM drivers (triangular.hpp).
+#include "blas/kernels/triangular.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "blas/kernels/arena.hpp"
+#include "blas/kernels/engine.hpp"
+#include "blas/kernels/microkernel.hpp"
+#include "blas/kernels/packing.hpp"
+
+namespace sympack::blas::kernels {
+namespace {
+
+/// RHS group width of the left-side diagonal solve. Eight doubles fill
+/// two 4-wide vector registers per substitution row, and the tile
+/// (nb x kRhsTile, row-major) keeps every inner loop unit-stride.
+constexpr int kRhsTile = 8;
+
+/// Row-block height of the right-side diagonal solve: bounds the
+/// in-flight working set to kRightRowBlock * nb doubles (L1/L2 resident
+/// for every legal trsm_block) without changing per-element op order.
+constexpr int kRightRowBlock = 64;
+
+/// Pack op(A)(0:nb, 0:nb) — a triangular diagonal block — into a
+/// contiguous column-major nb x nb buffer. Only the `lower_op` (or
+/// upper) triangle the substitution reads is packed; the other side is
+/// zero-filled so the solvers never touch unspecified storage.
+void pack_diag_block(Trans trans, bool lower_op, int nb, const double* a,
+                     int lda, double* p) {
+  for (int j = 0; j < nb; ++j) {
+    double* pj = p + static_cast<std::ptrdiff_t>(j) * nb;
+    if (lower_op) {
+      for (int i = 0; i < j; ++i) pj[i] = 0.0;
+      for (int i = j; i < nb; ++i) pj[i] = pack_op_at(a, lda, trans, i, j);
+    } else {
+      for (int i = 0; i <= j; ++i) pj[i] = pack_op_at(a, lda, trans, i, j);
+      for (int i = j + 1; i < nb; ++i) pj[i] = 0.0;
+    }
+  }
+}
+
+/// Substitution on one packed RHS tile: solve P * T = T in place, T
+/// nb x kRhsTile row-major, P the packed nb x nb diagonal block with op
+/// already applied. Same per-element update order as the unblocked
+/// trsm_left; the pivot divide becomes a reciprocal multiply (the
+/// division would serialize the kRhsTile-wide inner loops the vectorizer
+/// keeps in registers), so entries agree with naive to ~1 ulp per pivot.
+void solve_left_tile(bool forward, bool unit, int nb, const double* p,
+                     double* t) {
+  if (forward) {
+    for (int l = 0; l < nb; ++l) {
+      double* tl = t + static_cast<std::ptrdiff_t>(l) * kRhsTile;
+      if (!unit) {
+        const double inv = 1.0 / p[l + static_cast<std::ptrdiff_t>(l) * nb];
+        for (int c = 0; c < kRhsTile; ++c) tl[c] *= inv;
+      }
+      for (int i = l + 1; i < nb; ++i) {
+        const double w = p[i + static_cast<std::ptrdiff_t>(l) * nb];
+        double* ti = t + static_cast<std::ptrdiff_t>(i) * kRhsTile;
+        for (int c = 0; c < kRhsTile; ++c) ti[c] -= w * tl[c];
+      }
+    }
+  } else {
+    for (int l = nb - 1; l >= 0; --l) {
+      double* tl = t + static_cast<std::ptrdiff_t>(l) * kRhsTile;
+      if (!unit) {
+        const double inv = 1.0 / p[l + static_cast<std::ptrdiff_t>(l) * nb];
+        for (int c = 0; c < kRhsTile; ++c) tl[c] *= inv;
+      }
+      for (int i = 0; i < l; ++i) {
+        const double w = p[i + static_cast<std::ptrdiff_t>(l) * nb];
+        double* ti = t + static_cast<std::ptrdiff_t>(i) * kRhsTile;
+        for (int c = 0; c < kRhsTile; ++c) ti[c] -= w * tl[c];
+      }
+    }
+  }
+}
+
+/// Left-side diagonal-block solve over all n right-hand sides:
+/// kRhsTile-wide column groups of B are transposed into the scratch
+/// tile, solved, and scattered back. Ragged tail columns are zero-padded
+/// so the solve always runs the full-width body.
+void trsm_diag_left(bool forward, bool unit, int nb, int n, const double* p,
+                    double* t, double* b, int ldb) {
+  for (int j0 = 0; j0 < n; j0 += kRhsTile) {
+    const int w = std::min(kRhsTile, n - j0);
+    for (int c = 0; c < w; ++c) {
+      const double* bc = b + static_cast<std::ptrdiff_t>(j0 + c) * ldb;
+      for (int l = 0; l < nb; ++l) t[l * kRhsTile + c] = bc[l];
+    }
+    for (int c = w; c < kRhsTile; ++c) {
+      for (int l = 0; l < nb; ++l) t[l * kRhsTile + c] = 0.0;
+    }
+    solve_left_tile(forward, unit, nb, p, t);
+    for (int c = 0; c < w; ++c) {
+      double* bc = b + static_cast<std::ptrdiff_t>(j0 + c) * ldb;
+      for (int l = 0; l < nb; ++l) bc[l] = t[l * kRhsTile + c];
+    }
+  }
+}
+
+/// Right-side diagonal-block solve X * op(D) = B in place, columns in
+/// dependency order. Same per-element update order (including the
+/// zero-coefficient skip) as the unblocked trsm_right, blocked over rows
+/// so the active columns stay cache-resident; the pivot divide is a
+/// reciprocal multiply, so entries agree with naive to ~1 ulp per pivot.
+void trsm_diag_right(bool ascending, bool unit, int m, int nb,
+                     const double* p, double* b, int ldb) {
+  for (int r0 = 0; r0 < m; r0 += kRightRowBlock) {
+    const int h = std::min(kRightRowBlock, m - r0);
+    const int jb = ascending ? 0 : nb - 1;
+    const int je = ascending ? nb : -1;
+    const int js = ascending ? 1 : -1;
+    for (int j = jb; j != je; j += js) {
+      double* bj = b + r0 + static_cast<std::ptrdiff_t>(j) * ldb;
+      if (!unit) {
+        const double inv = 1.0 / p[j + static_cast<std::ptrdiff_t>(j) * nb];
+        for (int i = 0; i < h; ++i) bj[i] *= inv;
+      }
+      const int tb = ascending ? j + 1 : 0;
+      const int te = ascending ? nb : j;
+      for (int t = tb; t < te; ++t) {
+        const double w = p[j + static_cast<std::ptrdiff_t>(t) * nb];
+        if (w == 0.0) continue;
+        double* bt = b + r0 + static_cast<std::ptrdiff_t>(t) * ldb;
+        for (int i = 0; i < h; ++i) bt[i] -= w * bj[i];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void syrk_accumulate(const TileConfig& cfg, UpLo uplo, Trans trans, int n,
+                     int k, double alpha, const double* a, int lda, double* c,
+                     int ldc) {
+  if (n == 0 || k == 0 || alpha == 0.0) return;
+  static const MicroKernelFn mk = select_microkernel();
+  PackArena& arena = thread_arena();
+  // The engine's B operand is alpha * op(A)^T: packing with the flipped
+  // transpose makes pack_b read op(A)^T(p, j) = op(A)(j, p).
+  const Trans tb = trans == Trans::kNo ? Trans::kYes : Trans::kNo;
+
+  for (int jc = 0; jc < n; jc += cfg.nc) {
+    const int ncb = std::min(cfg.nc, n - jc);
+    const int nc_padded = ((ncb + kNR - 1) / kNR) * kNR;
+    // Row range of C's uplo triangle intersecting columns [jc, jc+ncb).
+    const int row_lo = uplo == UpLo::kLower ? jc : 0;
+    const int row_hi = uplo == UpLo::kLower ? n : std::min(n, jc + ncb);
+    for (int pc = 0; pc < k; pc += cfg.kc) {
+      const int kcb = std::min(cfg.kc, k - pc);
+      double* bp =
+          arena.b_panel(static_cast<std::size_t>(kcb) * nc_padded);
+      pack_b(tb, kcb, ncb, alpha, a, lda, pc, jc, bp);
+      for (int ic = row_lo; ic < row_hi; ic += cfg.mc) {
+        const int mcb = std::min(cfg.mc, row_hi - ic);
+        const int mc_padded = ((mcb + kMR - 1) / kMR) * kMR;
+        double* ap =
+            arena.a_panel(static_cast<std::size_t>(kcb) * mc_padded);
+        pack_a(trans, mcb, kcb, a, lda, ic, pc, ap);
+        for (int jr = 0; jr < ncb; jr += kNR) {
+          const int nr = std::min(kNR, ncb - jr);
+          const int col0 = jc + jr;
+          const double* bs =
+              bp + static_cast<std::ptrdiff_t>(jr / kNR) * kcb * kNR;
+          for (int ir = 0; ir < mcb; ir += kMR) {
+            const int mr = std::min(kMR, mcb - ir);
+            const int row0 = ic + ir;
+            // Classify the register tile against the diagonal band.
+            bool full, skip;
+            if (uplo == UpLo::kLower) {
+              full = row0 >= col0 + nr - 1;
+              skip = row0 + mr - 1 < col0;
+            } else {
+              full = row0 + mr - 1 <= col0;
+              skip = row0 > col0 + nr - 1;
+            }
+            if (skip) continue;
+            const double* as =
+                ap + static_cast<std::ptrdiff_t>(ir / kMR) * kcb * kMR;
+            double* ct = c + row0 + static_cast<std::ptrdiff_t>(col0) * ldc;
+            if (full) {
+              mk(kcb, as, bs, ct, ldc, mr, nr);
+              continue;
+            }
+            // Diagonal-crossing tile: run the full register tile into
+            // zeroed scratch, then merge only the in-triangle entries.
+            double tile[kMR * kNR] = {};
+            mk(kcb, as, bs, tile, kMR, kMR, kNR);
+            for (int j = 0; j < nr; ++j) {
+              const int cj = col0 + j;
+              double* cc = ct + static_cast<std::ptrdiff_t>(j) * ldc;
+              if (uplo == UpLo::kLower) {
+                for (int i = std::max(0, cj - row0); i < mr; ++i) {
+                  cc[i] += tile[i + j * kMR];
+                }
+              } else {
+                const int ihi = std::min(mr, cj - row0 + 1);
+                for (int i = 0; i < ihi; ++i) cc[i] += tile[i + j * kMR];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Left solves whose RHS block is at most this many doubles (512 KiB)
+/// are staged transposed in the arena and run on the right-side sweep;
+/// larger ones stay in place on the W-tile substitution so the arena
+/// footprint stays bounded by the cache blocks.
+constexpr std::size_t kMaxTransposeElems = std::size_t{1} << 16;
+
+/// dst(c, r) = src(r, c) for an rows x cols source block. Tiled so the
+/// strided side of the copy stays within L1 (a naive column-major/
+/// row-major transpose touches a fresh cache line per element and would
+/// eat the entire win of routing left solves through the right kernel).
+void transpose_into(int rows, int cols, const double* src, int ld_src,
+                    double* dst, int ld_dst) {
+  constexpr int kT = 32;
+  for (int j0 = 0; j0 < cols; j0 += kT) {
+    const int j1 = std::min(cols, j0 + kT);
+    for (int i0 = 0; i0 < rows; i0 += kT) {
+      const int i1 = std::min(rows, i0 + kT);
+      for (int j = j0; j < j1; ++j) {
+        const double* sj = src + static_cast<std::ptrdiff_t>(j) * ld_src;
+        for (int i = i0; i < i1; ++i) {
+          dst[j + static_cast<std::ptrdiff_t>(i) * ld_dst] = sj[i];
+        }
+      }
+    }
+  }
+}
+
+/// Right-side sweep: solve diagonal block j, then eliminate it from the
+/// not-yet-solved columns in one rank-jb gemm. The packed-B operand of
+/// each update (the op(A) coefficient slice) is packed once per step
+/// and reused across every MC row block of the m-tall update.
+void trsm_right_impl(const TileConfig& cfg, UpLo uplo, Trans trans, Diag diag,
+                     int m, int n, const double* a, int lda, double* b,
+                     int ldb, PackArena& arena) {
+  const int nb = cfg.trsm_block;
+  const bool unit = diag == Diag::kUnit;
+  const bool ascending = (uplo == UpLo::kLower) == (trans == Trans::kYes);
+  auto solve_block = [&](int j0, int jb) {
+    double* p = arena.tri_panel(static_cast<std::size_t>(jb) * jb);
+    pack_diag_block(trans, /*lower_op=*/!ascending, jb,
+                    a + j0 + static_cast<std::ptrdiff_t>(j0) * lda, lda, p);
+    trsm_diag_right(ascending, unit, m, jb, p,
+                    b + static_cast<std::ptrdiff_t>(j0) * ldb, ldb);
+  };
+  if (ascending) {
+    for (int j0 = 0; j0 < n; j0 += nb) {
+      const int jb = std::min(nb, n - j0);
+      solve_block(j0, jb);
+      const int rest = n - j0 - jb;
+      if (rest == 0) continue;
+      // B(:, j0+jb:n) -= X(:, j0:j0+jb) * op(A)(j0:j0+jb, j0+jb:n).
+      if (trans == Trans::kNo) {
+        gemm_accumulate(
+            cfg, Trans::kNo, Trans::kNo, m, rest, jb, -1.0,
+            b + static_cast<std::ptrdiff_t>(j0) * ldb, ldb,
+            a + j0 + static_cast<std::ptrdiff_t>(j0 + jb) * lda, lda,
+            b + static_cast<std::ptrdiff_t>(j0 + jb) * ldb, ldb);
+      } else {
+        gemm_accumulate(
+            cfg, Trans::kNo, Trans::kYes, m, rest, jb, -1.0,
+            b + static_cast<std::ptrdiff_t>(j0) * ldb, ldb,
+            a + (j0 + jb) + static_cast<std::ptrdiff_t>(j0) * lda, lda,
+            b + static_cast<std::ptrdiff_t>(j0 + jb) * ldb, ldb);
+      }
+    }
+  } else {
+    for (int j1 = n; j1 > 0; j1 -= nb) {
+      const int jb = std::min(nb, j1);
+      const int j0 = j1 - jb;
+      solve_block(j0, jb);
+      if (j0 == 0) continue;
+      // B(:, 0:j0) -= X(:, j0:j1) * op(A)(j0:j1, 0:j0).
+      if (trans == Trans::kNo) {
+        gemm_accumulate(cfg, Trans::kNo, Trans::kNo, m, j0, jb, -1.0,
+                        b + static_cast<std::ptrdiff_t>(j0) * ldb, ldb, a + j0,
+                        lda, b, ldb);
+      } else {
+        gemm_accumulate(cfg, Trans::kNo, Trans::kYes, m, j0, jb, -1.0,
+                        b + static_cast<std::ptrdiff_t>(j0) * ldb, ldb,
+                        a + static_cast<std::ptrdiff_t>(j0) * lda, lda, b,
+                        ldb);
+      }
+    }
+  }
+}
+
+/// In-place left sweep for RHS blocks too large to stage transposed:
+/// packed diagonal substitution on kRhsTile-wide register tiles, rank-ib
+/// trailing eliminations through the engine.
+void trsm_left_inplace(const TileConfig& cfg, UpLo uplo, Trans trans,
+                       Diag diag, int m, int n, const double* a, int lda,
+                       double* b, int ldb, PackArena& arena) {
+  const int nb = cfg.trsm_block;
+  const bool unit = diag == Diag::kUnit;
+  const bool forward = (uplo == UpLo::kLower) == (trans == Trans::kNo);
+  auto solve_block = [&](int i0, int ib) {
+    // P (ib x ib) and the RHS tile share the tri_panel so the nested
+    // gemm_accumulate below is free to repack a_panel/b_panel.
+    double* p = arena.tri_panel(static_cast<std::size_t>(ib) * ib +
+                                static_cast<std::size_t>(ib) * kRhsTile);
+    double* t = p + static_cast<std::size_t>(ib) * ib;
+    pack_diag_block(trans, forward, ib,
+                    a + i0 + static_cast<std::ptrdiff_t>(i0) * lda, lda, p);
+    trsm_diag_left(forward, unit, ib, n, p, t, b + i0, ldb);
+  };
+  if (forward) {
+    for (int i0 = 0; i0 < m; i0 += nb) {
+      const int ib = std::min(nb, m - i0);
+      solve_block(i0, ib);
+      const int rest = m - i0 - ib;
+      if (rest == 0) continue;
+      // B(i0+ib:m, :) -= op(A)(i0+ib:m, i0:i0+ib) * X(i0:i0+ib, :).
+      if (trans == Trans::kNo) {
+        gemm_accumulate(
+            cfg, Trans::kNo, Trans::kNo, rest, n, ib, -1.0,
+            a + (i0 + ib) + static_cast<std::ptrdiff_t>(i0) * lda, lda,
+            b + i0, ldb, b + i0 + ib, ldb);
+      } else {
+        gemm_accumulate(
+            cfg, Trans::kYes, Trans::kNo, rest, n, ib, -1.0,
+            a + i0 + static_cast<std::ptrdiff_t>(i0 + ib) * lda, lda, b + i0,
+            ldb, b + i0 + ib, ldb);
+      }
+    }
+  } else {
+    for (int i1 = m; i1 > 0; i1 -= nb) {
+      const int ib = std::min(nb, i1);
+      const int i0 = i1 - ib;
+      solve_block(i0, ib);
+      if (i0 == 0) continue;
+      // B(0:i0, :) -= op(A)(0:i0, i0:i1) * X(i0:i1, :).
+      if (trans == Trans::kNo) {
+        gemm_accumulate(cfg, Trans::kNo, Trans::kNo, i0, n, ib, -1.0,
+                        a + static_cast<std::ptrdiff_t>(i0) * lda, lda,
+                        b + i0, ldb, b, ldb);
+      } else {
+        gemm_accumulate(cfg, Trans::kYes, Trans::kNo, i0, n, ib, -1.0,
+                        a + i0, lda, b + i0, ldb, b, ldb);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void trsm_blocked(const TileConfig& cfg, Side side, UpLo uplo, Trans trans,
+                  Diag diag, int m, int n, const double* a, int lda, double* b,
+                  int ldb) {
+  PackArena& arena = thread_arena();
+  if (side == Side::kRight) {
+    trsm_right_impl(cfg, uplo, trans, diag, m, n, a, lda, b, ldb, arena);
+    return;
+  }
+  if (static_cast<std::size_t>(m) * n > kMaxTransposeElems) {
+    trsm_left_inplace(cfg, uplo, trans, diag, m, n, a, lda, b, ldb, arena);
+    return;
+  }
+  // op(A) X = B  <=>  X^T op(A)^T = B^T: stage the RHS transposed and
+  // run the right-side sweep with the transpose flipped. The left
+  // triangle solve has short columns the saxpy substitution can't fill
+  // vectors with; its transpose has m-long unit-stride columns. The
+  // staging leading dimension is padded off the power of two: n is
+  // typically a multiple of 64, and a 2^k-double stride aliases the
+  // whole strided side of the transpose onto a couple of L1 sets.
+  const int ldt = n + 8;
+  double* bt = arena.rhs_panel(static_cast<std::size_t>(ldt) * m);
+  transpose_into(m, n, b, ldb, bt, ldt);
+  const Trans tflip = trans == Trans::kNo ? Trans::kYes : Trans::kNo;
+  trsm_right_impl(cfg, uplo, tflip, diag, n, m, a, lda, bt, ldt, arena);
+  transpose_into(n, m, bt, ldt, b, ldb);
+}
+
+}  // namespace sympack::blas::kernels

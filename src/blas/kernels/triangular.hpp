@@ -1,0 +1,46 @@
+// Packed register-tiled drivers for the triangular Level-3 kernels.
+//
+// SYRK: a BLIS-style driver restricted to the uplo triangle. op(A) is
+// packed once per (jc, pc) column-panel pair (as the B operand of the
+// engine, with alpha folded in) and swept with the same 8x6 microkernel
+// GEMM uses. Register tiles that cross the diagonal accumulate into a
+// zeroed kMR x kNR scratch tile and merge back under a triangle mask, so
+// the full triangle — diagonal tiles included — runs register-tiled.
+//
+// TRSM: the blocked sweep packs each triangular diagonal block into a
+// contiguous buffer (op() applied during the pack, so the substitution
+// is branch-free and unit-stride) and solves register-width groups of
+// right-hand sides in place. All rank-k trailing updates route through
+// kernels::gemm_accumulate; the packed-B operand of each update is
+// packed once per step and reused across every MC row block of the
+// sweep. Element updates happen in the same order as the unblocked
+// substitution; only the pivot divide differs (reciprocal multiply), so
+// results track the naive kernels to ~1 ulp per pivot step.
+//
+// Arena ownership: the diagonal-block pack lives in the PackArena's
+// tri_panel, which survives the nested gemm_accumulate calls that own
+// a_panel/b_panel (see arena.hpp / packing.hpp).
+#pragma once
+
+#include "blas/blas.hpp"
+#include "blas/kernels/tiling.hpp"
+
+namespace sympack::blas::kernels {
+
+/// C(uplo triangle of 0:n, 0:n) += alpha * op(A) * op(A)^T with
+/// op(A) n x k. Strictly-opposite-triangle entries of C are not touched.
+/// Unlike blas::syrk, beta is NOT applied here.
+void syrk_accumulate(const TileConfig& cfg, UpLo uplo, Trans trans, int n,
+                     int k, double alpha, const double* a, int lda, double* c,
+                     int ldc);
+
+/// In-place blocked triangular solve op(A) * X = B (kLeft) or
+/// X * op(A) = B (kRight), B m x n, overwritten with X. Diagonal blocks
+/// of cfg.trsm_block columns are packed and solved by the register-tiled
+/// substitution kernels; trailing updates go through gemm_accumulate.
+/// Unlike blas::trsm, alpha is NOT applied here.
+void trsm_blocked(const TileConfig& cfg, Side side, UpLo uplo, Trans trans,
+                  Diag diag, int m, int n, const double* a, int lda, double* b,
+                  int ldb);
+
+}  // namespace sympack::blas::kernels

@@ -7,6 +7,7 @@
 
 #include "blas/kernels/dispatch.hpp"
 #include "blas/kernels/tiling.hpp"
+#include "blas/kernels/triangular.hpp"
 
 namespace sympack::blas {
 namespace {
@@ -38,34 +39,42 @@ int potrf_lower_unblocked(int n, double* a, int lda, int pivot_offset) {
   return 0;
 }
 
+// Recursive blocked lower Cholesky. Splits at a register-tile-aligned
+// midpoint so the trailing TRSM/SYRK see kMR-aligned panel widths:
+//   A11 = L11 L11^T (recurse), A21 = A21 L11^{-T} (packed blocked TRSM),
+//   A22 -= A21 A21^T (packed SYRK), then recurse on A22.
+// The trailing updates call the kernels:: drivers directly — routing the
+// whole trailing update through the register-tiled engine is the point
+// of recursing past the crossover.
+int potrf_lower_blocked(const kernels::TileConfig& cfg, int n, double* a,
+                        int lda, int pivot_offset) {
+  if (n <= cfg.potrf_crossover) {
+    return potrf_lower_unblocked(n, a, lda, pivot_offset);
+  }
+  int n1 = ((n / 2 + kernels::kMR - 1) / kernels::kMR) * kernels::kMR;
+  if (n1 >= n) n1 = n / 2;
+  const int n2 = n - n1;
+  const int info = potrf_lower_blocked(cfg, n1, a, lda, pivot_offset);
+  if (info != 0) return info;
+  double* a21 = a + n1;
+  kernels::trsm_blocked(cfg, Side::kRight, UpLo::kLower, Trans::kYes,
+                        Diag::kNonUnit, n2, n1, a, lda, a21, lda);
+  double* a22 = a + n1 + static_cast<std::ptrdiff_t>(n1) * lda;
+  kernels::syrk_accumulate(cfg, UpLo::kLower, Trans::kNo, n2, n1, -1.0, a21,
+                           lda, a22, lda);
+  return potrf_lower_blocked(cfg, n2, a22, lda, pivot_offset + n1);
+}
+
 int potrf_lower(int n, double* a, int lda) {
-  // Small blocks: the panel loop's trsm/syrk children are too small to
-  // clear their own dispatch thresholds, so the blocked path would pay
-  // loop/packing overhead for zero microkernel time.
-  if (!kernels::potrf_use_blocked(n)) {
+  // One config() read per top-level call; the whole recursion (and the
+  // packed trsm/syrk it invokes) keys off this snapshot.
+  const kernels::TileConfig cfg = kernels::config();
+  // Small blocks: below the crossover the recursion's trsm/syrk children
+  // are too small to amortize packing, so run the unblocked kernel.
+  if (!kernels::potrf_use_blocked(cfg, n)) {
     return potrf_lower_unblocked(n, a, lda, 0);
   }
-  // Panel width comes from the shared tile configuration, so POTRF, the
-  // blocked TRSM/SYRK it calls, and the solver agree on one knob.
-  const int panel = kernels::config().panel;
-  for (int k = 0; k < n; k += panel) {
-    const int nb = std::min(panel, n - k);
-    double* akk = a + k + static_cast<std::ptrdiff_t>(k) * lda;
-    const int info = potrf_lower_unblocked(nb, akk, lda, k);
-    if (info != 0) return info;
-    const int rest = n - k - nb;
-    if (rest > 0) {
-      double* aik = a + (k + nb) + static_cast<std::ptrdiff_t>(k) * lda;
-      // A21 = A21 * L11^{-T}
-      trsm(Side::kRight, UpLo::kLower, Trans::kYes, Diag::kNonUnit, rest, nb,
-           1.0, akk, lda, aik, lda);
-      // A22 -= A21 * A21^T (lower triangle)
-      double* a22 =
-          a + (k + nb) + static_cast<std::ptrdiff_t>(k + nb) * lda;
-      syrk(UpLo::kLower, Trans::kNo, rest, nb, -1.0, aik, lda, 1.0, a22, lda);
-    }
-  }
-  return 0;
+  return potrf_lower_blocked(cfg, n, a, lda, 0);
 }
 
 // Upper variant implemented by the textbook j-loop; used rarely (tests).

@@ -6,6 +6,7 @@
 
 #include "blas/kernels/dispatch.hpp"
 #include "blas/kernels/tiling.hpp"
+#include "blas/kernels/triangular.hpp"
 #include "blas/reference.hpp"
 
 namespace sympack::blas {
@@ -58,48 +59,6 @@ void syrk_accumulate_naive(UpLo uplo, Trans trans, int n, int k, double alpha,
   }
 }
 
-// Blocked driver: partition the triangle into `panel`-wide column blocks.
-// Each block contributes a small triangular tile on the diagonal (the
-// unblocked kernel) and one dense rectangle strictly on the `uplo` side,
-// which routes through the tiled GEMM engine. Tiles entirely on the
-// wrong side of the diagonal are never formed.
-void syrk_accumulate_blocked(UpLo uplo, Trans trans, int n, int k,
-                             double alpha, const double* a, int lda,
-                             double* c, int ldc) {
-  const int nb = kernels::config().panel;
-  // Rows of op(A): op(A)(i, l) with op absorbed by indexing below.
-  const auto opa = [&](int row, int col) {
-    return trans == Trans::kNo
-               ? a + row + static_cast<std::ptrdiff_t>(col) * lda
-               : a + col + static_cast<std::ptrdiff_t>(row) * lda;
-  };
-  const Trans tb = (trans == Trans::kNo) ? Trans::kYes : Trans::kNo;
-  for (int j0 = 0; j0 < n; j0 += nb) {
-    const int jb = std::min(nb, n - j0);
-    // Diagonal tile C(j0:j0+jb, j0:j0+jb): triangular, stays unblocked.
-    syrk_accumulate_naive(uplo, trans, jb, k, alpha, opa(j0, 0), lda,
-                          c + j0 + static_cast<std::ptrdiff_t>(j0) * ldc,
-                          ldc);
-    if (uplo == UpLo::kLower) {
-      // Rectangle below the diagonal tile:
-      // C(j0+jb:n, j0:j0+jb) += alpha * op(A)(j0+jb:n, :) op(A)(j0:j0+jb, :)^T.
-      const int m_rest = n - j0 - jb;
-      if (m_rest > 0) {
-        gemm(trans, tb, m_rest, jb, k, alpha, opa(j0 + jb, 0), lda,
-             opa(j0, 0), lda, 1.0,
-             c + (j0 + jb) + static_cast<std::ptrdiff_t>(j0) * ldc, ldc);
-      }
-    } else {
-      // Rectangle above the diagonal tile:
-      // C(0:j0, j0:j0+jb) += alpha * op(A)(0:j0, :) op(A)(j0:j0+jb, :)^T.
-      if (j0 > 0) {
-        gemm(trans, tb, j0, jb, k, alpha, opa(0, 0), lda, opa(j0, 0), lda,
-             1.0, c + static_cast<std::ptrdiff_t>(j0) * ldc, ldc);
-      }
-    }
-  }
-}
-
 }  // namespace
 
 void syrk(UpLo uplo, Trans trans, int n, int k, double alpha, const double* a,
@@ -108,8 +67,13 @@ void syrk(UpLo uplo, Trans trans, int n, int k, double alpha, const double* a,
   if (n == 0) return;
   scale_triangle(uplo, n, beta, c, ldc);
   if (k == 0 || alpha == 0.0) return;
-  if (kernels::syrk_use_blocked(n, k)) {
-    syrk_accumulate_blocked(uplo, trans, n, k, alpha, a, lda, c, ldc);
+  // One config() read per top-level call: dispatch and the packed driver
+  // key off the same snapshot (a concurrent set_config can't tear it).
+  const kernels::TileConfig cfg = kernels::config();
+  if (kernels::syrk_use_blocked(cfg, n, k)) {
+    // Packed driver: the whole triangle — diagonal tiles included — runs
+    // on the register-tiled microkernel (kernels/triangular.cpp).
+    kernels::syrk_accumulate(cfg, uplo, trans, n, k, alpha, a, lda, c, ldc);
   } else {
     syrk_accumulate_naive(uplo, trans, n, k, alpha, a, lda, c, ldc);
   }

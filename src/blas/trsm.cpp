@@ -5,8 +5,8 @@
 #include <cstddef>
 
 #include "blas/kernels/dispatch.hpp"
-#include "blas/kernels/engine.hpp"
 #include "blas/kernels/tiling.hpp"
+#include "blas/kernels/triangular.hpp"
 #include "blas/reference.hpp"
 
 namespace sympack::blas {
@@ -119,105 +119,6 @@ void trsm_right(UpLo uplo, Trans trans, Diag diag, int m, int n,
   }
 }
 
-// Blocked left solve: partition A into kTrsmBlock-sized diagonal blocks.
-// Each block row of X is resolved with the unblocked solver, then its
-// contribution is eliminated from the remaining block rows in one shot
-// on the packed 8x6 microkernel (gemm_accumulate directly — the rank
-// update is the whole point of the blocked algorithm, so it must not
-// fall back to the naive loops under the per-call flop dispatch).
-void trsm_left_blocked(UpLo uplo, Trans trans, Diag diag, int m, int n,
-                       const double* a, int lda, double* b, int ldb) {
-  const int nb = kernels::kTrsmBlock;
-  const bool forward = (uplo == UpLo::kLower) == (trans == Trans::kNo);
-  if (forward) {
-    for (int i0 = 0; i0 < m; i0 += nb) {
-      const int ib = std::min(nb, m - i0);
-      trsm_left(uplo, trans, diag, ib, n, a + i0 + static_cast<std::ptrdiff_t>(i0) * lda,
-                lda, b + i0, ldb);
-      const int rest = m - i0 - ib;
-      if (rest == 0) continue;
-      // B(i0+ib:m, :) -= op(A)(i0+ib:m, i0:i0+ib) * X(i0:i0+ib, :).
-      if (trans == Trans::kNo) {
-        kernels::gemm_accumulate(
-            Trans::kNo, Trans::kNo, rest, n, ib, -1.0,
-            a + (i0 + ib) + static_cast<std::ptrdiff_t>(i0) * lda, lda,
-            b + i0, ldb, b + i0 + ib, ldb);
-      } else {
-        kernels::gemm_accumulate(
-            Trans::kYes, Trans::kNo, rest, n, ib, -1.0,
-            a + i0 + static_cast<std::ptrdiff_t>(i0 + ib) * lda, lda, b + i0,
-            ldb, b + i0 + ib, ldb);
-      }
-    }
-  } else {
-    for (int i1 = m; i1 > 0; i1 -= nb) {
-      const int ib = std::min(nb, i1);
-      const int i0 = i1 - ib;
-      trsm_left(uplo, trans, diag, ib, n,
-                a + i0 + static_cast<std::ptrdiff_t>(i0) * lda, lda, b + i0,
-                ldb);
-      if (i0 == 0) continue;
-      // B(0:i0, :) -= op(A)(0:i0, i0:i1) * X(i0:i1, :).
-      if (trans == Trans::kNo) {
-        kernels::gemm_accumulate(Trans::kNo, Trans::kNo, i0, n, ib, -1.0,
-                                 a + static_cast<std::ptrdiff_t>(i0) * lda,
-                                 lda, b + i0, ldb, b, ldb);
-      } else {
-        kernels::gemm_accumulate(Trans::kYes, Trans::kNo, i0, n, ib, -1.0,
-                                 a + i0, lda, b + i0, ldb, b, ldb);
-      }
-    }
-  }
-}
-
-// Blocked right solve: same structure over column blocks of X.
-void trsm_right_blocked(UpLo uplo, Trans trans, Diag diag, int m, int n,
-                        const double* a, int lda, double* b, int ldb) {
-  const int nb = kernels::kTrsmBlock;
-  const bool ascending = (uplo == UpLo::kLower) == (trans == Trans::kYes);
-  if (ascending) {
-    for (int j0 = 0; j0 < n; j0 += nb) {
-      const int jb = std::min(nb, n - j0);
-      trsm_right(uplo, trans, diag, m, jb,
-                 a + j0 + static_cast<std::ptrdiff_t>(j0) * lda, lda,
-                 col(b, j0, ldb), ldb);
-      const int rest = n - j0 - jb;
-      if (rest == 0) continue;
-      // B(:, j0+jb:n) -= X(:, j0:j0+jb) * op(A)(j0:j0+jb, j0+jb:n).
-      if (trans == Trans::kNo) {
-        kernels::gemm_accumulate(
-            Trans::kNo, Trans::kNo, m, rest, jb, -1.0, col(b, j0, ldb), ldb,
-            a + j0 + static_cast<std::ptrdiff_t>(j0 + jb) * lda, lda,
-            col(b, j0 + jb, ldb), ldb);
-      } else {
-        kernels::gemm_accumulate(
-            Trans::kNo, Trans::kYes, m, rest, jb, -1.0, col(b, j0, ldb), ldb,
-            a + (j0 + jb) + static_cast<std::ptrdiff_t>(j0) * lda, lda,
-            col(b, j0 + jb, ldb), ldb);
-      }
-    }
-  } else {
-    for (int j1 = n; j1 > 0; j1 -= nb) {
-      const int jb = std::min(nb, j1);
-      const int j0 = j1 - jb;
-      trsm_right(uplo, trans, diag, m, jb,
-                 a + j0 + static_cast<std::ptrdiff_t>(j0) * lda, lda,
-                 col(b, j0, ldb), ldb);
-      if (j0 == 0) continue;
-      // B(:, 0:j0) -= X(:, j0:j1) * op(A)(j0:j1, 0:j0).
-      if (trans == Trans::kNo) {
-        kernels::gemm_accumulate(Trans::kNo, Trans::kNo, m, j0, jb, -1.0,
-                                 col(b, j0, ldb), ldb, a + j0, lda, b, ldb);
-      } else {
-        kernels::gemm_accumulate(Trans::kNo, Trans::kYes, m, j0, jb, -1.0,
-                                 col(b, j0, ldb), ldb,
-                                 a + static_cast<std::ptrdiff_t>(j0) * lda,
-                                 lda, b, ldb);
-      }
-    }
-  }
-}
-
 }  // namespace
 
 void trsm(Side side, UpLo uplo, Trans trans_a, Diag diag, int m, int n,
@@ -225,19 +126,17 @@ void trsm(Side side, UpLo uplo, Trans trans_a, Diag diag, int m, int n,
   assert(m >= 0 && n >= 0);
   if (m == 0 || n == 0) return;
   scale_b(m, n, alpha, b, ldb);
-  const bool blocked = kernels::trsm_use_blocked(side, m, n);
-  if (side == Side::kLeft) {
-    if (blocked) {
-      trsm_left_blocked(uplo, trans_a, diag, m, n, a, lda, b, ldb);
-    } else {
-      trsm_left(uplo, trans_a, diag, m, n, a, lda, b, ldb);
-    }
+  // One config() read per top-level call; dispatch and the blocked driver
+  // share the snapshot (kernels/triangular.cpp packs each diagonal block
+  // and feeds every rank update through gemm_accumulate).
+  const kernels::TileConfig cfg = kernels::config();
+  if (kernels::trsm_use_blocked(cfg, side, m, n)) {
+    kernels::trsm_blocked(cfg, side, uplo, trans_a, diag, m, n, a, lda, b,
+                          ldb);
+  } else if (side == Side::kLeft) {
+    trsm_left(uplo, trans_a, diag, m, n, a, lda, b, ldb);
   } else {
-    if (blocked) {
-      trsm_right_blocked(uplo, trans_a, diag, m, n, a, lda, b, ldb);
-    } else {
-      trsm_right(uplo, trans_a, diag, m, n, a, lda, b, ldb);
-    }
+    trsm_right(uplo, trans_a, diag, m, n, a, lda, b, ldb);
   }
 }
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/solver.hpp"
+#include "gpu/autotune.hpp"
 #include "support/json.hpp"
 
 namespace sympack::core {
@@ -457,12 +458,19 @@ AutoTuneChoice autotune_schedule(pgas::Runtime::Config cluster,
   // Pilots tune the healthy schedule on the same cluster shape.
   cluster.faults = {};
 
+  AutoTuneChoice choice;
+  choice.mapping = base.mapping;
+  choice.gpu = base.gpu;
+
   auto pilot = [&](Policy policy, sparse::idx_t width,
+                   symbolic::Mapping::Kind mapping, const GpuOptions& gpu,
                    Tracer* tracer) -> double {
     pgas::Runtime rt(cluster);
     SolverOptions opts = base;
     opts.policy = policy;
     opts.symbolic.max_width = width;
+    opts.mapping = mapping;
+    opts.gpu = gpu;
     // Protocol-only: full task/communication schedule, identical
     // simulated-time accounting, no numerics — so a pilot costs a tiny
     // fraction of a real factorization yet measures the exact simulated
@@ -476,31 +484,38 @@ AutoTuneChoice autotune_schedule(pgas::Runtime::Config cluster,
     solver.factorize();
     return solver.report().factor_sim_s;
   };
+  auto record = [&](Policy p, sparse::idx_t w, symbolic::Mapping::Kind m,
+                    double scale, double sim) {
+    AutoTuneCandidate c;
+    c.policy = p;
+    c.max_width = w;
+    c.mapping = m;
+    c.offload_scale = scale;
+    c.sim_s = sim;
+    choice.candidates.push_back(c);
+  };
 
-  AutoTuneChoice choice;
   const sparse::idx_t w0 = base.symbolic.max_width;
 
-  // Round 1: every fixed policy at the configured split width. The
+  // Stage 1: every fixed policy at the configured split width. The
   // winner can therefore never be slower (in simulated time) than the
   // best fixed policy at the defaults.
   static constexpr Policy kPolicies[] = {Policy::kFifo, Policy::kLifo,
                                          Policy::kPriority,
                                          Policy::kCriticalPath};
+  choice.pilot_sim_s = 1e300;
   for (const Policy p : kPolicies) {
-    const double t = pilot(p, w0, nullptr);
-    choice.candidates.push_back(AutoTuneCandidate{p, w0, t});
+    const double t = pilot(p, w0, choice.mapping, choice.gpu, nullptr);
+    record(p, w0, choice.mapping, 0.0, t);
     if (p == Policy::kFifo) choice.default_sim_s = t;
+    if (t < choice.pilot_sim_s) {
+      choice.pilot_sim_s = t;
+      choice.policy = p;
+    }
   }
-  auto best = std::min_element(
-      choice.candidates.begin(), choice.candidates.end(),
-      [](const AutoTuneCandidate& x, const AutoTuneCandidate& y) {
-        return x.sim_s < y.sim_s;
-      });
-  choice.policy = best->policy;
-  choice.max_width = best->max_width;
-  choice.pilot_sim_s = best->sim_s;
+  choice.max_width = w0;
 
-  // Round 2: nudge the supernode split width around the configured one
+  // Stage 2: nudge the supernode split width around the configured one
   // under the winning policy (finer panels trade more parallelism for
   // more messages; the pilot measures which side wins on this matrix).
   if (w0 > 0) {
@@ -508,8 +523,9 @@ AutoTuneChoice autotune_schedule(pgas::Runtime::Config cluster,
                                     w0 * 2};
     for (const sparse::idx_t w : widths) {
       if (w == w0) continue;
-      const double t = pilot(choice.policy, w, nullptr);
-      choice.candidates.push_back(AutoTuneCandidate{choice.policy, w, t});
+      const double t = pilot(choice.policy, w, choice.mapping, choice.gpu,
+                             nullptr);
+      record(choice.policy, w, choice.mapping, 0.0, t);
       if (t < choice.pilot_sim_s) {
         choice.pilot_sim_s = t;
         choice.max_width = w;
@@ -517,10 +533,64 @@ AutoTuneChoice autotune_schedule(pgas::Runtime::Config cluster,
     }
   }
 
+  // Stage 3: block-to-process mapping grids. The 2D block-cyclic grid is
+  // the paper's default; the 1D cyclic maps can win on tall elimination
+  // trees (row-cyclic keeps a panel's blocks on one rank) or very wide
+  // ones. Strictly-better adoption keeps the configured mapping on ties,
+  // so this stage can only improve on the stage-1/2 result.
+  {
+    static constexpr symbolic::Mapping::Kind kMappings[] = {
+        symbolic::Mapping::Kind::k2dBlockCyclic,
+        symbolic::Mapping::Kind::kRowCyclic,
+        symbolic::Mapping::Kind::kColCyclic};
+    for (const auto m : kMappings) {
+      if (m == choice.mapping) continue;
+      const double t = pilot(choice.policy, choice.max_width, m, choice.gpu,
+                             nullptr);
+      record(choice.policy, choice.max_width, m, 0.0, t);
+      if (t < choice.pilot_sim_s) {
+        choice.pilot_sim_s = t;
+        choice.mapping = m;
+      }
+    }
+  }
+
+  // Stage 4: GPU offload thresholds. Candidates are the machine model's
+  // analytic crossovers (gpu/autotune.hpp) scaled by {0.5, 1, 2} —
+  // the scale sweeps offload aggressiveness around the modeled
+  // break-even point, and the pilot measures the real schedule effect
+  // (offload changes task durations and with them the critical path).
+  // Skipped entirely when the GPU is disabled: the thresholds are dead
+  // knobs there and every pilot would measure the same schedule.
+  if (base.gpu.enabled) {
+    const gpu::Thresholds an = gpu::analytic_thresholds(cluster.model);
+    for (const double scale : {0.5, 1.0, 2.0}) {
+      GpuOptions g = base.gpu;
+      g.auto_tune = false;  // thresholds are fully specified below
+      const auto scaled = [scale](std::int64_t v) {
+        return static_cast<std::int64_t>(static_cast<double>(v) * scale);
+      };
+      g.potrf_threshold = scaled(an.potrf);
+      g.trsm_threshold = scaled(an.trsm);
+      g.syrk_threshold = scaled(an.syrk);
+      g.gemm_threshold = scaled(an.gemm);
+      g.device_resident_threshold = scaled(an.trsm);
+      const double t = pilot(choice.policy, choice.max_width, choice.mapping,
+                             g, nullptr);
+      record(choice.policy, choice.max_width, choice.mapping, scale, t);
+      if (t < choice.pilot_sim_s) {
+        choice.pilot_sim_s = t;
+        choice.gpu = g;
+        choice.offload_scale = scale;
+      }
+    }
+  }
+
   // Final traced pilot at the chosen configuration: the analysis that
   // explains *why* this schedule won (autotune_choice()->report).
   Tracer tracer;
-  (void)pilot(choice.policy, choice.max_width, &tracer);
+  (void)pilot(choice.policy, choice.max_width, choice.mapping, choice.gpu,
+              &tracer);
   CritPathAnalyzer analyzer(tracer.events());
   choice.report = analyzer.analyze();
   return choice;

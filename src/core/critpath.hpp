@@ -31,13 +31,17 @@
 // autotune_schedule() is the consumer that closes the loop: it resolves
 // Policy::kAuto by running cheap protocol-only pilot factorizations
 // (numeric=false: full protocol, identical simulated-time accounting, no
-// numerics) for each fixed scheduling policy — and, for the winning
-// policy, a couple of supernode split widths around the configured one —
-// on a fresh simulated runtime with the same cluster shape, then picks
-// the candidate with the shortest simulated makespan. Because the pilot
-// runs the exact schedule the real factorization will run, the chosen
+// numerics) through a greedy sequence of search stages on a fresh
+// simulated runtime with the same cluster shape: (1) every fixed
+// scheduling policy at the configured split width, (2) split widths
+// around the configured one under the winning policy, (3) the
+// block-to-process mapping grids (2D block-cyclic / row-cyclic /
+// col-cyclic), and (4) GPU offload thresholds seeded from
+// gpu::analytic_thresholds scaled by {0.5, 1, 2}. Stages 3 and 4 adopt a
+// candidate only when its pilot is *strictly* faster, so the chosen
 // configuration is never slower (in simulated time) than the best fixed
-// policy at the configured width.
+// policy at the configured width — nor than what the policy+width search
+// alone would have picked.
 #pragma once
 
 #include <cstdint>
@@ -125,6 +129,11 @@ class CritPathAnalyzer {
 struct AutoTuneCandidate {
   Policy policy = Policy::kFifo;
   sparse::idx_t max_width = 0;
+  symbolic::Mapping::Kind mapping = symbolic::Mapping::Kind::k2dBlockCyclic;
+  /// GPU offload-threshold candidate: 0 = the configured GpuOptions
+  /// thresholds, otherwise gpu::analytic_thresholds(model) scaled by
+  /// this factor (< 1 offloads more aggressively, > 1 more selectively).
+  double offload_scale = 0.0;
   double sim_s = 0.0;
 };
 
@@ -132,6 +141,14 @@ struct AutoTuneCandidate {
 struct AutoTuneChoice {
   Policy policy = Policy::kFifo;
   sparse::idx_t max_width = 0;   // adopted SymbolicOptions::max_width
+  /// Adopted block-to-process mapping (stage 3 of the pilot search; the
+  /// configured mapping unless a cyclic grid measured strictly faster).
+  symbolic::Mapping::Kind mapping = symbolic::Mapping::Kind::k2dBlockCyclic;
+  /// Adopted GPU options: the configured thresholds, or the analytic
+  /// model thresholds scaled by `offload_scale` when a pilot at that
+  /// scale measured strictly faster (offload_scale stays 0 otherwise).
+  GpuOptions gpu{};
+  double offload_scale = 0.0;
   double pilot_sim_s = 0.0;      // winner's pilot makespan
   double default_sim_s = 0.0;    // FIFO at the configured width
   CritPathReport report;         // winner's critical-path analysis

@@ -114,9 +114,13 @@ void SymPackSolver::symbolic_factorize(const sparse::CscMatrix& a) {
   // Resolve Policy::kAuto before the symbolic analysis consumes the
   // (possibly retuned) split width: run cheap protocol-only pilot
   // factorizations on a fresh runtime with the same cluster shape and
-  // adopt the policy/width with the shortest simulated makespan
-  // (core/critpath.hpp). Faults are disabled in the pilots — they tune
-  // the healthy schedule, not a particular injected failure pattern.
+  // adopt the policy/width — and, when a pilot measured them strictly
+  // faster, the block-to-process mapping and GPU offload thresholds —
+  // with the shortest simulated makespan (core/critpath.hpp). Faults are
+  // disabled in the pilots — they tune the healthy schedule, not a
+  // particular injected failure pattern. The adoption happens before the
+  // Mapping and Offload below are constructed, so the real factorization
+  // runs exactly the winning pilot's configuration.
   if (opts_.policy == Policy::kAuto) {
     auto cluster = rt_->config();
     cluster.faults = {};
@@ -124,6 +128,8 @@ void SymPackSolver::symbolic_factorize(const sparse::CscMatrix& a) {
         autotune_schedule(cluster, a_perm_, opts_));
     opts_.policy = auto_choice_->policy;
     opts_.symbolic.max_width = auto_choice_->max_width;
+    opts_.mapping = auto_choice_->mapping;
+    opts_.gpu = auto_choice_->gpu;
   }
 
   t0 = WallClock::now();

@@ -102,6 +102,94 @@ std::vector<TileTiming> sweep_tile_configs(int problem, int reps) {
             [](const TileTiming& x, const TileTiming& y) {
               return x.gflops > y.gflops;
             });
+
+  // Refinement phase: with the winning cache blocks fixed, measure the
+  // triangular-driver knobs (TRSM diagonal-block width and POTRF
+  // recursion crossover) on factorization-shaped calls. These are
+  // near-orthogonal to MC/KC/NC — they split triangle work between the
+  // substitution/unblocked kernels and the packed rank updates — so a
+  // one-dimensional sweep on the best grid point suffices. The chosen
+  // values are written into every returned candidate so callers that
+  // pick any entry get measured triangular knobs.
+  {
+    const int tm = n;        // panel height of the timed right-solve
+    const int tn = 64;       // supernode-ish panel width
+    std::vector<double> tri(static_cast<std::size_t>(tn) * tn, 0.0);
+    for (int j = 0; j < tn; ++j) {
+      for (int i = j; i < tn; ++i) {
+        tri[i + static_cast<std::size_t>(j) * tn] = i == j ? 4.0 : 0.25;
+      }
+    }
+    std::vector<double> rhs(static_cast<std::size_t>(tm) * tn);
+    for (std::size_t i = 0; i < rhs.size(); ++i) {
+      rhs[i] = 1.0 + static_cast<double>(i % 11) / 8.0;
+    }
+    std::vector<double> work(rhs.size());
+    blas::kernels::TileConfig best = results.front().config;
+    best.tiled_min_flops = 0;
+
+    const auto time_min = [&](auto&& fn) {
+      fn();  // warm
+      double best_s = 1e300;
+      for (int r = 0; r < std::max(reps, 1); ++r) {
+        const double t0 = support::WallClock::now();
+        fn();
+        best_s = std::min(best_s, support::WallClock::now() - t0);
+      }
+      return best_s;
+    };
+
+    int best_nb = best.trsm_block;
+    double best_nb_s = 1e300;
+    for (const int nb : {6, 8, 12, 16, 24}) {
+      blas::kernels::TileConfig cand = best;
+      cand.trsm_block = nb;
+      blas::kernels::TileConfigGuard guard(cand);
+      // The restore copy is timed too, but it is identical across
+      // candidates, so the argmin is unaffected.
+      const double s = time_min([&] {
+        work = rhs;
+        blas::trsm(blas::Side::kRight, blas::UpLo::kLower, blas::Trans::kYes,
+                   blas::Diag::kNonUnit, tm, tn, 1.0, tri.data(), tn,
+                   work.data(), tm);
+      });
+      if (s < best_nb_s) {
+        best_nb_s = s;
+        best_nb = nb;
+      }
+    }
+
+    const int pn = std::max(n / 2, 128);
+    std::vector<double> spd(static_cast<std::size_t>(pn) * pn, 0.0);
+    for (int j = 0; j < pn; ++j) {
+      for (int i = j; i < pn; ++i) {
+        spd[i + static_cast<std::size_t>(j) * pn] =
+            i == j ? 2.0 * pn : 1.0 / (1.0 + i - j);
+      }
+    }
+    std::vector<double> pwork(spd.size());
+    int best_xo = best.potrf_crossover;
+    double best_xo_s = 1e300;
+    for (const int xo : {32, 48, 64, 96}) {
+      blas::kernels::TileConfig cand = best;
+      cand.trsm_block = best_nb;
+      cand.potrf_crossover = xo;
+      blas::kernels::TileConfigGuard guard(cand);
+      const double s = time_min([&] {
+        pwork = spd;
+        (void)blas::potrf(blas::UpLo::kLower, pn, pwork.data(), pn);
+      });
+      if (s < best_xo_s) {
+        best_xo_s = s;
+        best_xo = xo;
+      }
+    }
+
+    for (TileTiming& t : results) {
+      t.config.trsm_block = best_nb;
+      t.config.potrf_crossover = best_xo;
+    }
+  }
   return results;
 }
 

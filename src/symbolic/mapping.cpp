@@ -110,4 +110,14 @@ Mapping::Kind Mapping::parse(const std::string& name) {
   throw std::invalid_argument("unknown mapping: " + name);
 }
 
+const char* Mapping::kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::k2dBlockCyclic: return "2d";
+    case Kind::kRowCyclic: return "row";
+    case Kind::kColCyclic: return "col";
+    case Kind::kProportional: return "proportional";
+  }
+  return "?";
+}
+
 }  // namespace sympack::symbolic

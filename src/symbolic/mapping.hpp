@@ -45,6 +45,9 @@ class Mapping {
   [[nodiscard]] Kind kind() const { return kind_; }
 
   static Kind parse(const std::string& name);
+  /// Canonical short name of a kind ("2d", "row", "col", "proportional");
+  /// round-trips through parse().
+  static const char* kind_name(Kind kind);
 
  private:
   int nranks_;

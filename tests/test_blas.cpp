@@ -692,6 +692,120 @@ INSTANTIATE_TEST_SUITE_P(
         TiledTrsmCase{37, 70, Side::kRight, UpLo::kUpper, Trans::kNo, Diag::kNonUnit},
         TiledTrsmCase{37, 70, Side::kRight, UpLo::kUpper, Trans::kYes, Diag::kUnit}));
 
+// Exhaustive tiled-vs-naive cross-check matrix: every uplo x trans
+// combination, non-unit leading dimensions, alpha/beta in {0, 1, -0.5},
+// and sizes that include sub-register-tile (n < 8) edge tiles. Loops
+// instead of TEST_P so the full product stays one readable block.
+TEST(TiledCrossCheck, SyrkFullCombinationMatrix) {
+  Xoshiro256 rng(2024);
+  TileConfig cfg = forced_tiled();
+  cfg.panel = 16;
+  for (const UpLo uplo : {UpLo::kLower, UpLo::kUpper}) {
+    for (const Trans trans : {Trans::kNo, Trans::kYes}) {
+      for (const double alpha : {0.0, 1.0, -0.5}) {
+        for (const double beta : {0.0, 1.0, -0.5}) {
+          for (const int n : {5, 48, 97}) {
+            const int k = n / 2 + 3;
+            const int ar = (trans == Trans::kNo) ? n : k;
+            const int ac = (trans == Trans::kNo) ? k : n;
+            const int lda = ar + 3;  // non-unit: rows padded past extent
+            const int ldc = n + 2;
+            auto a = random_matrix(lda, ac, rng);
+            auto c0 = random_matrix(ldc, n, rng);
+            auto c_tiled = c0;
+            auto c_naive = c0;
+            {
+              TileConfigGuard guard(cfg);
+              syrk(uplo, trans, n, k, alpha, a.data(), lda, beta,
+                   c_tiled.data(), ldc);
+            }
+            naive::syrk(uplo, trans, n, k, alpha, a.data(), lda, beta,
+                        c_naive.data(), ldc);
+            ASSERT_LT(rel_frobenius_diff(c_tiled, c_naive), 1e-12)
+                << "uplo=" << (uplo == UpLo::kLower ? "L" : "U")
+                << " trans=" << (trans == Trans::kNo ? "N" : "T")
+                << " alpha=" << alpha << " beta=" << beta << " n=" << n;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TiledCrossCheck, TrsmFullCombinationMatrix) {
+  Xoshiro256 rng(4048);
+  TileConfig cfg = forced_tiled();
+  cfg.panel = 16;
+  cfg.trsm_block = 4;  // below the smallest size: always blocks
+  for (const Side side : {Side::kLeft, Side::kRight}) {
+    for (const UpLo uplo : {UpLo::kLower, UpLo::kUpper}) {
+      for (const Trans trans : {Trans::kNo, Trans::kYes}) {
+        for (const Diag diag : {Diag::kNonUnit, Diag::kUnit}) {
+          for (const double alpha : {0.0, 1.0, -0.5}) {
+            for (const int sz : {6, 37, 70}) {
+              const int m = (side == Side::kLeft) ? sz : sz / 2 + 5;
+              const int n = (side == Side::kLeft) ? sz / 2 + 5 : sz;
+              const int asize = (side == Side::kLeft) ? m : n;
+              const int lda = asize + 3;
+              const int ldb = m + 2;
+              auto a = random_matrix(lda, asize, rng);
+              for (int i = 0; i < asize; ++i) {
+                at(a, i, i, lda) = 2.0 + asize * 0.1;
+              }
+              auto b0 = random_matrix(ldb, n, rng);
+              auto b_tiled = b0;
+              auto b_naive = b0;
+              {
+                TileConfigGuard guard(cfg);
+                trsm(side, uplo, trans, diag, m, n, alpha, a.data(), lda,
+                     b_tiled.data(), ldb);
+              }
+              naive::trsm(side, uplo, trans, diag, m, n, alpha, a.data(),
+                          lda, b_naive.data(), ldb);
+              ASSERT_LT(rel_frobenius_diff(b_tiled, b_naive), 1e-12)
+                  << "side=" << (side == Side::kLeft ? "L" : "R")
+                  << " uplo=" << (uplo == UpLo::kLower ? "L" : "U")
+                  << " trans=" << (trans == Trans::kNo ? "N" : "T")
+                  << " diag=" << (diag == Diag::kUnit ? "U" : "N")
+                  << " alpha=" << alpha << " sz=" << sz;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TiledCrossCheck, PotrfSizesAndLeadingDimensions) {
+  Xoshiro256 rng(8096);
+  TileConfig cfg = forced_tiled();
+  cfg.panel = 16;
+  cfg.potrf_crossover = 8;  // smallest sanitized value: recursion bites
+  for (const int n : {5, 12, 60, 150}) {
+    const int lda = n + 3;
+    auto spd = random_spd(n, rng);
+    std::vector<double> a0(static_cast<std::size_t>(lda) * n);
+    Xoshiro256 pad(9);
+    for (auto& v : a0) v = pad.next_in(-1.0, 1.0);  // padding is garbage
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        at(a0, i, j, lda) = at(spd, i, j, n);
+      }
+    }
+    auto a_tiled = a0;
+    auto a_naive = a0;
+    {
+      TileConfigGuard guard(cfg);
+      ASSERT_EQ(potrf(UpLo::kLower, n, a_tiled.data(), lda), 0) << n;
+    }
+    {
+      TileConfigGuard guard(forced_naive());
+      ASSERT_EQ(potrf(UpLo::kLower, n, a_naive.data(), lda), 0) << n;
+    }
+    ASSERT_LT(rel_frobenius_diff(a_tiled, a_naive), 1e-12) << "n=" << n;
+  }
+}
+
 TEST(TiledPotrf, SmallPanelMatchesUnblocked) {
   // panel=16 on a 150x150 factorization drives the blocked TRSM/SYRK
   // path through many panels; compare against one unblocked sweep

@@ -307,6 +307,38 @@ TEST(AutoPolicy, NoWorseThanEveryFixedPolicy) {
   EXPECT_GE(choice->candidates.size(), 4u);  // all fixed policies piloted
   EXPECT_EQ(auto_solver->options().policy, choice->policy);
 
+  // The mapping and offload-threshold stages ran: the candidate list
+  // contains non-default mapping grids and analytic-threshold pilots,
+  // and whatever they measured, the adopted configuration is what the
+  // solver actually runs with.
+  bool saw_mapping_pilot = false;
+  bool saw_offload_pilot = false;
+  for (const auto& cand : choice->candidates) {
+    if (cand.mapping != symbolic::Mapping::Kind::k2dBlockCyclic) {
+      saw_mapping_pilot = true;
+    }
+    if (cand.offload_scale > 0.0) saw_offload_pilot = true;
+    // Greedy strictly-better adoption: no candidate beats the winner.
+    EXPECT_GE(cand.sim_s, choice->pilot_sim_s - 1e-12);
+  }
+  EXPECT_TRUE(saw_mapping_pilot);
+  EXPECT_TRUE(saw_offload_pilot);
+  EXPECT_EQ(auto_solver->options().mapping, choice->mapping);
+  EXPECT_EQ(auto_solver->options().gpu.gemm_threshold,
+            choice->gpu.gemm_threshold);
+
+  // Never-loses-to-the-old-auto: the mapping/offload stages only adopt
+  // strictly faster pilots, so the winner is at least as good as the
+  // best candidate restricted to the old (policy x width) search space.
+  double old_auto = 1e300;
+  for (const auto& cand : choice->candidates) {
+    if (cand.mapping == core::SolverOptions{}.mapping &&
+        cand.offload_scale == 0.0) {
+      old_auto = std::min(old_auto, cand.sim_s);
+    }
+  }
+  EXPECT_LE(choice->pilot_sim_s, old_auto + 1e-12);
+
   // The final traced pilot feeds a critical-path report.
   EXPECT_GT(choice->report.path_tasks, 0);
   EXPECT_NEAR(choice->report.makespan_s, auto_sim, 1e-9);
